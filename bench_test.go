@@ -1,0 +1,419 @@
+// Benchmarks regenerating the paper's quantitative results (one bench per
+// experiment in DESIGN.md §4; EXPERIMENTS.md records paper-vs-measured).
+// Run: go test -bench=. -benchmem
+package scuba_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"scuba"
+	"scuba/internal/tailer"
+)
+
+const benchRows = 100000
+
+type benchEnv struct {
+	dir string
+}
+
+func newBenchEnv(b *testing.B) benchEnv {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "scuba-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	return benchEnv{dir: dir}
+}
+
+func (e benchEnv) config(id int, format scuba.DiskFormat) scuba.LeafConfig {
+	return scuba.LeafConfig{
+		ID:           id,
+		Shm:          scuba.ShmOptions{Dir: e.dir, Namespace: "bench"},
+		DiskRoot:     filepath.Join(e.dir, "disk"),
+		DiskFormat:   format,
+		MemoryBudget: 8 << 30,
+	}
+}
+
+func (e benchEnv) startLoaded(b *testing.B, id int, format scuba.DiskFormat, rows int) (*scuba.Leaf, int64) {
+	b.Helper()
+	l, err := scuba.NewLeaf(e.config(id, format))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Start(); err != nil {
+		b.Fatal(err)
+	}
+	gen := scuba.ServiceLogs(42, 1700000000)
+	for sent := 0; sent < rows; sent += 10000 {
+		n := min(10000, rows-sent)
+		if err := l.AddRows("service_logs", gen.NextBatch(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.SealAll(); err != nil {
+		b.Fatal(err)
+	}
+	return l, l.Stats().Bytes
+}
+
+// ---- E1/E2: restart paths ----
+
+// BenchmarkShutdownToShm measures Figure 6: copy every table to shared
+// memory one RBC at a time and exit (paper: 3-4 s for 10-15 GB).
+func BenchmarkShutdownToShm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := newBenchEnv(b)
+		l, bytes := e.startLoaded(b, 0, scuba.FormatRow, benchRows)
+		if _, err := l.SyncToDisk(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(bytes)
+		b.StartTimer()
+		if _, err := l.Shutdown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRestartFromShm measures Figure 7: the paper's 2-3 minute path.
+func BenchmarkRestartFromShm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := newBenchEnv(b)
+		l, bytes := e.startLoaded(b, 0, scuba.FormatRow, benchRows)
+		if _, err := l.Shutdown(); err != nil {
+			b.Fatal(err)
+		}
+		nu, err := scuba.NewLeaf(e.config(0, scuba.FormatRow))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(bytes)
+		b.StartTimer()
+		if err := nu.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if nu.Recovery().Path != scuba.RecoveryMemory {
+			b.Fatalf("recovery = %v", nu.Recovery().Path)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkRestartFromDisk measures the baseline: read the row-format
+// backup and translate it to the memory format (the paper's 2.5-3 h path).
+func BenchmarkRestartFromDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := newBenchEnv(b)
+		l, bytes := e.startLoaded(b, 0, scuba.FormatRow, benchRows)
+		if _, err := l.ShutdownToDisk(); err != nil {
+			b.Fatal(err)
+		}
+		nu, err := scuba.NewLeaf(e.config(0, scuba.FormatRow))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(bytes)
+		b.StartTimer()
+		if err := nu.Start(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRestartFromDiskColumnar measures E8, the §6 future work: the shm
+// block format used as the disk format, removing the translate cost.
+func BenchmarkRestartFromDiskColumnar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := newBenchEnv(b)
+		l, bytes := e.startLoaded(b, 0, scuba.FormatColumnar, benchRows)
+		if _, err := l.ShutdownToDisk(); err != nil {
+			b.Fatal(err)
+		}
+		nu, err := scuba.NewLeaf(e.config(0, scuba.FormatColumnar))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(bytes)
+		b.StartTimer()
+		if err := nu.Start(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E3/E4: rollover ----
+
+// BenchmarkRolloverShm upgrades a live 16-leaf mini-cluster through shared
+// memory, 2 leaves per batch.
+func BenchmarkRolloverShm(b *testing.B) {
+	benchmarkRollover(b, true)
+}
+
+// BenchmarkRolloverDisk is the disk-recovery rollover baseline.
+func BenchmarkRolloverDisk(b *testing.B) {
+	benchmarkRollover(b, false)
+}
+
+func benchmarkRollover(b *testing.B, useShm bool) {
+	version := 2
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := newBenchEnv(b)
+		c, err := scuba.NewCluster(scuba.ClusterConfig{
+			Machines: 4, LeavesPerMachine: 4,
+			ShmDir: e.dir, DiskRoot: filepath.Join(e.dir, "disk"),
+			Namespace: "bench", MemoryBudgetPerLeaf: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		placer := scuba.NewPlacer(c.Targets(), 1)
+		gen := scuba.ServiceLogs(1, 1700000000)
+		for sent := 0; sent < benchRows; sent += 1000 {
+			if _, err := placer.Place("service_logs", gen.NextBatch(1000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		rep, err := c.Rollover(scuba.RolloverConfig{
+			BatchFraction: 0.125, UseShm: useShm, TargetVersion: version,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		version++
+		if rep.MinAvailability < 0.8 {
+			b.Fatalf("availability dropped to %v", rep.MinAvailability)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkRolloverSim runs the paper-scale discrete-event model (E3-E5);
+// the interesting output is the reported metrics, not ns/op.
+func BenchmarkRolloverSim(b *testing.B) {
+	p := scuba.DefaultSimParams()
+	var shmH, diskH float64
+	for i := 0; i < b.N; i++ {
+		shmH = p.SimulateRollover(true).Total.Hours()
+		diskH = p.SimulateRollover(false).Total.Hours()
+	}
+	b.ReportMetric(shmH, "shm-hours")
+	b.ReportMetric(diskH, "disk-hours")
+	b.ReportMetric(diskH/shmH, "speedup")
+}
+
+// ---- E6: parallel restarts ----
+
+func BenchmarkParallelRestart(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("leaves=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := newBenchEnv(b)
+				for id := 0; id < k; id++ {
+					l, _ := e.startLoaded(b, id, scuba.FormatRow, benchRows/4)
+					if _, err := l.Shutdown(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for id := 0; id < k; id++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						l, err := scuba.NewLeaf(e.config(id, scuba.FormatRow))
+						if err != nil {
+							panic(err)
+						}
+						if err := l.Start(); err != nil {
+							panic(err)
+						}
+					}(id)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// ---- E7: compression ----
+
+// BenchmarkCompressionRatio seals one full row block of service logs and
+// reports the compression ratio the paper discusses (§2.1).
+func BenchmarkCompressionRatio(b *testing.B) {
+	gen := scuba.ServiceLogs(42, 1700000000)
+	rows := gen.NextBatch(65536)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := benchEnv{dir: b.TempDir()}
+		l, err := scuba.NewLeaf(e.config(0, scuba.FormatRow))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.AddRows("service_logs", rows); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.SealAll(); err != nil {
+			b.Fatal(err)
+		}
+		raw := int64(65536 * 60) // ~60 raw bytes per row in this workload
+		ratio = float64(raw) / float64(l.Stats().Bytes)
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+// ---- E10: tailer placement ----
+
+func BenchmarkTailerPlacement(b *testing.B) {
+	e := newBenchEnv(b)
+	const nLeaves = 8
+	targets := make([]tailer.Target, nLeaves)
+	for i := range targets {
+		l, _ := e.startLoaded(b, i, scuba.FormatRow, 0)
+		targets[i] = benchTarget{l}
+	}
+	placer := scuba.NewPlacer(targets, 99)
+	gen := scuba.ServiceLogs(3, 1700000000)
+	batch := gen.NextBatch(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := placer.Place("service_logs", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchTarget struct{ l *scuba.Leaf }
+
+func (t benchTarget) Stats() (scuba.LeafStats, error) { return t.l.Stats(), nil }
+func (t benchTarget) AddRows(table string, rows []scuba.Row) error {
+	return t.l.AddRows(table, rows)
+}
+
+// ---- E11: queries ----
+
+func BenchmarkQueryCount(b *testing.B) {
+	benchmarkQuery(b, &scuba.Query{
+		Table: "service_logs", From: 0, To: 1 << 40,
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}},
+	})
+}
+
+func BenchmarkQueryGroupBy(b *testing.B) {
+	benchmarkQuery(b, &scuba.Query{
+		Table: "service_logs", From: 0, To: 1 << 40,
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggAvg, Column: "latency_ms"}},
+		GroupBy:      []string{"service"},
+	})
+}
+
+func BenchmarkQueryFiltered(b *testing.B) {
+	benchmarkQuery(b, &scuba.Query{
+		Table: "service_logs", From: 0, To: 1 << 40,
+		Filters:      []scuba.Filter{{Column: "status", Op: scuba.OpGe, Int: 500}},
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggP99, Column: "latency_ms"}},
+		GroupBy:      []string{"host"},
+		Limit:        10,
+	})
+}
+
+// BenchmarkQueryTimePruned measures the min/max-time block skip (§2.1): a
+// narrow window touches one block no matter how large the table is.
+func BenchmarkQueryTimePruned(b *testing.B) {
+	benchmarkQuery(b, &scuba.Query{
+		Table: "service_logs", From: 1700000000, To: 1700000010,
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}},
+	})
+}
+
+func benchmarkQuery(b *testing.B, q *scuba.Query) {
+	e := newBenchEnv(b)
+	l, bytes := e.startLoaded(b, 0, scuba.FormatRow, benchRows*2)
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ingest ----
+
+func BenchmarkIngest(b *testing.B) {
+	e := newBenchEnv(b)
+	l, _ := e.startLoaded(b, 0, scuba.FormatRow, 0)
+	gen := scuba.ServiceLogs(42, 1700000000)
+	batch := gen.NextBatch(1000)
+	b.SetBytes(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.AddRows("service_logs", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregatorFanOut measures a grouped query fanned out over a
+// 16-leaf aggregator — the per-query cost users see on dashboards.
+func BenchmarkAggregatorFanOut(b *testing.B) {
+	e := newBenchEnv(b)
+	c, err := scuba.NewCluster(scuba.ClusterConfig{
+		Machines: 4, LeavesPerMachine: 4,
+		ShmDir: e.dir, DiskRoot: filepath.Join(e.dir, "disk"),
+		Namespace: "bench", MemoryBudgetPerLeaf: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	placer := scuba.NewPlacer(c.Targets(), 1)
+	gen := scuba.ServiceLogs(1, 1700000000)
+	for sent := 0; sent < benchRows; sent += 1000 {
+		if _, err := placer.Place("service_logs", gen.NextBatch(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	agg := c.NewAggregator()
+	q := &scuba.Query{Table: "service_logs", From: 0, To: 1 << 40,
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggP99, Column: "latency_ms"}},
+		GroupBy:      []string{"service"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := agg.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LeavesAnswered != 16 {
+			b.Fatalf("answered = %d", res.LeavesAnswered)
+		}
+	}
+}
+
+// BenchmarkTimeSeriesQuery measures the dashboard time-series panel shape:
+// per-minute error counts over the whole dataset.
+func BenchmarkTimeSeriesQuery(b *testing.B) {
+	benchmarkQuery(b, &scuba.Query{
+		Table: "service_logs", From: 0, To: 1 << 40,
+		TimeBucketSeconds: 60,
+		Filters:           []scuba.Filter{{Column: "status", Op: scuba.OpGe, Int: 500}},
+		Aggregations:      []scuba.Aggregation{{Op: scuba.AggCount}},
+	})
+}

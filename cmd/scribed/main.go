@@ -1,0 +1,38 @@
+// Command scribed runs the Scribe message bus as a standalone daemon
+// (Figure 1): products append log events to categories; tailer daemons pull
+// them out and push batches into leaf servers.
+//
+// Usage:
+//
+//	scribed -addr 127.0.0.1:7001 -retain 1048576
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"scuba/internal/scribe"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7001", "listen address")
+		retain = flag.Int("retain", 1<<20, "messages retained per category")
+	)
+	flag.Parse()
+
+	srv, err := scribe.NewServer(scribe.NewBus(*retain), *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scribed listening on %s (retain %d msgs/category)", srv.Addr(), *retain)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	srv.Close()
+	log.Println("scribed: bye")
+}

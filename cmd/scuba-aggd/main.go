@@ -1,0 +1,47 @@
+// Command scuba-aggd runs one Scuba aggregator server (§2, Figure 1): it
+// distributes every query to all configured leaf servers and merges the
+// partial results as they arrive, reporting coverage so dashboards can show
+// how much data answered while leaves restart.
+//
+// Usage:
+//
+//	scuba-aggd -addr 127.0.0.1:9001 -leaves 127.0.0.1:8001,127.0.0.1:8002
+//	scuba-cli -addrs 127.0.0.1:9001 query -table service_logs ...
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"scuba/internal/wire"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:9001", "listen address")
+		leaves = flag.String("leaves", "", "comma-separated leaf addresses")
+	)
+	flag.Parse()
+	if *leaves == "" {
+		log.Fatal("scuba-aggd: -leaves is required")
+	}
+	var addrs []string
+	for _, a := range strings.Split(*leaves, ",") {
+		addrs = append(addrs, strings.TrimSpace(a))
+	}
+	srv, err := wire.NewAggServer(addrs, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scuba-aggd serving %d leaves on %s", len(addrs), srv.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	srv.Close()
+	log.Println("scuba-aggd: bye")
+}

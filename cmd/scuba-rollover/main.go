@@ -1,0 +1,206 @@
+// Command scuba-rollover drives a system-wide software upgrade (§4.5),
+// either against an in-process mini-cluster (-mode live, measuring the real
+// implementation) or with the calibrated production-scale model (-mode sim,
+// reproducing the paper's hour-scale numbers). Both render the Figure 8
+// dashboard: old version / rolling over / new version.
+//
+// Usage:
+//
+//	scuba-rollover -mode live -machines 4 -leaves 8 -rows 400000 -path shm
+//	scuba-rollover -mode sim  -path both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"scuba"
+	"scuba/internal/sim"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "live", "live (real mini-cluster) or sim (paper-scale model)")
+		machines = flag.Int("machines", 4, "machines (live mode)")
+		leaves   = flag.Int("leaves", 8, "leaves per machine (live mode)")
+		rows     = flag.Int("rows", 200000, "rows to preload (live mode)")
+		path     = flag.String("path", "both", "shm, disk, or both")
+		batch    = flag.Float64("batch", 0.02, "fraction of leaves per batch")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "live":
+		runLive(*machines, *leaves, *rows, *batch, *path)
+	case "sim":
+		runSim(*batch, *path)
+	case "canary":
+		runCanary(*machines, *leaves, *rows)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+// runCanary demonstrates §6's experimental-deployment workflow: put an
+// experimental build on a handful of leaves, check the data is intact,
+// revert, check again — all through shared memory, seconds per step.
+func runCanary(machines, leaves, rows int) {
+	workDir, err := os.MkdirTemp("", "scuba-canary-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workDir)
+	c, err := scuba.NewCluster(scuba.ClusterConfig{
+		Machines: machines, LeavesPerMachine: leaves,
+		ShmDir: workDir, DiskRoot: workDir + "/disk",
+		Namespace: "canary", MemoryBudgetPerLeaf: 1 << 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	placer := scuba.NewPlacer(c.Targets(), 1)
+	gen := scuba.ServiceLogs(1, time.Now().Unix()-3600)
+	for sent := 0; sent < rows; sent += 1000 {
+		if _, err := placer.Place("service_logs", gen.NextBatch(1000)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	agg := c.NewAggregator()
+	count := func() float64 {
+		q := &scuba.Query{Table: "service_logs", From: 0, To: 1 << 40,
+			Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}}}
+		res, err := agg.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Rows(q)[0].Values[0]
+	}
+	fmt.Printf("cluster of %d leaves, %.0f rows; canarying leaves 0 and 1\n", c.Size(), count())
+
+	start := time.Now()
+	can, err := c.StartCanary(scuba.CanaryConfig{Nodes: []int{0, 1}, Version: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("experimental v99 on 2 leaves in %v (recoveries: %s, %s); rows still %.0f\n",
+		time.Since(start).Round(time.Millisecond),
+		can.Deploy[0].Recovery.Path, can.Deploy[1].Recovery.Path, count())
+
+	start = time.Now()
+	if _, err := can.Revert(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reverted to v1 in %v; rows still %.0f\n",
+		time.Since(start).Round(time.Millisecond), count())
+	fmt.Println("(§6: \"we can add more logging, test bug fixes, and try new software designs — and then revert\")")
+}
+
+func wantPath(path, which string) bool { return path == which || path == "both" }
+
+func runLive(machines, leaves, rows int, batch float64, path string) {
+	workDir, err := os.MkdirTemp("", "scuba-rollover-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workDir)
+
+	c, err := scuba.NewCluster(scuba.ClusterConfig{
+		Machines:            machines,
+		LeavesPerMachine:    leaves,
+		ShmDir:              workDir,
+		DiskRoot:            workDir + "/disk",
+		Namespace:           "rollover",
+		MemoryBudgetPerLeaf: 1 << 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	placer := scuba.NewPlacer(c.Targets(), 1)
+	gen := scuba.ServiceLogs(1, time.Now().Unix()-7200)
+	for sent := 0; sent < rows; sent += 1000 {
+		if _, err := placer.Place("service_logs", gen.NextBatch(1000)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("live cluster: %d leaves, %d rows preloaded\n\n", c.Size(), rows)
+
+	version := 2
+	var durations = map[string]time.Duration{}
+	for _, p := range []struct {
+		name   string
+		useShm bool
+	}{{"shm", true}, {"disk", false}} {
+		if !wantPath(path, p.name) {
+			continue
+		}
+		fmt.Printf("--- %s rollover, %d%% per batch ---\n", p.name, int(batch*100))
+		rep, err := c.Rollover(scuba.RolloverConfig{
+			BatchFraction: batch,
+			UseShm:        p.useShm,
+			TargetVersion: version,
+			OnBatch: func(b int, s scuba.ClusterSnapshot) {
+				fmt.Printf("  batch %3d  %s\n", b, s)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		durations[p.name] = rep.Duration
+		fmt.Printf("%s rollover: %v, %d batches, min availability %.1f%%, %d memory / %d disk recoveries\n\n",
+			p.name, rep.Duration.Round(time.Millisecond), rep.Batches,
+			100*rep.MinAvailability, rep.MemoryRecoveries, rep.DiskRecoveries)
+		version++
+	}
+	if d1, ok1 := durations["shm"]; ok1 {
+		if d2, ok2 := durations["disk"]; ok2 {
+			fmt.Printf("shm speedup over disk: %.1fx\n", d2.Seconds()/d1.Seconds())
+		}
+	}
+}
+
+func runSim(batch float64, path string) {
+	p := scuba.DefaultSimParams()
+	p.BatchFraction = batch
+	fmt.Printf("simulated cluster: %d machines x %d leaves x %.0f GB (paper scale)\n\n",
+		p.Machines, p.LeavesPerMachine, p.DataPerLeafGB)
+
+	for _, which := range []struct {
+		name   string
+		useShm bool
+		paper  string
+	}{
+		{"shm", true, "paper: 2-3 min/server, <1 h rollover"},
+		{"disk", false, "paper: 2.5-3 h/server, 10-12 h rollover"},
+	} {
+		if !wantPath(path, which.name) {
+			continue
+		}
+		rep := p.SimulateRollover(which.useShm)
+		fmt.Printf("--- %s (%s) ---\n", which.name, which.paper)
+		fmt.Printf("per-machine restart: %s   rollover: %s in %d batches   "+
+			"min availability: %.1f%%   weekly full availability: %.1f%%\n",
+			sim.FormatDuration(p.MachineRestartTime(which.useShm)),
+			sim.FormatDuration(rep.Total), rep.Batches,
+			100*rep.MinAvailability, 100*scuba.WeeklyFullAvailability(rep.Total))
+		// A compact Figure 8: ten evenly spaced dashboard lines.
+		step := len(rep.Timeline) / 10
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(rep.Timeline); i += step {
+			pt := rep.Timeline[i]
+			total := pt.OldVersion + pt.RollingOver + pt.NewVersion
+			w := 50
+			bar := strings.Repeat("#", pt.NewVersion*w/total) +
+				strings.Repeat("~", pt.RollingOver*w/total)
+			bar += strings.Repeat(".", w-len(bar))
+			fmt.Printf("  %8s |%s| old=%d rolling=%d new=%d\n",
+				sim.FormatDuration(pt.Elapsed), bar, pt.OldVersion, pt.RollingOver, pt.NewVersion)
+		}
+		fmt.Println()
+	}
+}

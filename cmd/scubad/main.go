@@ -1,0 +1,114 @@
+// Command scubad runs one Scuba leaf server as a daemon: it recovers its
+// data (from shared memory after a clean upgrade, from disk otherwise),
+// serves add/query/stats RPCs over TCP, runs background disk sync and
+// expiration, and exits when it receives a shutdown RPC or SIGTERM — after
+// copying its tables to shared memory so its replacement restarts fast.
+//
+// A software upgrade is simply:
+//
+//	scuba-cli -addr :8001 shutdown     # old binary drains to /dev/shm, exits
+//	scubad-new -id 0 -addr :8001 ...   # new binary recovers at memory speed
+//
+// Usage:
+//
+//	scubad -id 0 -addr 127.0.0.1:8001 -shm-dir /dev/shm -disk-root /var/lib/scuba
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scuba"
+)
+
+func main() {
+	var (
+		id         = flag.Int("id", 0, "leaf ID (fixes the shared memory metadata location)")
+		addr       = flag.String("addr", "127.0.0.1:8001", "listen address")
+		shmDir     = flag.String("shm-dir", "/dev/shm", "shared memory directory (tmpfs)")
+		namespace  = flag.String("namespace", "scuba", "shared memory namespace")
+		diskRoot   = flag.String("disk-root", "./scuba-data", "disk backup root ('' disables)")
+		columnar   = flag.Bool("columnar", false, "use the columnar disk format (§6 future work)")
+		noShm      = flag.Bool("no-memory-recovery", false, "always recover from disk")
+		budget     = flag.Int64("memory-budget", 8<<30, "data budget in bytes, reported to tailers")
+		maxAge     = flag.Int64("max-age", 0, "expire rows older than this many seconds (0 = keep)")
+		maxBytes   = flag.Int64("max-bytes", 0, "per-table compressed byte cap (0 = no cap)")
+		syncEvery  = flag.Duration("sync-interval", 5*time.Second, "disk write-behind interval")
+		expireEach = flag.Duration("expire-interval", time.Minute, "expiration sweep interval")
+	)
+	flag.Parse()
+
+	format := scuba.FormatRow
+	if *columnar {
+		format = scuba.FormatColumnar
+	}
+	cfg := scuba.LeafConfig{
+		ID:                    *id,
+		Shm:                   scuba.ShmOptions{Dir: *shmDir, Namespace: *namespace},
+		DiskRoot:              *diskRoot,
+		DiskFormat:            format,
+		MemoryBudget:          *budget,
+		Table:                 scuba.TableOptions{MaxAgeSeconds: *maxAge, MaxBytes: *maxBytes},
+		DisableMemoryRecovery: *noShm,
+	}
+	l, err := scuba.NewLeaf(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if err := l.Start(); err != nil {
+		log.Fatal(err)
+	}
+	rec := l.Recovery()
+	log.Printf("scubad leaf %d up in %v (recovery: %s, %d blocks, %.1f MB)",
+		*id, time.Since(start).Round(time.Millisecond), rec.Path, rec.Blocks,
+		float64(rec.BytesRestored)/(1<<20))
+
+	srv, err := scuba.NewServer(l, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", srv.Addr())
+
+	// Background maintenance: asynchronous disk sync (§4.1) + expiration.
+	maint := l.StartMaintenance(scuba.MaintenanceConfig{
+		SyncInterval:   *syncEvery,
+		ExpireInterval: *expireEach,
+		OnError:        func(err error) { log.Printf("maintenance: %v", err) },
+	})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case info := <-srv.ShutdownRequested():
+		// A shutdown RPC already drained the leaf (to shm or disk).
+		maint.Stop()
+		log.Printf("shutdown RPC: %d tables, %d blocks, %.1f MB in %v (shm=%v); exiting",
+			info.Tables, info.Blocks, float64(info.BytesCopied)/(1<<20),
+			info.Duration.Round(time.Millisecond), info.ToShm)
+		srv.Close()
+	case sig := <-sigs:
+		// A signal is a *planned* stop: drain through shared memory so the
+		// replacement process restarts fast (a crash never gets here, and
+		// the valid bit stays unset for it).
+		maint.Stop()
+		log.Printf("signal %v: copying to shared memory before exit", sig)
+		srv.Close()
+		info, err := l.Shutdown()
+		if err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		log.Printf("drained %.1f MB to shared memory in %v; exiting",
+			float64(info.BytesCopied)/(1<<20), info.Duration.Round(time.Millisecond))
+	}
+	if m := srv.Metrics().String(); m != "" {
+		log.Printf("final metrics:\n%s", m)
+	}
+	fmt.Println("scubad: bye")
+}

@@ -1,0 +1,3 @@
+module scuba
+
+go 1.22

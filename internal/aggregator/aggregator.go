@@ -1,0 +1,94 @@
+// Package aggregator implements Scuba's aggregator servers (§2, Figure 1).
+// An aggregator distributes a query to all leaf servers and aggregates the
+// results as they arrive. Scuba returns partial query results when not all
+// servers are available (§1); the aggregator therefore never fails a query
+// because some leaves are restarting — it reports coverage instead.
+package aggregator
+
+import (
+	"errors"
+	"sync"
+
+	"scuba/internal/query"
+)
+
+// LeafTarget is a leaf as seen by the aggregator. In-process clusters adapt
+// *leaf.Leaf; distributed deployments adapt a wire client.
+type LeafTarget interface {
+	Query(q *query.Query) (*query.Result, error)
+}
+
+// Aggregator fans queries out to a fixed set of leaves.
+type Aggregator struct {
+	leaves []LeafTarget
+	// Parallelism bounds concurrent per-leaf queries (0 = all at once).
+	Parallelism int
+}
+
+// New creates an aggregator over the given leaves.
+func New(leaves []LeafTarget) *Aggregator {
+	return &Aggregator{leaves: leaves}
+}
+
+// ErrNoLeaves is returned when the aggregator has no leaves at all.
+var ErrNoLeaves = errors.New("aggregator: no leaves configured")
+
+// Query runs q on every leaf and merges the partial results. Leaves that
+// error (restarting, unreachable) are skipped; the merged result's
+// LeavesTotal/LeavesAnswered report the coverage users see on dashboards.
+func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(a.leaves) == 0 {
+		return nil, ErrNoLeaves
+	}
+	sem := make(chan struct{}, a.parallelism())
+	results := make([]*query.Result, len(a.leaves))
+	var wg sync.WaitGroup
+	for i, l := range a.leaves {
+		wg.Add(1)
+		go func(i int, l LeafTarget) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := l.Query(q)
+			if err == nil {
+				results[i] = res
+			}
+		}(i, l)
+	}
+	wg.Wait()
+
+	merged := query.NewResult()
+	for _, res := range results {
+		if res == nil {
+			// Unreachable target: one leaf's worth of data missing (or an
+			// unreachable downstream aggregator, counted as one).
+			merged.LeavesTotal++
+			continue
+		}
+		if res.LeavesTotal > 0 {
+			// The target is itself an aggregator (Scuba runs trees of
+			// them): adopt its coverage instead of counting it as one leaf.
+			merged.LeavesTotal += res.LeavesTotal
+			merged.LeavesAnswered += res.LeavesAnswered
+			res.LeavesTotal, res.LeavesAnswered = 0, 0
+		} else {
+			merged.LeavesTotal++
+			merged.LeavesAnswered++
+		}
+		merged.Merge(res)
+	}
+	return merged, nil
+}
+
+func (a *Aggregator) parallelism() int {
+	if a.Parallelism > 0 {
+		return a.Parallelism
+	}
+	return len(a.leaves)
+}
+
+// NumLeaves returns the fan-out width.
+func (a *Aggregator) NumLeaves() int { return len(a.leaves) }

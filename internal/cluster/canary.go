@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Canary deployments are the paper's §6 observation made operational:
+// "this fast rollover path allows us to deploy experimental software builds
+// on a handful of machines, which we could not do if it took longer. We can
+// add more logging, test bug fixes, and try new software designs — and then
+// revert the changes if we wish."
+//
+// A canary restarts a chosen subset of leaves onto an experimental version
+// through shared memory (seconds of unavailability per leaf), and Revert
+// restarts the same leaves back — again through shared memory, so trying an
+// experiment costs two fast restarts instead of two disk recoveries.
+
+// CanaryConfig selects the experimental deployment.
+type CanaryConfig struct {
+	// Nodes are the global IDs of the leaves to move to the experimental
+	// build ("a handful of machines").
+	Nodes []int
+	// Version identifies the experimental build.
+	Version int
+	// KillTimeout guards each restart like a normal rollover.
+	KillTimeout time.Duration
+}
+
+// Canary tracks an in-flight experimental deployment.
+type Canary struct {
+	cluster     *Cluster
+	cfg         CanaryConfig
+	baseVersion int
+	Deploy      []RestartReport
+	reverted    bool
+}
+
+// ErrCanaryNodes rejects empty or out-of-range node selections.
+var ErrCanaryNodes = errors.New("cluster: invalid canary node selection")
+
+// StartCanary restarts the selected nodes onto the experimental version.
+func (c *Cluster) StartCanary(cfg CanaryConfig) (*Canary, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, ErrCanaryNodes
+	}
+	for _, id := range cfg.Nodes {
+		if id < 0 || id >= len(c.nodes) {
+			return nil, fmt.Errorf("%w: node %d of %d", ErrCanaryNodes, id, len(c.nodes))
+		}
+	}
+	if cfg.Version == 0 {
+		cfg.Version = c.maxVersion() + 1
+	}
+	can := &Canary{cluster: c, cfg: cfg, baseVersion: c.nodes[cfg.Nodes[0]].Version()}
+	for _, id := range cfg.Nodes {
+		rep, err := c.nodes[id].Restart(RestartOptions{
+			UseShm:      true,
+			NewVersion:  cfg.Version,
+			KillTimeout: cfg.KillTimeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: canary deploy on node %d: %w", id, err)
+		}
+		can.Deploy = append(can.Deploy, rep)
+	}
+	return can, nil
+}
+
+// Nodes returns the canaried node IDs.
+func (can *Canary) Nodes() []int { return can.cfg.Nodes }
+
+// Version returns the experimental version.
+func (can *Canary) Version() int { return can.cfg.Version }
+
+// Revert restarts the canaried leaves back onto the base version, again
+// through shared memory: no data is lost in either direction.
+func (can *Canary) Revert() ([]RestartReport, error) {
+	if can.reverted {
+		return nil, errors.New("cluster: canary already reverted")
+	}
+	var reports []RestartReport
+	for _, id := range can.cfg.Nodes {
+		rep, err := can.cluster.nodes[id].Restart(RestartOptions{
+			UseShm:      true,
+			NewVersion:  can.baseVersion,
+			KillTimeout: can.cfg.KillTimeout,
+		})
+		if err != nil {
+			return reports, fmt.Errorf("cluster: canary revert on node %d: %w", id, err)
+		}
+		reports = append(reports, rep)
+	}
+	can.reverted = true
+	return reports, nil
+}
+
+// Promote rolls the experimental version out to the rest of the cluster
+// (the canary succeeded), using the normal batched rollover.
+func (can *Canary) Promote(cfg RolloverConfig) (*RolloverReport, error) {
+	if can.reverted {
+		return nil, errors.New("cluster: cannot promote a reverted canary")
+	}
+	cfg.TargetVersion = can.cfg.Version
+	cfg.UseShm = true
+	return can.cluster.Rollover(cfg)
+}

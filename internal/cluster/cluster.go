@@ -1,0 +1,319 @@
+// Package cluster wires leaf servers into a Scuba cluster: machines running
+// eight leaf servers each (§2), tailer placement targets, an aggregator
+// fan-out, and the system-wide rollover procedure (§4.5) with its dashboard
+// (Figure 8).
+//
+// Running eight leaves per machine matters for recovery: leaves restart one
+// per machine at a time, so N times as many machines participate in a
+// rollover and contribute their disk and memory bandwidth, while only 2% of
+// data is offline (§2, §6).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"scuba/internal/aggregator"
+	"scuba/internal/disk"
+	"scuba/internal/leaf"
+	"scuba/internal/query"
+	"scuba/internal/rowblock"
+	"scuba/internal/shm"
+	"scuba/internal/table"
+	"scuba/internal/tailer"
+)
+
+// Config describes a cluster.
+type Config struct {
+	Machines         int
+	LeavesPerMachine int // the paper runs 8
+	// ShmDir and DiskRoot are shared across all leaves (per-leaf files are
+	// namespaced by leaf ID).
+	ShmDir    string
+	DiskRoot  string
+	Namespace string
+	Format    disk.Format
+	Table     table.Options
+	// MemoryBudgetPerLeaf feeds tailer placement.
+	MemoryBudgetPerLeaf int64
+	// Clock injects virtual time into leaves (nil = wall clock).
+	Clock func() int64
+}
+
+// Node is one leaf slot: the process comes and goes across restarts, the
+// slot (machine, position, shm location, disk directory) stays.
+type Node struct {
+	Machine  int
+	Slot     int
+	GlobalID int
+
+	cfg Config
+
+	mu      sync.Mutex
+	leaf    *leaf.Leaf
+	version int
+}
+
+// Cluster is a set of nodes.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+}
+
+// New creates and starts a cluster at software version 1.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Machines <= 0 || cfg.LeavesPerMachine <= 0 {
+		return nil, errors.New("cluster: machines and leaves per machine must be positive")
+	}
+	c := &Cluster{cfg: cfg}
+	for m := 0; m < cfg.Machines; m++ {
+		for s := 0; s < cfg.LeavesPerMachine; s++ {
+			n := &Node{
+				Machine:  m,
+				Slot:     s,
+				GlobalID: m*cfg.LeavesPerMachine + s,
+				cfg:      cfg,
+				version:  1,
+			}
+			if err := n.start(); err != nil {
+				return nil, err
+			}
+			c.nodes = append(c.nodes, n)
+		}
+	}
+	return c, nil
+}
+
+func (n *Node) leafConfig() leaf.Config {
+	return leaf.Config{
+		ID:           n.GlobalID,
+		Shm:          shm.Options{Dir: n.cfg.ShmDir, Namespace: n.cfg.Namespace},
+		DiskRoot:     n.cfg.DiskRoot,
+		DiskFormat:   n.cfg.Format,
+		Table:        n.cfg.Table,
+		MemoryBudget: n.cfg.MemoryBudgetPerLeaf,
+		Clock:        n.cfg.Clock,
+	}
+}
+
+func (n *Node) start() error {
+	l, err := leaf.New(n.leafConfig())
+	if err != nil {
+		return err
+	}
+	if err := l.Start(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.leaf = l
+	n.mu.Unlock()
+	return nil
+}
+
+// current returns the live leaf process (nil between shutdown and restart).
+func (n *Node) current() *leaf.Leaf {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaf
+}
+
+// Version returns the node's software version.
+func (n *Node) Version() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.version
+}
+
+// Stats implements tailer.Target.
+func (n *Node) Stats() (leaf.Stats, error) {
+	l := n.current()
+	if l == nil {
+		return leaf.Stats{ID: n.GlobalID, State: leaf.StateExit}, nil
+	}
+	return l.Stats(), nil
+}
+
+// AddRows implements tailer.Target.
+func (n *Node) AddRows(tableName string, rows []rowblock.Row) error {
+	l := n.current()
+	if l == nil {
+		return leaf.ErrNotAlive
+	}
+	return l.AddRows(tableName, rows)
+}
+
+// Query implements aggregator.LeafTarget.
+func (n *Node) Query(q *query.Query) (*query.Result, error) {
+	l := n.current()
+	if l == nil {
+		return nil, leaf.ErrNotAlive
+	}
+	return l.Query(q)
+}
+
+// RestartReport records one node's restart.
+type RestartReport struct {
+	Node     int
+	Shutdown leaf.ShutdownInfo
+	Recovery leaf.RecoveryInfo
+	Killed   bool
+	Total    time.Duration
+}
+
+// RestartOptions control one node restart.
+type RestartOptions struct {
+	// UseShm selects the fast path; false forces the disk-only baseline.
+	UseShm bool
+	// NewVersion stamps the replacement process's software version.
+	NewVersion int
+	// KillTimeout bounds the shutdown. The rollover script waits in a loop
+	// for the leaf process to die and kills it after 3 minutes (§4.3); a
+	// killed leaf's shared memory backup is discarded and the new process
+	// restarts from disk. Zero disables the guard.
+	KillTimeout time.Duration
+	// ForceKill simulates a leaf that missed the deadline (tests and the
+	// kill-path experiments).
+	ForceKill bool
+}
+
+// Restart performs shutdown + replacement start on this node, implementing
+// the per-leaf step of the system-wide rollover (§4.5).
+func (n *Node) Restart(opts RestartOptions) (RestartReport, error) {
+	begin := time.Now()
+	rep := RestartReport{Node: n.GlobalID}
+	l := n.current()
+	if l == nil {
+		return rep, errors.New("cluster: node has no live process")
+	}
+
+	type shutdownResult struct {
+		info leaf.ShutdownInfo
+		err  error
+	}
+	done := make(chan shutdownResult, 1)
+	go func() {
+		var info leaf.ShutdownInfo
+		var err error
+		if opts.UseShm {
+			info, err = l.Shutdown()
+		} else {
+			info, err = l.ShutdownToDisk()
+		}
+		done <- shutdownResult{info, err}
+	}()
+
+	killed := opts.ForceKill
+	var sres shutdownResult
+	if opts.KillTimeout > 0 {
+		select {
+		case sres = <-done:
+		case <-time.After(opts.KillTimeout):
+			killed = true
+			sres = <-done // the old process is reaped either way
+		}
+	} else {
+		sres = <-done
+	}
+	if sres.err != nil {
+		return rep, sres.err
+	}
+	rep.Shutdown = sres.info
+	rep.Killed = killed
+
+	n.mu.Lock()
+	n.leaf = nil
+	n.mu.Unlock()
+
+	if killed && opts.UseShm {
+		// A killed leaf cannot be trusted to have completed its backup;
+		// discard it so the new process restarts from disk (§4.3).
+		m := shm.NewManager(n.GlobalID, shm.Options{Dir: n.cfg.ShmDir, Namespace: n.cfg.Namespace})
+		if err := m.Invalidate(); err != nil {
+			return rep, err
+		}
+	}
+
+	if err := n.start(); err != nil {
+		return rep, err
+	}
+	n.mu.Lock()
+	if opts.NewVersion > 0 {
+		n.version = opts.NewVersion
+	}
+	rep.Recovery = n.leaf.Recovery()
+	n.mu.Unlock()
+	rep.Total = time.Since(begin)
+	return rep, nil
+}
+
+// Nodes returns all nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns one node by global ID.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// Size returns the number of leaves.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Targets adapts all nodes for a tailer placer.
+func (c *Cluster) Targets() []tailer.Target {
+	out := make([]tailer.Target, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n
+	}
+	return out
+}
+
+// NewAggregator builds a query aggregator over all nodes.
+func (c *Cluster) NewAggregator() *aggregator.Aggregator {
+	targets := make([]aggregator.LeafTarget, len(c.nodes))
+	for i, n := range c.nodes {
+		targets[i] = n
+	}
+	return aggregator.New(targets)
+}
+
+// Snapshot counts nodes by dashboard category (Figure 8).
+type Snapshot struct {
+	OldVersion  int
+	RollingOver int
+	NewVersion  int
+	// AvailableFraction is the share of leaves answering queries; with data
+	// spread evenly it is the share of data available (98% during a 2%
+	// rollover).
+	AvailableFraction float64
+}
+
+// Snapshot classifies every node against targetVersion.
+func (c *Cluster) Snapshot(targetVersion int) Snapshot {
+	var s Snapshot
+	alive := 0
+	for _, n := range c.nodes {
+		st, _ := n.Stats()
+		switch {
+		case st.State == leaf.StateAlive && n.Version() >= targetVersion:
+			s.NewVersion++
+			alive++
+		case st.State == leaf.StateAlive:
+			s.OldVersion++
+			alive++
+		default:
+			s.RollingOver++
+			if st.State == leaf.StateDiskRecovery {
+				alive++ // serving partial results while recovering
+			}
+		}
+	}
+	if len(c.nodes) > 0 {
+		s.AvailableFraction = float64(alive) / float64(len(c.nodes))
+	}
+	return s
+}
+
+// String renders a snapshot as one dashboard line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("old=%d rolling=%d new=%d available=%.1f%%",
+		s.OldVersion, s.RollingOver, s.NewVersion, 100*s.AvailableFraction)
+}

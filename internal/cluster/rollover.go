@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RolloverConfig drives a system-wide software upgrade (§4.5).
+type RolloverConfig struct {
+	// BatchFraction is the share of leaves restarted at once; the paper
+	// typically restarts 2% at a time to keep 98% of data available.
+	BatchFraction float64
+	// UseShm selects the fast path; false is the disk-recovery baseline.
+	UseShm bool
+	// TargetVersion stamps upgraded processes.
+	TargetVersion int
+	// KillTimeout per leaf (see RestartOptions.KillTimeout).
+	KillTimeout time.Duration
+	// MaxPerMachine bounds concurrent restarts on one machine. The paper
+	// restarts one leaf per machine at a time so the full machine's memory
+	// (or disk) bandwidth goes to each restarting leaf (§2, §4.2, §6).
+	MaxPerMachine int
+	// WaitForRecovery requires each batch's leaves to be fully ALIVE (disk
+	// recovery included) before the next batch starts. The rollover script
+	// detects that a leaf is done with recovery and then initiates
+	// rollover for the next one (§4.5).
+	WaitForRecovery bool
+	// OnBatch, if set, is called with a dashboard snapshot after every
+	// batch (Figure 8).
+	OnBatch func(batch int, snap Snapshot)
+}
+
+// TimelinePoint is one dashboard sample (Figure 8).
+type TimelinePoint struct {
+	Elapsed time.Duration
+	Batch   int
+	Snap    Snapshot
+}
+
+// RolloverReport summarizes a completed rollover.
+type RolloverReport struct {
+	Duration time.Duration
+	Batches  int
+	Restarts []RestartReport
+	Timeline []TimelinePoint
+	// MinAvailability is the lowest data availability observed.
+	MinAvailability float64
+	// MemoryRecoveries and DiskRecoveries count recovery paths taken.
+	MemoryRecoveries int
+	DiskRecoveries   int
+}
+
+// Rollover upgrades every node, BatchFraction at a time, at most
+// MaxPerMachine per machine concurrently within a batch.
+func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
+	if cfg.BatchFraction <= 0 {
+		cfg.BatchFraction = 0.02
+	}
+	if cfg.MaxPerMachine <= 0 {
+		cfg.MaxPerMachine = 1
+	}
+	if cfg.TargetVersion == 0 {
+		cfg.TargetVersion = c.maxVersion() + 1
+	}
+	batchSize := int(math.Ceil(cfg.BatchFraction * float64(len(c.nodes))))
+	if batchSize < 1 {
+		batchSize = 1
+	}
+
+	begin := time.Now()
+	report := &RolloverReport{MinAvailability: 1}
+	pending := make([]*Node, len(c.nodes))
+	copy(pending, c.nodes)
+
+	restarted := 0
+	for batchNum := 0; len(pending) > 0; batchNum++ {
+		batch, rest := pickBatch(pending, batchSize, cfg.MaxPerMachine)
+		pending = rest
+
+		// The dashboard view while this batch is in flight (Figure 8):
+		// the batch's leaves are rolling over, everything else serves.
+		during := Snapshot{
+			OldVersion:        len(rest),
+			RollingOver:       len(batch),
+			NewVersion:        restarted,
+			AvailableFraction: 1 - float64(len(batch))/float64(len(c.nodes)),
+		}
+		if during.AvailableFraction < report.MinAvailability {
+			report.MinAvailability = during.AvailableFraction
+		}
+		if cfg.OnBatch != nil {
+			cfg.OnBatch(batchNum, during)
+		}
+
+		var mu sync.Mutex
+		var firstErr error
+		var wg sync.WaitGroup
+		for _, n := range batch {
+			wg.Add(1)
+			go func(n *Node) {
+				defer wg.Done()
+				rep, err := n.Restart(RestartOptions{
+					UseShm:      cfg.UseShm,
+					NewVersion:  cfg.TargetVersion,
+					KillTimeout: cfg.KillTimeout,
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("cluster: restarting node %d: %w", n.GlobalID, err)
+					return
+				}
+				report.Restarts = append(report.Restarts, rep)
+				switch rep.Recovery.Path {
+				case "memory":
+					report.MemoryRecoveries++
+				case "disk":
+					report.DiskRecoveries++
+				}
+			}(n)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return report, firstErr
+		}
+
+		restarted += len(batch)
+		snap := c.Snapshot(cfg.TargetVersion)
+		if snap.AvailableFraction < report.MinAvailability {
+			report.MinAvailability = snap.AvailableFraction
+		}
+		report.Timeline = append(report.Timeline, TimelinePoint{
+			Elapsed: time.Since(begin), Batch: batchNum, Snap: snap,
+		})
+		report.Batches++
+		_ = cfg.WaitForRecovery // Restart is synchronous: recovery completed
+	}
+	report.Duration = time.Since(begin)
+	sort.Slice(report.Restarts, func(i, j int) bool {
+		return report.Restarts[i].Node < report.Restarts[j].Node
+	})
+	return report, nil
+}
+
+// pickBatch selects up to batchSize nodes, at most perMachine per machine,
+// preferring to spread across machines so each restarting leaf gets its
+// whole machine's bandwidth (§2: "16 leaf servers on 16 machines").
+func pickBatch(pending []*Node, batchSize, perMachine int) (batch, rest []*Node) {
+	used := make(map[int]int)
+	var deferred []*Node
+	for _, n := range pending {
+		if len(batch) < batchSize && used[n.Machine] < perMachine {
+			batch = append(batch, n)
+			used[n.Machine]++
+		} else {
+			deferred = append(deferred, n)
+		}
+	}
+	return batch, deferred
+}
+
+func (c *Cluster) maxVersion() int {
+	v := 0
+	for _, n := range c.nodes {
+		if nv := n.Version(); nv > v {
+			v = nv
+		}
+	}
+	return v
+}

@@ -1,0 +1,175 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Bit packing stores each value in exactly w bits, where w is the number of
+// bits needed for the largest value in the block. Dictionary indexes and
+// zigzagged deltas are packed this way (§2.1). Layout:
+//
+//	[method byte][count varint][width byte][packed little-endian bit stream]
+//
+// A width of zero is legal and means every value is zero (the stream is
+// empty); this happens for constant columns after delta encoding.
+
+// maxBitPackItems caps decoded item counts. Zero-width packing encodes any
+// count in O(1) bytes, so the count cannot be validated against the payload
+// size; this cap (far above the 65,536-row block limit) bounds what a
+// corrupt stream can make the decoder allocate.
+const maxBitPackItems = 1 << 26
+
+// BitWidth returns the number of bits needed to represent v (0 for v == 0).
+func BitWidth(v uint64) int { return bits.Len64(v) }
+
+// maxBitWidth returns the width of the largest value.
+func maxBitWidth(values []uint64) int {
+	w := 0
+	for _, v := range values {
+		if bw := bits.Len64(v); bw > w {
+			w = bw
+		}
+	}
+	return w
+}
+
+// EncodeBitPackU64 packs values at the minimal fixed width.
+func EncodeBitPackU64(dst []byte, values []uint64) []byte {
+	w := maxBitWidth(values)
+	dst = append(dst, byte(MethodBitPack))
+	dst = binary.AppendUvarint(dst, uint64(len(values)))
+	dst = append(dst, byte(w))
+	if w == 0 {
+		return dst
+	}
+	nbytes := (len(values)*w + 7) / 8
+	// Write through a 16-byte-padded scratch buffer so every value can be
+	// stored with at most two unconditional 64-bit writes, even when the
+	// value straddles a word boundary at full 64-bit width.
+	buf := make([]byte, nbytes+16)
+	bitpos := 0
+	for _, v := range values {
+		bytePos, bitOff := bitpos/8, bitpos%8
+		u := binary.LittleEndian.Uint64(buf[bytePos:])
+		u |= v << uint(bitOff)
+		binary.LittleEndian.PutUint64(buf[bytePos:], u)
+		if bitOff+w > 64 {
+			u2 := binary.LittleEndian.Uint64(buf[bytePos+8:])
+			u2 |= v >> uint(64-bitOff)
+			binary.LittleEndian.PutUint64(buf[bytePos+8:], u2)
+		}
+		bitpos += w
+	}
+	return append(dst, buf[:nbytes]...)
+}
+
+// DecodeBitPackU64 decodes a stream produced by EncodeBitPackU64.
+func DecodeBitPackU64(src []byte) ([]uint64, error) {
+	if len(src) == 0 || Method(src[0]) != MethodBitPack {
+		return nil, ErrMethod
+	}
+	src = src[1:]
+	n64, used, err := Uvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[used:]
+	if len(src) == 0 {
+		return nil, ErrCorrupt
+	}
+	w := int(src[0])
+	src = src[1:]
+	if w > 64 {
+		return nil, fmt.Errorf("%w: bit width %d", ErrCorrupt, w)
+	}
+	n := int(n64)
+	if n < 0 || n64 > maxBitPackItems {
+		return nil, fmt.Errorf("%w: %d items", ErrCorrupt, n64)
+	}
+	if w > 0 {
+		// Validate the payload size before allocating the output so
+		// untrusted counts cannot trigger huge allocations.
+		need := (n*w + 7) / 8
+		if len(src) < need {
+			return nil, fmt.Errorf("%w: need %d packed bytes, have %d", ErrCorrupt, need, len(src))
+		}
+	}
+	out := make([]uint64, n)
+	if w == 0 {
+		return out, nil
+	}
+	need := (n*w + 7) / 8
+	mask := ^uint64(0)
+	if w < 64 {
+		mask = (1 << uint(w)) - 1
+	}
+	// Read through a padded copy so every value is at most two 64-bit loads.
+	buf := make([]byte, need+16)
+	copy(buf, src[:need])
+	bitpos := 0
+	for i := 0; i < n; i++ {
+		bytePos, bitOff := bitpos/8, bitpos%8
+		v := binary.LittleEndian.Uint64(buf[bytePos:]) >> uint(bitOff)
+		if bitOff+w > 64 {
+			v |= binary.LittleEndian.Uint64(buf[bytePos+8:]) << uint(64-bitOff)
+		}
+		out[i] = v & mask
+		bitpos += w
+	}
+	return out, nil
+}
+
+// EncodeDeltaBPI64 delta-encodes signed values, zigzags the deltas, and bit
+// packs them: the standard pipeline for the required "time" column, whose
+// rows arrive in roughly chronological order (§2.1). Layout:
+//
+//	[method byte][count varint][first value zigzag varint][bitpacked zigzag deltas]
+func EncodeDeltaBPI64(dst []byte, values []int64) []byte {
+	dst = append(dst, byte(MethodDeltaBP))
+	dst = binary.AppendUvarint(dst, uint64(len(values)))
+	if len(values) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, ZigZag(values[0]))
+	deltas := make([]uint64, len(values)-1)
+	for i := 1; i < len(values); i++ {
+		deltas[i-1] = ZigZag(values[i] - values[i-1])
+	}
+	return EncodeBitPackU64(dst, deltas)
+}
+
+// DecodeDeltaBPI64 decodes a stream produced by EncodeDeltaBPI64.
+func DecodeDeltaBPI64(src []byte) ([]int64, error) {
+	if len(src) == 0 || Method(src[0]) != MethodDeltaBP {
+		return nil, ErrMethod
+	}
+	src = src[1:]
+	count, used, err := Uvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[used:]
+	if count == 0 {
+		return nil, nil
+	}
+	first, used, err := Uvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[used:]
+	deltas, err := DecodeBitPackU64(src)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(deltas)+1) != count {
+		return nil, fmt.Errorf("%w: count %d but %d deltas", ErrCorrupt, count, len(deltas))
+	}
+	out := make([]int64, count)
+	out[0] = UnZigZag(first)
+	for i, d := range deltas {
+		out[i+1] = out[i] + UnZigZag(d)
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+// Package lz4 implements the LZ4 block format from scratch on the standard
+// library. Scuba applies lz4 as the byte-level stage of its column
+// compression pipeline (§2.1, reference [7]); this package provides a
+// compatible compressor and decompressor for that role.
+//
+// Block format (https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md):
+// a sequence of [token][literal length+][literals][offset][match length+]
+// records, where each token packs a 4-bit literal length and a 4-bit match
+// length, lengths >= 15 continue in 255-saturated extension bytes, offsets
+// are 2-byte little-endian, and matches are at least 4 bytes. The final
+// sequence carries literals only.
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch      = 4
+	hashLog       = 14
+	hashTableSize = 1 << hashLog
+	// The last 5 bytes of a block are always literals, and the last match
+	// must start at least 12 bytes before the end (format requirements).
+	lastLiterals  = 5
+	mfLimit       = 12
+	maxOffset     = 65535
+	tokenMaxLen   = 15
+	skipTrigger   = 6 // compression-speed heuristic: accelerate after misses
+	maxBlockInput = 0x7E000000
+)
+
+// Errors returned by this package.
+var (
+	ErrTooLarge    = errors.New("lz4: input exceeds maximum block size")
+	ErrCorrupt     = errors.New("lz4: corrupt block")
+	ErrDstTooSmall = errors.New("lz4: destination too small")
+)
+
+// CompressBound returns the maximum compressed size for n input bytes.
+func CompressBound(n int) int { return n + n/255 + 16 }
+
+func hash4(v uint32) uint32 { return (v * 2654435761) >> (32 - hashLog) }
+
+func load32(b []byte, i int) uint32 { return binary.LittleEndian.Uint32(b[i:]) }
+
+// Compress appends the LZ4 block encoding of src to dst and returns the
+// extended slice. Incompressible input grows by at most CompressBound.
+func Compress(dst, src []byte) ([]byte, error) {
+	if len(src) > maxBlockInput {
+		return nil, ErrTooLarge
+	}
+	if len(src) == 0 {
+		return dst, nil
+	}
+	if len(src) < mfLimit {
+		return appendLiteralRun(dst, src), nil
+	}
+	var table [hashTableSize]int32 // position+1; 0 means empty
+	anchor := 0
+	pos := 0
+	limit := len(src) - mfLimit
+	searchMisses := 0
+
+	for pos <= limit {
+		h := hash4(load32(src, pos))
+		candidate := int(table[h]) - 1
+		table[h] = int32(pos + 1)
+		if candidate >= 0 && pos-candidate <= maxOffset && load32(src, candidate) == load32(src, pos) {
+			// Extend the match backward over pending literals.
+			for pos > anchor && candidate > 0 && src[pos-1] == src[candidate-1] {
+				pos--
+				candidate--
+			}
+			matchLen := minMatch
+			maxLen := len(src) - lastLiterals - pos
+			for matchLen < maxLen && src[pos+matchLen] == src[candidate+matchLen] {
+				matchLen++
+			}
+			dst = appendSequence(dst, src[anchor:pos], pos-candidate, matchLen)
+			pos += matchLen
+			anchor = pos
+			searchMisses = 0
+			// Seed the table inside the match so long repeats chain.
+			if pos-2 > 0 && pos-2 <= limit {
+				table[hash4(load32(src, pos-2))] = int32(pos - 1)
+			}
+			continue
+		}
+		searchMisses++
+		pos += 1 + searchMisses>>skipTrigger
+	}
+	return appendLiteralRun(dst, src[anchor:]), nil
+}
+
+// appendSequence writes one [token][literals][offset][matchlen ext] record.
+func appendSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	ml := matchLen - minMatch
+	token := byte(0)
+	if litLen >= tokenMaxLen {
+		token = tokenMaxLen << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if ml >= tokenMaxLen {
+		token |= tokenMaxLen
+	} else {
+		token |= byte(ml)
+	}
+	dst = append(dst, token)
+	if litLen >= tokenMaxLen {
+		dst = appendLenExt(dst, litLen-tokenMaxLen)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= tokenMaxLen {
+		dst = appendLenExt(dst, ml-tokenMaxLen)
+	}
+	return dst
+}
+
+// appendLiteralRun writes the final literals-only sequence.
+func appendLiteralRun(dst, literals []byte) []byte {
+	litLen := len(literals)
+	if litLen >= tokenMaxLen {
+		dst = append(dst, tokenMaxLen<<4)
+		dst = appendLenExt(dst, litLen-tokenMaxLen)
+	} else {
+		dst = append(dst, byte(litLen)<<4)
+	}
+	return append(dst, literals...)
+}
+
+func appendLenExt(dst []byte, rest int) []byte {
+	for rest >= 255 {
+		dst = append(dst, 255)
+		rest -= 255
+	}
+	return append(dst, byte(rest))
+}
+
+// Decompress decodes an LZ4 block into a buffer of exactly decompressedSize
+// bytes. The size comes from the enclosing container (the RBC header stores
+// the uncompressed length).
+func Decompress(src []byte, decompressedSize int) ([]byte, error) {
+	dst := make([]byte, decompressedSize)
+	n, err := DecompressInto(dst, src)
+	if err != nil {
+		return nil, err
+	}
+	if n != decompressedSize {
+		return nil, fmt.Errorf("%w: decoded %d bytes, expected %d", ErrCorrupt, n, decompressedSize)
+	}
+	return dst, nil
+}
+
+// DecompressInto decodes an LZ4 block into dst and returns the number of
+// bytes written.
+func DecompressInto(dst, src []byte) (int, error) {
+	di, si := 0, 0
+	if len(src) == 0 {
+		return 0, nil
+	}
+	for {
+		if si >= len(src) {
+			return 0, fmt.Errorf("%w: truncated token", ErrCorrupt)
+		}
+		token := src[si]
+		si++
+		litLen := int(token >> 4)
+		if litLen == tokenMaxLen {
+			n, used, err := readLenExt(src[si:])
+			if err != nil {
+				return 0, err
+			}
+			litLen += n
+			si += used
+		}
+		if si+litLen > len(src) {
+			return 0, fmt.Errorf("%w: literal run past input", ErrCorrupt)
+		}
+		if di+litLen > len(dst) {
+			return 0, ErrDstTooSmall
+		}
+		copy(dst[di:], src[si:si+litLen])
+		si += litLen
+		di += litLen
+		if si == len(src) {
+			return di, nil // final literals-only sequence
+		}
+		if si+2 > len(src) {
+			return 0, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+		}
+		offset := int(src[si]) | int(src[si+1])<<8
+		si += 2
+		if offset == 0 || offset > di {
+			return 0, fmt.Errorf("%w: offset %d at output position %d", ErrCorrupt, offset, di)
+		}
+		matchLen := int(token & 0x0f)
+		if matchLen == tokenMaxLen {
+			n, used, err := readLenExt(src[si:])
+			if err != nil {
+				return 0, err
+			}
+			matchLen += n
+			si += used
+		}
+		matchLen += minMatch
+		if di+matchLen > len(dst) {
+			return 0, ErrDstTooSmall
+		}
+		// Overlapping copy: must proceed byte-wise when offset < matchLen.
+		ref := di - offset
+		for i := 0; i < matchLen; i++ {
+			dst[di+i] = dst[ref+i]
+		}
+		di += matchLen
+	}
+}
+
+func readLenExt(src []byte) (n, used int, err error) {
+	for {
+		if used >= len(src) {
+			return 0, 0, fmt.Errorf("%w: truncated length extension", ErrCorrupt)
+		}
+		b := src[used]
+		used++
+		n += int(b)
+		if b != 255 {
+			return n, used, nil
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package column
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scuba/internal/codec"
+	"scuba/internal/layout"
+)
+
+func mustParse(t *testing.T, blob []byte) *layout.RBC {
+	t.Helper()
+	r, err := layout.Parse(blob)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return r
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{1, 2, 3, 4, 5},
+		{math.MaxInt64, math.MinInt64, 0, -1, 1},
+	}
+	for _, vals := range cases {
+		blob := EncodeInt64(layout.TypeInt64, vals)
+		got, err := DecodeInt64(mustParse(t, blob))
+		if err != nil {
+			t.Fatalf("decode %v: %v", vals, err)
+		}
+		if len(got) == 0 && len(vals) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, vals) {
+			t.Errorf("round trip %v -> %v", vals, got)
+		}
+	}
+}
+
+func TestTimeColumnType(t *testing.T) {
+	vals := []int64{1700000000, 1700000001, 1700000002}
+	blob := EncodeInt64(layout.TypeTime, vals)
+	r := mustParse(t, blob)
+	if r.Type() != layout.TypeTime {
+		t.Errorf("Type = %v, want TypeTime", r.Type())
+	}
+	col, err := Decode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, ok := col.(*Int64Column)
+	if !ok {
+		t.Fatalf("Decode returned %T", col)
+	}
+	if ic.Type() != layout.TypeTime {
+		t.Errorf("column Type = %v", ic.Type())
+	}
+	if !reflect.DeepEqual(ic.Values, vals) {
+		t.Errorf("values = %v", ic.Values)
+	}
+}
+
+func TestEncodeInt64RejectsWrongType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EncodeInt64 with TypeString did not panic")
+		}
+	}()
+	EncodeInt64(layout.TypeString, []int64{1})
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{0},
+		{1.5, -2.25, 3.75},
+		{math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64},
+	}
+	for _, vals := range cases {
+		blob := EncodeFloat64(vals)
+		got, err := DecodeFloat64(mustParse(t, blob))
+		if err != nil {
+			t.Fatalf("decode %v: %v", vals, err)
+		}
+		if len(got) == 0 && len(vals) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, vals) {
+			t.Errorf("round trip %v -> %v", vals, got)
+		}
+	}
+}
+
+func TestFloat64NaN(t *testing.T) {
+	blob := EncodeFloat64([]float64{math.NaN()})
+	got, err := DecodeFloat64(mustParse(t, blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[0]) {
+		t.Errorf("NaN round trip = %v", got[0])
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{""},
+		{"a"},
+		{"web", "web", "ads", "web", "search", "ads"},
+	}
+	for _, vals := range cases {
+		blob := EncodeString(vals)
+		col, err := DecodeString(mustParse(t, blob))
+		if err != nil {
+			t.Fatalf("decode %v: %v", vals, err)
+		}
+		if col.Len() != len(vals) {
+			t.Fatalf("Len = %d, want %d", col.Len(), len(vals))
+		}
+		for i, want := range vals {
+			if got := col.Value(i); got != want {
+				t.Errorf("row %d = %q, want %q", i, got, want)
+			}
+		}
+	}
+}
+
+func TestStringDictDeduplication(t *testing.T) {
+	vals := make([]string, 10000)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("service-%d", i%4)
+	}
+	blob := EncodeString(vals)
+	// 10000 strings with 4 distinct values: dictionary ~60 bytes, IDs 2 bits
+	// each = 2.5 KB. Anything near raw size means dedup is broken.
+	if len(blob) > 4096 {
+		t.Errorf("low-cardinality column encoded to %d bytes", len(blob))
+	}
+	col, err := DecodeString(mustParse(t, blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Dict) != 4 {
+		t.Errorf("dictionary has %d entries, want 4", len(col.Dict))
+	}
+}
+
+func TestStringSetRoundTrip(t *testing.T) {
+	cases := [][][]string{
+		nil,
+		{{}},
+		{{"a"}},
+		{{"x", "y"}, {}, {"y"}, {"x", "y", "z"}},
+	}
+	for _, vals := range cases {
+		blob := EncodeStringSet(vals)
+		col, err := DecodeStringSet(mustParse(t, blob))
+		if err != nil {
+			t.Fatalf("decode %v: %v", vals, err)
+		}
+		if col.Len() != len(vals) {
+			t.Fatalf("Len = %d, want %d", col.Len(), len(vals))
+		}
+		for i, want := range vals {
+			got := col.Value(i)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("row %d = %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestStringSetContains(t *testing.T) {
+	blob := EncodeStringSet([][]string{{"tag1", "tag2"}, {"tag3"}})
+	col, err := DecodeStringSet(mustParse(t, blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !col.Contains(0, "tag1") || !col.Contains(0, "tag2") || col.Contains(0, "tag3") {
+		t.Error("Contains wrong for row 0")
+	}
+	if !col.Contains(1, "tag3") || col.Contains(1, "tag1") {
+		t.Error("Contains wrong for row 1")
+	}
+}
+
+func TestDecodeGeneric(t *testing.T) {
+	blobs := map[layout.ValueType][]byte{
+		layout.TypeInt64:     EncodeInt64(layout.TypeInt64, []int64{1, 2}),
+		layout.TypeFloat64:   EncodeFloat64([]float64{1.5}),
+		layout.TypeString:    EncodeString([]string{"a", "b"}),
+		layout.TypeStringSet: EncodeStringSet([][]string{{"a"}}),
+	}
+	for vt, blob := range blobs {
+		col, err := Decode(mustParse(t, blob))
+		if err != nil {
+			t.Fatalf("%v: %v", vt, err)
+		}
+		if col.Type() != vt {
+			t.Errorf("Decode(%v).Type() = %v", vt, col.Type())
+		}
+	}
+}
+
+func TestDecodeTypeMismatch(t *testing.T) {
+	intBlob := mustParse(t, EncodeInt64(layout.TypeInt64, []int64{1}))
+	strBlob := mustParse(t, EncodeString([]string{"a"}))
+	if _, err := DecodeString(intBlob); err == nil {
+		t.Error("DecodeString on int column succeeded")
+	}
+	if _, err := DecodeInt64(strBlob); err == nil {
+		t.Error("DecodeInt64 on string column succeeded")
+	}
+	if _, err := DecodeFloat64(intBlob); err == nil {
+		t.Error("DecodeFloat64 on int column succeeded")
+	}
+	if _, err := DecodeStringSet(strBlob); err == nil {
+		t.Error("DecodeStringSet on string column succeeded")
+	}
+}
+
+func TestLZ4AppliedWhenUseful(t *testing.T) {
+	// Highly repetitive float data: LZ4 stage should engage.
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = 42.0
+	}
+	blob := EncodeFloat64(vals)
+	r := mustParse(t, blob)
+	if r.Code().Compressor() != codec.MethodLZ4 {
+		t.Errorf("compressor = %v, want lz4", r.Code().Compressor())
+	}
+	if len(blob) > 2048 {
+		t.Errorf("constant float column encoded to %d bytes", len(blob))
+	}
+	// Random float data: LZ4 stage should be skipped.
+	rng := rand.New(rand.NewSource(3))
+	rvals := make([]float64, 8192)
+	for i := range rvals {
+		rvals[i] = rng.NormFloat64()
+	}
+	rblob := EncodeFloat64(rvals)
+	rr := mustParse(t, rblob)
+	if rr.Code().Compressor() == codec.MethodLZ4 {
+		t.Error("lz4 applied to incompressible floats")
+	}
+}
+
+func TestAtLeastTwoMethodsPerColumn(t *testing.T) {
+	// The paper: "at least two methods applied to each column" (§2.1).
+	// Verify the compression codes on representative columns.
+	times := make([]int64, 65536)
+	for i := range times {
+		times[i] = 1700000000 + int64(i/3)
+	}
+	blob := EncodeInt64(layout.TypeTime, times)
+	r := mustParse(t, blob)
+	if r.Code().Transform() != codec.MethodDeltaBP {
+		t.Errorf("time transform = %v", r.Code().Transform())
+	}
+	if r.Code().Compressor() != codec.MethodLZ4 {
+		t.Errorf("time compressor = %v, want lz4 on top of delta+bitpack", r.Code().Compressor())
+	}
+
+	strs := make([]string, 65536)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("host-%d", i%100)
+	}
+	sblob := EncodeString(strs)
+	sr := mustParse(t, sblob)
+	if sr.Code().Transform() != codec.MethodDict {
+		t.Errorf("string transform = %v", sr.Code().Transform())
+	}
+}
+
+func TestInt64Property(t *testing.T) {
+	f := func(vals []int64) bool {
+		blob := EncodeInt64(layout.TypeInt64, vals)
+		r, err := layout.Parse(blob)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeInt64(r)
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		blob := EncodeString(vals)
+		r, err := layout.Parse(blob)
+		if err != nil {
+			return false
+		}
+		col, err := DecodeString(r)
+		if err != nil || col.Len() != len(vals) {
+			return false
+		}
+		for i, want := range vals {
+			if col.Value(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Property(t *testing.T) {
+	f := func(vals []float64) bool {
+		blob := EncodeFloat64(vals)
+		r, err := layout.Parse(blob)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeFloat64(r)
+		if err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatioLogTable(t *testing.T) {
+	// A service-log-shaped column mix should compress well end to end;
+	// the paper reports ~30x on production data (E7 quantifies this).
+	n := 65536
+	times := make([]int64, n)
+	hosts := make([]string, n)
+	for i := 0; i < n; i++ {
+		times[i] = 1700000000 + int64(i/100)
+		hosts[i] = fmt.Sprintf("host-%03d.prn1", i%200)
+	}
+	rawSize := n*8 + n*len(hosts[0])
+	encSize := len(EncodeInt64(layout.TypeTime, times)) + len(EncodeString(hosts))
+	ratio := float64(rawSize) / float64(encSize)
+	if ratio < 10 {
+		t.Errorf("compression ratio %.1fx, want >=10x on log-like data", ratio)
+	}
+}

@@ -1,0 +1,31 @@
+package layout
+
+import (
+	"testing"
+
+	"scuba/internal/codec"
+)
+
+// FuzzParse feeds arbitrary bytes to the RBC parser. Every blob loaded from
+// shared memory or disk passes through Parse; it must never panic and must
+// only accept blobs whose checksum verifies.
+func FuzzParse(f *testing.F) {
+	valid := Build(TypeInt64, codec.NewCode(codec.MethodDeltaBP, codec.MethodRaw),
+		3, 0, nil, []byte{1, 2, 3, 4, 5}, 5)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		r, err := Parse(blob)
+		if err != nil {
+			return
+		}
+		// Accepted blobs must have consistent accessors.
+		if r.Size() != len(blob) {
+			t.Fatalf("Size %d != len %d", r.Size(), len(blob))
+		}
+		_ = r.Dict()
+		_ = r.Data()
+		_ = r.UncompressedLen()
+	})
+}

@@ -1,0 +1,167 @@
+package layout
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"scuba/internal/codec"
+)
+
+func buildSample(t *testing.T) []byte {
+	t.Helper()
+	dict := codec.EncodeDict(nil, []string{"a", "bb", "ccc"})
+	data := codec.EncodeBitPackU64(nil, []uint64{0, 1, 2, 2, 1, 0})
+	return Build(TypeString, codec.NewCode(codec.MethodDict, codec.MethodRaw), 6, 3, dict, data, uint64(len(data)))
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	dict := codec.EncodeDict(nil, []string{"x", "y"})
+	data := codec.EncodeBitPackU64(nil, []uint64{0, 1, 1, 0})
+	blob := Build(TypeString, codec.NewCode(codec.MethodDict, codec.MethodRaw), 4, 2, dict, data, uint64(len(data)))
+
+	r, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Type() != TypeString {
+		t.Errorf("Type = %v", r.Type())
+	}
+	if r.NumItems() != 4 || r.NumDictItems() != 2 {
+		t.Errorf("counts = %d/%d", r.NumItems(), r.NumDictItems())
+	}
+	if !bytes.Equal(r.Dict(), dict) {
+		t.Error("dict section mismatch")
+	}
+	if !bytes.Equal(r.Data(), data) {
+		t.Error("data section mismatch")
+	}
+	if r.UncompressedLen() != len(data) {
+		t.Errorf("UncompressedLen = %d, want %d", r.UncompressedLen(), len(data))
+	}
+	if r.Size() != len(blob) {
+		t.Errorf("Size = %d, want %d", r.Size(), len(blob))
+	}
+	if r.Code().Transform() != codec.MethodDict {
+		t.Errorf("Code transform = %v", r.Code().Transform())
+	}
+}
+
+func TestParseEmptySections(t *testing.T) {
+	blob := Build(TypeInt64, codec.NewCode(codec.MethodRaw, codec.MethodRaw), 0, 0, nil, nil, 0)
+	r, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Dict()) != 0 || len(r.Data()) != 0 {
+		t.Error("expected empty sections")
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	blob := buildSample(t)
+
+	short := blob[:HeaderSize-1]
+	if _, err := Parse(short); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short blob: %v", err)
+	}
+
+	badMagic := append([]byte(nil), blob...)
+	badMagic[0] ^= 0xff
+	if _, err := Parse(badMagic); !errors.Is(err, ErrMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+
+	badVersion := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint16(badVersion[offVersion:], Version+1)
+	if _, err := Parse(badVersion); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+
+	badSize := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(badSize[offTotalBytes:], uint64(len(blob))+1)
+	if _, err := Parse(badSize); !errors.Is(err, ErrSize) {
+		t.Errorf("bad size: %v", err)
+	}
+
+	truncated := append([]byte(nil), blob[:len(blob)-4]...)
+	binary.LittleEndian.PutUint64(truncated[offTotalBytes:], uint64(len(truncated)))
+	if _, err := Parse(truncated); !errors.Is(err, ErrBounds) {
+		t.Errorf("truncated footer: %v", err)
+	}
+}
+
+func TestParseDetectsBitFlips(t *testing.T) {
+	blob := buildSample(t)
+	// Flip every byte in the body (not the stored checksum itself, whose
+	// flips are caught as a mismatch against the recomputed value anyway).
+	for i := 0; i < len(blob); i++ {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x01
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestParseTrustedSkipsChecksum(t *testing.T) {
+	blob := buildSample(t)
+	bad := append([]byte(nil), blob...)
+	bad[HeaderSize] ^= 0xff // corrupt dict section
+	if _, err := ParseTrusted(bad); err != nil {
+		t.Errorf("ParseTrusted rejected checksum-only corruption: %v", err)
+	}
+	if _, err := Parse(bad); !errors.Is(err, ErrChecksum) {
+		t.Errorf("Parse accepted corrupt body: %v", err)
+	}
+}
+
+func TestBuildParseProperty(t *testing.T) {
+	f := func(dict, data []byte, numItems, numDict uint16) bool {
+		blob := Build(TypeInt64, codec.NewCode(codec.MethodDelta, codec.MethodLZ4),
+			uint64(numItems), uint64(numDict), dict, data, uint64(len(data)))
+		r, err := Parse(blob)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(r.Dict(), dict) &&
+			bytes.Equal(r.Data(), data) &&
+			r.NumItems() == int(numItems) &&
+			r.NumDictItems() == int(numDict)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelocatability(t *testing.T) {
+	// The core property of the format (§2.1): a blob copied to a new buffer
+	// parses identically — no absolute pointers anywhere.
+	blob := buildSample(t)
+	moved := make([]byte, len(blob))
+	copy(moved, blob)
+	a, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Dict(), b.Dict()) || !bytes.Equal(a.Data(), b.Data()) || a.Checksum() != b.Checksum() {
+		t.Error("relocated blob parses differently")
+	}
+}
+
+func TestValueTypeStrings(t *testing.T) {
+	for vt := TypeInt64; vt <= TypeTime; vt++ {
+		if vt.String() == "" {
+			t.Errorf("type %d has empty name", vt)
+		}
+	}
+	if TypeInvalid.String() != "type(0)" {
+		t.Errorf("TypeInvalid.String() = %q", TypeInvalid.String())
+	}
+}

@@ -1,0 +1,638 @@
+// Package leaf implements a Scuba leaf server (§2, §4). A leaf stores a
+// fraction of most tables, ingests new rows, answers queries, expires old
+// data, and — the contribution of the paper — restarts fast by staging its
+// tables through shared memory across planned process restarts:
+//
+//   - Shutdown (Figure 6): copy every table from heap to shared memory one
+//     row block column at a time, freeing heap as it goes, then set the
+//     valid bit and exit.
+//   - Restart (Figure 7): if the valid bit is set, clear it and copy the
+//     data back to the heap, truncating and deleting segments as they
+//     drain; otherwise recover from the disk backup.
+//
+// Crashes never recover from shared memory — the crash may have been caused
+// by memory corruption — so the valid bit is only ever set by a completed
+// clean shutdown and cleared the moment a restore begins.
+package leaf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scuba/internal/disk"
+	"scuba/internal/query"
+	"scuba/internal/rowblock"
+	"scuba/internal/shm"
+	"scuba/internal/table"
+)
+
+// Config configures a leaf server.
+type Config struct {
+	// ID is the leaf's identity on this machine; it fixes the shared
+	// memory metadata location (§4.2). Machines run eight leaves, IDs 0-7.
+	ID int
+	// Shm configures the shared memory manager (directory, namespace).
+	Shm shm.Options
+	// DiskRoot is the backup directory root; empty disables disk backup
+	// (useful in unit tests of the pure shm path).
+	DiskRoot string
+	// DiskFormat selects the backup encoding (row by default; columnar is
+	// the §6 future-work variant).
+	DiskFormat disk.Format
+	// Table sets default retention for new tables.
+	Table table.Options
+	// MemoryBudget is the nominal data capacity in bytes, reported to
+	// tailers as free memory for placement decisions (§2).
+	MemoryBudget int64
+	// DisableMemoryRecovery forces disk recovery on start (Figure 5b's
+	// "memory recovery disabled" edge).
+	DisableMemoryRecovery bool
+	// Clock supplies unix seconds; nil means time.Now. Tests and the
+	// cluster simulator inject virtual clocks.
+	Clock func() int64
+}
+
+// RecoveryPath says how a leaf came up.
+type RecoveryPath string
+
+// Recovery paths.
+const (
+	RecoveryNone   RecoveryPath = "none"   // nothing to recover
+	RecoveryMemory RecoveryPath = "memory" // restored from shared memory
+	RecoveryDisk   RecoveryPath = "disk"   // restored from disk backup
+)
+
+// RecoveryInfo reports what Start did, for dashboards and benchmarks.
+type RecoveryInfo struct {
+	Path          RecoveryPath
+	Tables        int
+	Blocks        int
+	BytesRestored int64
+	Duration      time.Duration
+	// FellBack is set when memory recovery was attempted but an exception
+	// sent the leaf to disk recovery (Figure 5b).
+	FellBack bool
+}
+
+// ShutdownInfo reports what a clean shutdown did.
+type ShutdownInfo struct {
+	Tables      int
+	Blocks      int
+	BytesCopied int64
+	Duration    time.Duration
+	// ToShm is false when the leaf shut down without shared memory
+	// (disk-only path).
+	ToShm bool
+}
+
+// ErrNotAlive is returned for requests while the leaf is restarting or has
+// exited.
+var ErrNotAlive = errors.New("leaf: not accepting requests in current state")
+
+// Leaf is one leaf server.
+type Leaf struct {
+	cfg   Config
+	shm   *shm.Manager
+	store *disk.Store // nil when disk backup is disabled
+
+	mu     sync.Mutex
+	state  State
+	tables map[string]*table.Table
+
+	recovery RecoveryInfo
+}
+
+// New creates a leaf in INIT. Call Start to run recovery and go ALIVE.
+func New(cfg Config) (*Leaf, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return time.Now().Unix() }
+	}
+	l := &Leaf{
+		cfg:    cfg,
+		shm:    shm.NewManager(cfg.ID, cfg.Shm),
+		state:  StateInit,
+		tables: make(map[string]*table.Table),
+	}
+	if cfg.DiskRoot != "" {
+		store, err := disk.NewStore(cfg.DiskRoot, cfg.ID, cfg.DiskFormat)
+		if err != nil {
+			return nil, err
+		}
+		l.store = store
+	}
+	return l, nil
+}
+
+// ID returns the leaf's identity.
+func (l *Leaf) ID() int { return l.cfg.ID }
+
+// State returns the current leaf state.
+func (l *Leaf) State() State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state
+}
+
+// Recovery returns what the last Start did.
+func (l *Leaf) Recovery() RecoveryInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recovery
+}
+
+func (l *Leaf) transition(to State) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.transitionLocked(to)
+}
+
+func (l *Leaf) transitionLocked(to State) error {
+	if !CanTransition(l.state, to) {
+		return &ErrBadTransition{From: l.state, To: to}
+	}
+	l.state = to
+	return nil
+}
+
+// ---- Restore path (Figure 7) ----
+
+// Start runs recovery and brings the leaf ALIVE. It implements the restore
+// state machine of Figure 5(b) and the pseudocode of Figure 7.
+func (l *Leaf) Start() error {
+	begin := time.Now()
+	info := RecoveryInfo{Path: RecoveryNone}
+
+	tryMemory := !l.cfg.DisableMemoryRecovery
+	if tryMemory {
+		if err := l.transition(StateMemoryRecovery); err != nil {
+			return err
+		}
+		ok, err := l.restoreFromShm(&info)
+		if err != nil {
+			// Exception during memory recovery: fall back to disk
+			// (Figure 5b). Anything half-restored is discarded.
+			l.dropAllTables()
+			l.shm.RemoveAll() //nolint:errcheck // best effort cleanup
+			info = RecoveryInfo{Path: RecoveryNone, FellBack: true}
+			if terr := l.transition(StateDiskRecovery); terr != nil {
+				return terr
+			}
+			if derr := l.recoverFromDisk(&info); derr != nil {
+				return fmt.Errorf("leaf: disk recovery after shm failure (%v): %w", err, derr)
+			}
+			info.Path = RecoveryDisk
+		} else if ok {
+			info.Path = RecoveryMemory
+		} else {
+			// Valid bit unset: revert to disk recovery (Figure 7) and
+			// free any shared memory in use.
+			l.shm.RemoveAll() //nolint:errcheck
+			if terr := l.transition(StateDiskRecovery); terr != nil {
+				return terr
+			}
+			if derr := l.recoverFromDisk(&info); derr != nil {
+				return derr
+			}
+			if info.Blocks > 0 {
+				info.Path = RecoveryDisk
+			}
+		}
+	} else {
+		if err := l.transition(StateDiskRecovery); err != nil {
+			return err
+		}
+		l.shm.RemoveAll() //nolint:errcheck
+		if err := l.recoverFromDisk(&info); err != nil {
+			return err
+		}
+		if info.Blocks > 0 {
+			info.Path = RecoveryDisk
+		}
+	}
+
+	info.Duration = time.Since(begin)
+	l.mu.Lock()
+	l.recovery = info
+	for _, t := range l.tables {
+		if t.State() != table.StateAlive {
+			if err := t.Transition(table.StateAlive); err != nil {
+				l.mu.Unlock()
+				return err
+			}
+		}
+	}
+	err := l.transitionLocked(StateAlive)
+	l.mu.Unlock()
+	return err
+}
+
+// restoreFromShm implements the happy path of Figure 7. It returns false
+// when the valid bit is unset (caller reverts to disk recovery) and an error
+// on any exception (caller falls back to disk recovery).
+func (l *Leaf) restoreFromShm(info *RecoveryInfo) (bool, error) {
+	md, err := l.shm.ReadMetadata()
+	if errors.Is(err, shm.ErrNoMetadata) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if !md.Valid {
+		return false, nil
+	}
+	if md.Version != shm.LayoutVersion {
+		// The shared memory layout changed between releases; the data is
+		// unreadable by this binary. Disk recovery handles it (§4.2).
+		return false, nil
+	}
+	// Set the valid bit to false first: if this code path is interrupted,
+	// the next restart goes to disk recovery (Figure 7).
+	md.Valid = false
+	if err := l.shm.WriteMetadata(md); err != nil {
+		return false, err
+	}
+	for _, si := range md.Segments {
+		r, err := shm.OpenTableSegment(l.shm, si.Segment)
+		if err != nil {
+			return false, fmt.Errorf("leaf: open segment for %q: %w", si.Table, err)
+		}
+		tbl := table.NewRecovering(si.Table, l.cfg.Table)
+		if err := tbl.Transition(table.StateMemoryRecovery); err != nil {
+			r.Close(false) //nolint:errcheck
+			return false, err
+		}
+		blocks := make([]*rowblock.RowBlock, 0, r.NumBlocks())
+		for {
+			rb, err := r.ReadBlock()
+			if err != nil {
+				r.Close(false) //nolint:errcheck
+				return false, fmt.Errorf("leaf: restore %q: %w", si.Table, err)
+			}
+			if rb == nil {
+				break
+			}
+			blocks = append(blocks, rb)
+		}
+		// ReadBlock drains in reverse; restore original order.
+		for i := len(blocks) - 1; i >= 0; i-- {
+			if err := tbl.RestoreBlock(blocks[i]); err != nil {
+				r.Close(false) //nolint:errcheck
+				return false, err
+			}
+			info.Blocks++
+			info.BytesRestored += blocks[i].Header().Size
+		}
+		// Figure 7: delete the table shared memory segment.
+		if err := r.Close(true); err != nil {
+			return false, err
+		}
+		l.mu.Lock()
+		l.tables[si.Table] = tbl
+		l.mu.Unlock()
+		info.Tables++
+	}
+	// Figure 7: delete the metadata shared memory segment.
+	if err := l.shm.RemoveAll(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// recoverFromDisk reads every table backup and translates it into memory.
+func (l *Leaf) recoverFromDisk(info *RecoveryInfo) error {
+	if l.store == nil {
+		return nil
+	}
+	tables, err := l.store.Tables()
+	if err != nil {
+		return err
+	}
+	for _, name := range tables {
+		tbl := table.NewRecovering(name, l.cfg.Table)
+		if err := tbl.Transition(table.StateDiskRecovery); err != nil {
+			return err
+		}
+		// Queries see the table (with gradually increasing partial
+		// results) while it loads (§4.1).
+		l.mu.Lock()
+		l.tables[name] = tbl
+		l.mu.Unlock()
+		err := l.store.LoadTable(name, func(rb *rowblock.RowBlock) error {
+			info.Blocks++
+			info.BytesRestored += rb.Header().Size
+			return tbl.RestoreBlock(rb)
+		})
+		if err != nil {
+			return fmt.Errorf("leaf: disk recovery of %q: %w", name, err)
+		}
+		info.Tables++
+	}
+	return nil
+}
+
+func (l *Leaf) dropAllTables() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tables = make(map[string]*table.Table)
+}
+
+// ---- Backup path (Figure 6) ----
+
+// Shutdown performs a clean shutdown through shared memory, implementing
+// Figure 6: flush to disk, copy every table to its segment one row block
+// column at a time (releasing heap as it goes), set the valid bit, and move
+// the leaf to EXIT. After Shutdown returns the process can exec its
+// replacement.
+func (l *Leaf) Shutdown() (ShutdownInfo, error) {
+	begin := time.Now()
+	info := ShutdownInfo{ToShm: true}
+	if err := l.transition(StateCopyToShm); err != nil {
+		return info, err
+	}
+
+	// Figure 6: create the leaf metadata with the valid bit false. It only
+	// becomes true after every table is safely in shared memory.
+	md := &shm.Metadata{Valid: false, Version: shm.LayoutVersion, Created: l.cfg.Clock()}
+	if err := l.shm.WriteMetadata(md); err != nil {
+		return info, err
+	}
+
+	for _, tbl := range l.tablesSorted() {
+		// PREPARE: reject new requests, kill deletes, wait for in-flight
+		// adds/queries, seal pending rows (Figure 5c).
+		if err := tbl.Prepare(); err != nil {
+			return info, err
+		}
+		// Finish pending synchronization with the data on disk (§4.1).
+		if l.store != nil {
+			if _, err := l.store.SyncTable(tbl); err != nil {
+				return info, err
+			}
+		}
+		if err := tbl.Transition(table.StateCopyToShm); err != nil {
+			return info, err
+		}
+
+		segName := shm.SegmentNameForTable(tbl.Name())
+		// Figure 6: estimate size of table, create table segment.
+		w, err := shm.CreateTableSegment(l.shm, segName, tbl.Name(), tbl.Bytes()+4096)
+		if err != nil {
+			return info, err
+		}
+		// Figure 6: add the table segment to the leaf metadata.
+		md.Segments = append(md.Segments, shm.SegmentInfo{Table: tbl.Name(), Segment: segName})
+		if err := l.shm.WriteMetadata(md); err != nil {
+			w.Abort() //nolint:errcheck
+			return info, err
+		}
+		// Copy row blocks, deleting each from the heap as it lands.
+		for {
+			blocks, err := tbl.DropBlocksForShutdown(1)
+			if err != nil {
+				w.Abort() //nolint:errcheck
+				return info, err
+			}
+			if len(blocks) == 0 {
+				break
+			}
+			if err := w.WriteBlock(blocks[0], true); err != nil {
+				w.Abort() //nolint:errcheck
+				return info, err
+			}
+			info.Blocks++
+		}
+		info.BytesCopied += w.BytesCopied
+		if err := w.Finish(); err != nil {
+			return info, err
+		}
+		if err := tbl.Transition(table.StateDone); err != nil {
+			return info, err
+		}
+		info.Tables++
+	}
+
+	// Figure 6: set valid bit to true — the commit point.
+	md.Valid = true
+	if err := l.shm.WriteMetadata(md); err != nil {
+		return info, err
+	}
+	l.dropAllTables()
+	if err := l.transition(StateExit); err != nil {
+		return info, err
+	}
+	info.Duration = time.Since(begin)
+	return info, nil
+}
+
+// ShutdownToDisk performs a clean shutdown without shared memory: flush all
+// tables to disk and exit. The next start recovers from disk. This is the
+// pre-paper upgrade path and the baseline in every restart experiment.
+func (l *Leaf) ShutdownToDisk() (ShutdownInfo, error) {
+	begin := time.Now()
+	info := ShutdownInfo{ToShm: false}
+	if err := l.transition(StateCopyToShm); err != nil {
+		return info, err
+	}
+	for _, tbl := range l.tablesSorted() {
+		if err := tbl.Prepare(); err != nil {
+			return info, err
+		}
+		if l.store != nil {
+			n, err := l.store.SyncTable(tbl)
+			if err != nil {
+				return info, err
+			}
+			info.Blocks += n
+		}
+		if err := tbl.Transition(table.StateCopyToShm); err != nil {
+			return info, err
+		}
+		if err := tbl.Transition(table.StateDone); err != nil {
+			return info, err
+		}
+		info.Tables++
+	}
+	// No shm data: make sure stale segments from older runs cannot be used.
+	if err := l.shm.RemoveAll(); err != nil {
+		return info, err
+	}
+	l.dropAllTables()
+	if err := l.transition(StateExit); err != nil {
+		return info, err
+	}
+	info.Duration = time.Since(begin)
+	return info, nil
+}
+
+func (l *Leaf) tablesSorted() []*table.Table {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.tables))
+	for name := range l.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*table.Table, len(names))
+	for i, name := range names {
+		out[i] = l.tables[name]
+	}
+	return out
+}
+
+// ---- Normal operation ----
+
+// acceptingAdds mirrors §4.1/§4.3: adds flow while alive and during disk
+// recovery; nothing is accepted during the seconds of memory recovery.
+func (l *Leaf) acceptingAdds() bool {
+	return l.state == StateAlive || l.state == StateDiskRecovery
+}
+
+// AddRows ingests a batch into a table, creating the table on first use.
+func (l *Leaf) AddRows(tableName string, rows []rowblock.Row) error {
+	l.mu.Lock()
+	if !l.acceptingAdds() {
+		st := l.state
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrNotAlive, st)
+	}
+	tbl, ok := l.tables[tableName]
+	if !ok {
+		tbl = table.New(tableName, l.cfg.Table)
+		l.tables[tableName] = tbl
+	}
+	l.mu.Unlock()
+	return tbl.AddRows(rows, l.cfg.Clock())
+}
+
+// Query executes a query against this leaf's fraction of the table. A leaf
+// without the table returns an empty (not error) result, matching partial
+// result semantics.
+func (l *Leaf) Query(q *query.Query) (*query.Result, error) {
+	l.mu.Lock()
+	if !l.acceptingAdds() { // queries gate the same way as adds at leaf level
+		st := l.state
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrNotAlive, st)
+	}
+	tbl, ok := l.tables[q.Table]
+	l.mu.Unlock()
+	if !ok {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		return query.NewResult(), nil
+	}
+	return query.ExecuteTable(tbl, q)
+}
+
+// SealAll force-seals in-progress builders on all tables (benchmarks use it
+// to make data sizes deterministic).
+func (l *Leaf) SealAll() error {
+	for _, tbl := range l.tablesSorted() {
+		if err := tbl.SealActive(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncToDisk writes unsynced blocks of all tables to the disk backup
+// (asynchronous write-behind during normal operation, §4.1).
+func (l *Leaf) SyncToDisk() (int, error) {
+	if l.store == nil {
+		return 0, nil
+	}
+	total := 0
+	for _, tbl := range l.tablesSorted() {
+		n, err := l.store.SyncTable(tbl)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ExpireAll applies retention to every table and the disk backup. Deletes
+// killed by a concurrent shutdown are not errors (§ Figure 5c).
+func (l *Leaf) ExpireAll(now int64) (int, error) {
+	dropped := 0
+	for _, tbl := range l.tablesSorted() {
+		n, err := tbl.Expire(now)
+		dropped += n
+		if err != nil {
+			if errors.Is(err, table.ErrDeletesKilled) || errors.Is(err, table.ErrNotAccepting) {
+				return dropped, nil
+			}
+			return dropped, err
+		}
+		if l.store != nil && l.cfg.Table.MaxAgeSeconds > 0 {
+			if _, err := l.store.ExpireTable(tbl.Name(), now-l.cfg.Table.MaxAgeSeconds); err != nil {
+				return dropped, err
+			}
+		}
+	}
+	return dropped, nil
+}
+
+// Stats summarizes the leaf for tailers (placement) and dashboards.
+type Stats struct {
+	ID         int
+	State      State
+	Tables     int
+	Blocks     int
+	Rows       int64
+	Bytes      int64
+	FreeMemory int64
+}
+
+// Stats returns a snapshot. FreeMemory is the placement signal tailers ask
+// two random leaves for (§2).
+func (l *Leaf) Stats() Stats {
+	l.mu.Lock()
+	state := l.state
+	tbls := make([]*table.Table, 0, len(l.tables))
+	for _, t := range l.tables {
+		tbls = append(tbls, t)
+	}
+	l.mu.Unlock()
+	st := Stats{ID: l.cfg.ID, State: state, Tables: len(tbls)}
+	for _, t := range tbls {
+		ts := t.Stats()
+		st.Blocks += ts.NumBlocks
+		st.Rows += ts.Rows + int64(ts.Unsealed)
+		// Unsealed rows count at their raw size: they occupy heap now and
+		// will shrink when the block seals and compresses.
+		st.Bytes += ts.Bytes + ts.UnsealedBytes
+	}
+	if l.cfg.MemoryBudget > 0 {
+		st.FreeMemory = l.cfg.MemoryBudget - st.Bytes
+		if st.FreeMemory < 0 {
+			st.FreeMemory = 0
+		}
+	}
+	return st
+}
+
+// Tables lists table names currently held by the leaf.
+func (l *Leaf) Tables() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.tables))
+	for name := range l.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table returns a table by name (nil when absent); the cluster and tests
+// reach through for assertions.
+func (l *Leaf) Table(name string) *table.Table {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tables[name]
+}

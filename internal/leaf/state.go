@@ -1,0 +1,69 @@
+package leaf
+
+import "fmt"
+
+// State is the leaf server state machine from Figure 5(a) and 5(b).
+//
+// Backup (5a):   ALIVE -> COPY_TO_SHM -> EXIT
+// Restore (5b):  INIT -> MEMORY_RECOVERY | DISK_RECOVERY -> ALIVE
+//
+// INIT goes straight to DISK_RECOVERY when memory recovery is disabled, and
+// MEMORY_RECOVERY falls back to DISK_RECOVERY on any exception.
+type State uint8
+
+// Leaf states.
+const (
+	StateInit State = iota
+	StateMemoryRecovery
+	StateDiskRecovery
+	StateAlive
+	StateCopyToShm
+	StateExit
+)
+
+func (s State) String() string {
+	switch s {
+	case StateInit:
+		return "INIT"
+	case StateMemoryRecovery:
+		return "MEMORY_RECOVERY"
+	case StateDiskRecovery:
+		return "DISK_RECOVERY"
+	case StateAlive:
+		return "ALIVE"
+	case StateCopyToShm:
+		return "COPY_TO_SHM"
+	case StateExit:
+		return "EXIT"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+var legalTransitions = map[State][]State{
+	StateInit:           {StateMemoryRecovery, StateDiskRecovery, StateAlive},
+	StateMemoryRecovery: {StateAlive, StateDiskRecovery}, // exception -> disk
+	StateDiskRecovery:   {StateAlive},
+	StateAlive:          {StateCopyToShm},
+	StateCopyToShm:      {StateExit},
+	StateExit:           nil,
+}
+
+// CanTransition reports whether from -> to is a legal edge of Figure 5(a/b).
+func CanTransition(from, to State) bool {
+	for _, s := range legalTransitions[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrBadTransition wraps illegal leaf state transitions.
+type ErrBadTransition struct {
+	From, To State
+}
+
+func (e *ErrBadTransition) Error() string {
+	return fmt.Sprintf("leaf: illegal transition %v -> %v", e.From, e.To)
+}

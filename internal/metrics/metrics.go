@@ -1,0 +1,153 @@
+// Package metrics provides the small counter/gauge/timer registry used by
+// the daemons, the rollover driver and the benchmark harness. It is not a
+// general metrics system — just enough to print the dashboards and tables
+// the experiments need, with no dependencies.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Timer accumulates durations.
+type Timer struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.total += d
+}
+
+// Time runs fn and records its duration.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// TimerStats is a timer snapshot.
+type TimerStats struct {
+	Count          int64
+	Total          time.Duration
+	Min, Max, Mean time.Duration
+}
+
+// Stats snapshots the timer.
+func (t *Timer) Stats() TimerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TimerStats{Count: t.count, Total: t.total, Min: t.min, Max: t.max}
+	if t.count > 0 {
+		st.Mean = t.total / time.Duration(t.count)
+	}
+	return st
+}
+
+// Registry names a set of metrics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns (creating if needed) a named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) a named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns (creating if needed) a named timer.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// String renders all metrics sorted by name, one per line.
+func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+	}
+	for name, t := range r.timers {
+		st := t.Stats()
+		lines = append(lines, fmt.Sprintf("%s count=%d total=%v mean=%v min=%v max=%v",
+			name, st.Count, st.Total, st.Mean, st.Min, st.Max))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rows")
+	c.Add(5)
+	c.Add(3)
+	if c.Value() != 8 {
+		t.Errorf("value = %d", c.Value())
+	}
+	if r.Counter("rows") != c {
+		t.Error("counter not reused")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Errorf("value = %d", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("free")
+	g.Set(100)
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Errorf("value = %d", g.Value())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("restart")
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	st := tm.Stats()
+	if st.Count != 2 || st.Min != 10*time.Millisecond || st.Max != 30*time.Millisecond {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Mean != 20*time.Millisecond || st.Total != 40*time.Millisecond {
+		t.Errorf("mean/total = %v/%v", st.Mean, st.Total)
+	}
+}
+
+func TestTimerTime(t *testing.T) {
+	tm := &Timer{}
+	tm.Time(func() { time.Sleep(time.Millisecond) })
+	if st := tm.Stats(); st.Count != 1 || st.Total < time.Millisecond {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Gauge("a.gauge").Set(1)
+	r.Timer("c.timer").Observe(time.Second)
+	s := r.String()
+	lines := strings.Split(s, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	// Sorted output.
+	if !strings.HasPrefix(lines[0], "a.gauge") || !strings.HasPrefix(lines[2], "c.timer") {
+		t.Errorf("order wrong: %q", s)
+	}
+}

@@ -1,0 +1,75 @@
+package query
+
+import "math"
+
+// histBuckets is the number of log-scale buckets. Bucket i covers values
+// whose magnitude has bit length i (bucket 0 holds zero and negatives are
+// clamped into bucket 0; Scuba metrics — latencies, counts, bytes — are
+// non-negative). Log-scale histograms merge by element-wise addition, which
+// is what makes percentiles computable across leaves.
+const histBuckets = 65
+
+// Histogram is a mergeable log₂ histogram for percentile aggregation.
+type Histogram struct {
+	Counts [histBuckets]int64
+	Total  int64
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) {
+	h.Counts[bucketOf(v)]++
+	h.Total++
+}
+
+func bucketOf(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	b := 1 + int(math.Floor(math.Log2(v)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketMid returns a representative value for a bucket (geometric middle).
+func bucketMid(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	lo := math.Exp2(float64(b - 1))
+	return lo * 1.5
+}
+
+// Merge adds another histogram's counts into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Total += o.Total
+}
+
+// Quantile returns an approximation of the q'th quantile (0 < q <= 1).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}

@@ -1,0 +1,137 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := &Histogram{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		h.Add(rng.Float64() * 1000)
+	}
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramAccuracy(t *testing.T) {
+	// Log-scale buckets: answers are within a factor of 2 of truth.
+	h := &Histogram{}
+	for i := 1; i <= 10000; i++ {
+		h.Add(float64(i))
+	}
+	for q, truth := range map[float64]float64{0.5: 5000, 0.9: 9000, 0.99: 9900} {
+		got := h.Quantile(q)
+		if got < truth/2 || got > truth*2 {
+			t.Errorf("quantile(%v) = %v, truth %v", q, got, truth)
+		}
+	}
+}
+
+func TestHistogramMergeEquivalence(t *testing.T) {
+	// Adding values to one histogram must equal merging two halves.
+	whole, a, b := &Histogram{}, &Histogram{}, &Histogram{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := math.Abs(rng.NormFloat64()) * 100
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.Total != whole.Total {
+		t.Fatalf("totals: %d vs %d", a.Total, whole.Total)
+	}
+	for i := range whole.Counts {
+		if a.Counts[i] != whole.Counts[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, a.Counts[i], whole.Counts[i])
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Add(0)
+	h.Add(-5)
+	h.Add(math.NaN())
+	if h.Counts[0] != 3 {
+		t.Errorf("bucket 0 = %d", h.Counts[0])
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Error("zeros quantile != 0")
+	}
+	h.Add(math.MaxFloat64)
+	if h.Counts[histBuckets-1] != 1 {
+		t.Error("huge value not clamped to last bucket")
+	}
+	h.Merge(nil) // must not panic
+}
+
+func TestBucketOfProperty(t *testing.T) {
+	f := func(v float64) bool {
+		b := bucketOf(math.Abs(v))
+		return b >= 0 && b < histBuckets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket boundaries are ordered: bigger values land in >= buckets.
+	prevB := 0
+	for v := 0.5; v < 1e12; v *= 2 {
+		b := bucketOf(v)
+		if b < prevB {
+			t.Fatalf("bucketOf(%v) = %d < %d", v, b, prevB)
+		}
+		prevB = b
+	}
+}
+
+func TestAggStateMergeIdentity(t *testing.T) {
+	a := newAggState(AggAvg)
+	for i := 1; i <= 10; i++ {
+		a.Observe(float64(i))
+	}
+	empty := newAggState(AggAvg)
+	a.Merge(empty)
+	if a.Count != 10 || a.Sum != 55 || a.Min != 1 || a.Max != 10 {
+		t.Errorf("state = %+v", a)
+	}
+	// Merging into empty preserves values.
+	empty.Merge(a)
+	if empty.Value(AggAvg) != 5.5 {
+		t.Errorf("avg = %v", empty.Value(AggAvg))
+	}
+	// Min/Max of empty state finalize to 0, not Inf.
+	e2 := newAggState(AggMin)
+	if e2.Value(AggMin) != 0 || e2.Value(AggMax) != 0 {
+		t.Error("empty min/max not zero")
+	}
+}
+
+func TestAggStateHistMergeIntoPlain(t *testing.T) {
+	// Merging a histogram-bearing state into a plain one must carry it.
+	withHist := newAggState(AggP50)
+	for i := 1; i <= 100; i++ {
+		withHist.Observe(float64(i))
+	}
+	plain := &AggState{Min: math.Inf(1), Max: math.Inf(-1)}
+	plain.Merge(withHist)
+	if plain.Hist == nil || plain.Hist.Total != 100 {
+		t.Error("histogram not carried through merge")
+	}
+}

@@ -1,0 +1,5 @@
+package rowblock
+
+// SetByteCapForTest lowers the 1 GB pre-compression cap so tests can
+// exercise byte-triggered sealing without gigabytes of data.
+func (b *Builder) SetByteCapForTest(n int64) { b.byteCap = n }

@@ -1,0 +1,535 @@
+// Package rowblock implements Scuba's row blocks (Figure 2). A row block
+// holds up to 65,536 consecutively-arrived rows (capped at 1 GB of
+// pre-compression data), organized as a header, a schema, and one row block
+// column (RBC) per column. Different row blocks of the same table may have
+// different schemas; rows that lack a column get that type's zero value.
+//
+// A sealed row block is immutable. Its header records the size in bytes, the
+// row count, the minimum and maximum values of the required "time" column,
+// and the block's creation timestamp; query processing uses min/max time to
+// skip blocks without touching their columns (§2.1).
+package rowblock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"scuba/internal/column"
+	"scuba/internal/layout"
+)
+
+// Capacity limits from the paper (§2.1): a row block contains 65,536 rows
+// and is capped at 1 GB pre-compression even when not full.
+const (
+	MaxRows  = 65536
+	MaxBytes = 1 << 30
+)
+
+// TimeColumn is the name of the required unix-timestamp column present in
+// every row. Timestamps are event times, not unique (§2.1).
+const TimeColumn = "time"
+
+// Field is one column in a row block's schema.
+type Field struct {
+	Name string
+	Type layout.ValueType
+}
+
+// Schema describes the columns of one row block: names and types (Figure 2).
+type Schema []Field
+
+// Index returns the position of the named field, or -1.
+func (s Schema) Index(name string) int {
+	for i, f := range s {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value is one cell of a row. Exactly the field matching Type is meaningful.
+type Value struct {
+	Type  layout.ValueType
+	Int   int64
+	Float float64
+	Str   string
+	Set   []string
+}
+
+// Int64Value, Float64Value, StringValue and SetValue build typed cells.
+func Int64Value(v int64) Value     { return Value{Type: layout.TypeInt64, Int: v} }
+func Float64Value(v float64) Value { return Value{Type: layout.TypeFloat64, Float: v} }
+func StringValue(v string) Value   { return Value{Type: layout.TypeString, Str: v} }
+func SetValue(v ...string) Value   { return Value{Type: layout.TypeStringSet, Set: v} }
+
+// Row is one ingested event: a required timestamp plus named columns.
+type Row struct {
+	Time int64
+	Cols map[string]Value
+}
+
+// Header describes general properties of a row block (Figure 2).
+type Header struct {
+	Size     int64 // total bytes of all RBC blobs
+	RowCount int
+	MinTime  int64
+	MaxTime  int64
+	Created  int64 // when the row block was first created
+}
+
+// RowBlock is a sealed, immutable block.
+type RowBlock struct {
+	hdr    Header
+	schema Schema
+	cols   []*layout.RBC // parallel to schema; nil after ReleaseColumn
+}
+
+// Header returns the block header.
+func (b *RowBlock) Header() Header { return b.hdr }
+
+// Schema returns the block schema. Callers must not modify it.
+func (b *RowBlock) Schema() Schema { return b.schema }
+
+// NumColumns returns the number of columns.
+func (b *RowBlock) NumColumns() int { return len(b.cols) }
+
+// Rows returns the number of rows.
+func (b *RowBlock) Rows() int { return b.hdr.RowCount }
+
+// Column returns the i'th RBC, or nil if it has been released.
+func (b *RowBlock) Column(i int) *layout.RBC { return b.cols[i] }
+
+// HasColumn reports whether the named column is in the schema.
+func (b *RowBlock) HasColumn(name string) bool { return b.schema.Index(name) >= 0 }
+
+// ColumnByName returns the RBC for the named column, or nil.
+func (b *RowBlock) ColumnByName(name string) *layout.RBC {
+	if i := b.schema.Index(name); i >= 0 {
+		return b.cols[i]
+	}
+	return nil
+}
+
+// DecodeColumn decodes the named column. Data stays compressed in memory;
+// queries decode on demand.
+func (b *RowBlock) DecodeColumn(name string) (column.Column, error) {
+	rbc := b.ColumnByName(name)
+	if rbc == nil {
+		return nil, fmt.Errorf("rowblock: no column %q", name)
+	}
+	return column.Decode(rbc)
+}
+
+// Times decodes the required time column.
+func (b *RowBlock) Times() ([]int64, error) {
+	rbc := b.ColumnByName(TimeColumn)
+	if rbc == nil {
+		return nil, errors.New("rowblock: missing time column")
+	}
+	return column.DecodeInt64(rbc)
+}
+
+// Overlaps reports whether the block may contain rows in [from, to].
+// Nearly all queries carry time predicates; this is the index (§2.1).
+func (b *RowBlock) Overlaps(from, to int64) bool {
+	return b.hdr.MinTime <= to && b.hdr.MaxTime >= from
+}
+
+// ReleaseColumn drops the i'th RBC so its heap memory can be reclaimed.
+// Shutdown copies one RBC at a time into shared memory and releases each as
+// it goes, keeping the process footprint flat (§4.4, Figure 6).
+func (b *RowBlock) ReleaseColumn(i int) { b.cols[i] = nil }
+
+// Released reports whether any column has been released; such a block is no
+// longer queryable.
+func (b *RowBlock) Released() bool {
+	for _, c := range b.cols {
+		if c == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Builder accumulates rows and seals them into a RowBlock.
+type Builder struct {
+	created  int64
+	times    []int64
+	names    []string // column order of first appearance
+	builders map[string]*colBuilder
+	rawBytes int64 // pre-compression size estimate, for the 1 GB cap
+	byteCap  int64 // defaults to MaxBytes; tests lower it
+}
+
+type colBuilder struct {
+	typ     layout.ValueType
+	ints    []int64
+	floats  []float64
+	strs    []string
+	sets    [][]string
+	rowsLen int // number of rows appended so far (for backfill)
+}
+
+// NewBuilder returns a builder; created is the block creation timestamp.
+func NewBuilder(created int64) *Builder {
+	return &Builder{created: created, builders: make(map[string]*colBuilder), byteCap: MaxBytes}
+}
+
+// Rows returns the number of rows added so far.
+func (b *Builder) Rows() int { return len(b.times) }
+
+// RawBytes returns the pre-compression size estimate.
+func (b *Builder) RawBytes() int64 { return b.rawBytes }
+
+// Full reports whether the block has hit the row or byte cap. The byte cap
+// means a block can seal with far fewer than 65K rows: "the row block is
+// capped at 1 GB, pre-compression, even if there are fewer than 65K rows"
+// (§2.1).
+func (b *Builder) Full() bool {
+	return len(b.times) >= MaxRows || b.rawBytes >= b.byteCap
+}
+
+// Errors returned by AddRow.
+var (
+	ErrFull         = errors.New("rowblock: block is full")
+	ErrTypeConflict = errors.New("rowblock: column type conflict")
+	ErrReservedName = errors.New("rowblock: 'time' is a reserved column name")
+)
+
+// AddRow appends one row. A column seen for the first time is backfilled
+// with zero values for earlier rows; a row missing a known column gets the
+// zero value.
+func (b *Builder) AddRow(r Row) error {
+	if b.Full() {
+		return ErrFull
+	}
+	if _, ok := r.Cols[TimeColumn]; ok {
+		return ErrReservedName
+	}
+	for name, v := range r.Cols {
+		cb, ok := b.builders[name]
+		if !ok {
+			cb = &colBuilder{typ: v.Type}
+			cb.backfill(len(b.times))
+			b.builders[name] = cb
+			b.names = append(b.names, name)
+		}
+		if cb.typ != v.Type {
+			return fmt.Errorf("%w: column %q is %v, row has %v", ErrTypeConflict, name, cb.typ, v.Type)
+		}
+	}
+	// Commit only after validation so a failed row leaves no partial state.
+	b.times = append(b.times, r.Time)
+	b.rawBytes += 8
+	for name, cb := range b.builders {
+		v, ok := r.Cols[name]
+		if !ok {
+			v = Value{Type: cb.typ}
+		}
+		b.rawBytes += cb.append(v)
+	}
+	return nil
+}
+
+func (cb *colBuilder) backfill(rows int) {
+	for i := 0; i < rows; i++ {
+		cb.append(Value{Type: cb.typ})
+	}
+}
+
+// append stores one value and returns its pre-compression byte size.
+func (cb *colBuilder) append(v Value) int64 {
+	cb.rowsLen++
+	switch cb.typ {
+	case layout.TypeInt64, layout.TypeTime:
+		cb.ints = append(cb.ints, v.Int)
+		return 8
+	case layout.TypeFloat64:
+		cb.floats = append(cb.floats, v.Float)
+		return 8
+	case layout.TypeString:
+		cb.strs = append(cb.strs, v.Str)
+		return int64(len(v.Str)) + 1
+	case layout.TypeStringSet:
+		cb.sets = append(cb.sets, v.Set)
+		n := int64(1)
+		for _, s := range v.Set {
+			n += int64(len(s)) + 1
+		}
+		return n
+	default:
+		panic(fmt.Sprintf("rowblock: bad column type %v", cb.typ))
+	}
+}
+
+// Seal compresses all columns and returns the immutable block. The builder
+// must not be reused afterwards.
+func (b *Builder) Seal() (*RowBlock, error) {
+	if len(b.times) == 0 {
+		return nil, errors.New("rowblock: sealing empty block")
+	}
+	minT, maxT := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, t := range b.times {
+		minT = min(minT, t)
+		maxT = max(maxT, t)
+	}
+	schema := Schema{{Name: TimeColumn, Type: layout.TypeTime}}
+	blobs := [][]byte{column.EncodeInt64(layout.TypeTime, b.times)}
+	for _, name := range b.names {
+		cb := b.builders[name]
+		var blob []byte
+		var vt layout.ValueType
+		switch cb.typ {
+		case layout.TypeInt64, layout.TypeTime:
+			vt = layout.TypeInt64
+			blob = column.EncodeInt64(layout.TypeInt64, cb.ints)
+		case layout.TypeFloat64:
+			vt = layout.TypeFloat64
+			blob = column.EncodeFloat64(cb.floats)
+		case layout.TypeString:
+			vt = layout.TypeString
+			blob = column.EncodeString(cb.strs)
+		case layout.TypeStringSet:
+			vt = layout.TypeStringSet
+			blob = column.EncodeStringSet(cb.sets)
+		}
+		schema = append(schema, Field{Name: name, Type: vt})
+		blobs = append(blobs, blob)
+	}
+	var size int64
+	cols := make([]*layout.RBC, len(blobs))
+	for i, blob := range blobs {
+		rbc, err := layout.ParseTrusted(blob)
+		if err != nil {
+			return nil, fmt.Errorf("rowblock: sealing column %q: %w", schema[i].Name, err)
+		}
+		cols[i] = rbc
+		size += int64(len(blob))
+	}
+	return &RowBlock{
+		hdr: Header{
+			Size:     size,
+			RowCount: len(b.times),
+			MinTime:  minT,
+			MaxTime:  maxT,
+			Created:  b.created,
+		},
+		schema: schema,
+		cols:   cols,
+	}, nil
+}
+
+// FromColumns assembles a sealed block directly from parsed RBCs; the disk
+// and shm restore paths use it. The first schema entry must be the time
+// column, and hdr.Size/RowCount must match the columns.
+func FromColumns(hdr Header, schema Schema, cols []*layout.RBC) (*RowBlock, error) {
+	if len(schema) != len(cols) {
+		return nil, fmt.Errorf("rowblock: %d schema fields, %d columns", len(schema), len(cols))
+	}
+	if len(schema) == 0 || schema[0].Name != TimeColumn {
+		return nil, errors.New("rowblock: first column must be 'time'")
+	}
+	var size int64
+	for i, c := range cols {
+		if c.NumItems() != hdr.RowCount {
+			return nil, fmt.Errorf("rowblock: column %q has %d items, header says %d rows",
+				schema[i].Name, c.NumItems(), hdr.RowCount)
+		}
+		size += int64(c.Size())
+	}
+	if size != hdr.Size {
+		return nil, fmt.Errorf("%w: header size %d, columns total %d", ErrImageCorrupt, hdr.Size, size)
+	}
+	return &RowBlock{hdr: hdr, schema: schema, cols: cols}, nil
+}
+
+// ---- Block image: the position-independent serialized form (Figure 4) ----
+//
+// Because the number and sizes of the RBCs are known when the image is
+// allocated, the image lays out header, schema, a column offset table, and
+// then the RBC blobs contiguously — one less level of indirection than the
+// heap layout.
+//
+//	u32  magic "RBK1"
+//	u64  image size in bytes
+//	u64  row count
+//	i64  min time, max time, created
+//	u32  number of columns
+//	per column: u16 name length, name bytes, u8 type
+//	per column: u64 offset of the RBC blob from the image base
+//	RBC blobs, contiguous
+
+// ImageMagic identifies a serialized row block image.
+const ImageMagic uint32 = 0x314b4252 // "RBK1"
+
+// ErrImageCorrupt is returned for structurally invalid block images.
+var ErrImageCorrupt = errors.New("rowblock: corrupt block image")
+
+// imagePrefix serializes everything before the RBC blobs.
+func (b *RowBlock) imagePrefix() []byte {
+	var p []byte
+	p = binary.LittleEndian.AppendUint32(p, ImageMagic)
+	p = binary.LittleEndian.AppendUint64(p, 0) // image size, patched below
+	p = binary.LittleEndian.AppendUint64(p, uint64(b.hdr.RowCount))
+	p = binary.LittleEndian.AppendUint64(p, uint64(b.hdr.MinTime))
+	p = binary.LittleEndian.AppendUint64(p, uint64(b.hdr.MaxTime))
+	p = binary.LittleEndian.AppendUint64(p, uint64(b.hdr.Created))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(b.schema)))
+	for _, f := range b.schema {
+		p = binary.LittleEndian.AppendUint16(p, uint16(len(f.Name)))
+		p = append(p, f.Name...)
+		p = append(p, byte(f.Type))
+	}
+	offsetTable := len(p)
+	off := uint64(offsetTable + 8*len(b.cols))
+	for _, c := range b.cols {
+		p = binary.LittleEndian.AppendUint64(p, off)
+		off += uint64(c.Size())
+	}
+	binary.LittleEndian.PutUint64(p[4:], off) // total image size
+	return p
+}
+
+// ImageSize returns the serialized image size in bytes.
+func (b *RowBlock) ImageSize() int {
+	n := 4 + 8 + 8 + 8*3 + 4
+	for _, f := range b.schema {
+		n += 2 + len(f.Name) + 1
+	}
+	n += 8 * len(b.cols)
+	for _, c := range b.cols {
+		n += c.Size()
+	}
+	return n
+}
+
+// AppendImage serializes the whole block (prefix plus all columns).
+func (b *RowBlock) AppendImage(dst []byte) []byte {
+	dst = append(dst, b.imagePrefix()...)
+	for _, c := range b.cols {
+		dst = append(dst, c.Blob()...)
+	}
+	return dst
+}
+
+// ImageWriter streams a block image into a caller-provided buffer one column
+// at a time, so shutdown can release each heap column right after copying it
+// (Figure 6). The destination must be ImageSize() bytes.
+type ImageWriter struct {
+	block *RowBlock
+	dst   []byte
+	pos   int
+	next  int // next column to copy
+}
+
+// NewImageWriter writes the prefix immediately and prepares column copies.
+func (b *RowBlock) NewImageWriter(dst []byte) (*ImageWriter, error) {
+	if len(dst) < b.ImageSize() {
+		return nil, fmt.Errorf("rowblock: image needs %d bytes, have %d", b.ImageSize(), len(dst))
+	}
+	prefix := b.imagePrefix()
+	copy(dst, prefix)
+	return &ImageWriter{block: b, dst: dst, pos: len(prefix)}, nil
+}
+
+// CopyColumn copies the next RBC into the image and returns its size, or 0
+// when all columns are done. The caller releases the heap column afterwards.
+func (w *ImageWriter) CopyColumn() int {
+	if w.next >= len(w.block.cols) {
+		return 0
+	}
+	blob := w.block.cols[w.next].Blob()
+	copy(w.dst[w.pos:], blob)
+	w.pos += len(blob)
+	w.next++
+	return len(blob)
+}
+
+// Done reports whether every column has been copied.
+func (w *ImageWriter) Done() bool { return w.next >= len(w.block.cols) }
+
+// DecodeImage parses a block image. When copyBlobs is true the RBC bytes are
+// copied into fresh heap allocations (the restore path: shared memory will
+// be unmapped); when false the RBCs alias img (zero-copy reads). Column
+// checksums are always verified — images come from shm or disk.
+func DecodeImage(img []byte, copyBlobs bool) (*RowBlock, int, error) {
+	if len(img) < 48 {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrImageCorrupt, len(img))
+	}
+	if m := binary.LittleEndian.Uint32(img); m != ImageMagic {
+		return nil, 0, fmt.Errorf("%w: magic %08x", ErrImageCorrupt, m)
+	}
+	size := binary.LittleEndian.Uint64(img[4:])
+	if size > uint64(len(img)) || size < 48 {
+		return nil, 0, fmt.Errorf("%w: image size %d, buffer %d", ErrImageCorrupt, size, len(img))
+	}
+	img = img[:size]
+	hdr := Header{
+		RowCount: int(binary.LittleEndian.Uint64(img[12:])),
+		MinTime:  int64(binary.LittleEndian.Uint64(img[20:])),
+		MaxTime:  int64(binary.LittleEndian.Uint64(img[28:])),
+		Created:  int64(binary.LittleEndian.Uint64(img[36:])),
+	}
+	ncols := int(binary.LittleEndian.Uint32(img[44:]))
+	pos := 48
+	// A schema entry takes at least 3 bytes and each column needs an
+	// 8-byte offset; reject counts the image cannot possibly hold before
+	// allocating anything (untrusted input must not size allocations).
+	if ncols < 0 || pos+11*ncols > len(img) {
+		return nil, 0, fmt.Errorf("%w: %d columns in %d bytes", ErrImageCorrupt, ncols, len(img))
+	}
+	schema := make(Schema, 0, ncols)
+	for i := 0; i < ncols; i++ {
+		if pos+2 > len(img) {
+			return nil, 0, fmt.Errorf("%w: truncated schema", ErrImageCorrupt)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(img[pos:]))
+		pos += 2
+		if pos+nameLen+1 > len(img) {
+			return nil, 0, fmt.Errorf("%w: truncated schema entry", ErrImageCorrupt)
+		}
+		name := string(img[pos : pos+nameLen])
+		pos += nameLen
+		vt := layout.ValueType(img[pos])
+		pos++
+		schema = append(schema, Field{Name: name, Type: vt})
+	}
+	if pos+8*ncols > len(img) {
+		return nil, 0, fmt.Errorf("%w: truncated offset table", ErrImageCorrupt)
+	}
+	offsets := make([]uint64, ncols)
+	for i := range offsets {
+		offsets[i] = binary.LittleEndian.Uint64(img[pos:])
+		pos += 8
+	}
+	cols := make([]*layout.RBC, ncols)
+	var total int64
+	for i, off := range offsets {
+		end := size
+		if i+1 < ncols {
+			end = offsets[i+1]
+		}
+		if off > end || end > size || off < uint64(pos) {
+			return nil, 0, fmt.Errorf("%w: column %d offsets [%d,%d)", ErrImageCorrupt, i, off, end)
+		}
+		blob := img[off:end]
+		if copyBlobs {
+			blob = append([]byte(nil), blob...)
+		}
+		rbc, err := layout.Parse(blob)
+		if err != nil {
+			return nil, 0, fmt.Errorf("rowblock: column %d (%s): %w", i, schema[i].Name, err)
+		}
+		cols[i] = rbc
+		total += int64(rbc.Size())
+	}
+	hdr.Size = total
+	rb, err := FromColumns(hdr, schema, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rb, int(size), nil
+}

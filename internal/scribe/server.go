@@ -1,0 +1,255 @@
+package scribe
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Server exposes a Bus over TCP so producers (product log calls) and tailer
+// daemons in other processes share one Scribe, completing Figure 1 as real
+// processes: products -> scribed -> tailerd -> leaf daemons.
+//
+// The protocol is the same gob request/response framing the rest of the
+// system uses.
+type Server struct {
+	bus *Bus
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// op tags a scribe RPC.
+type op uint8
+
+const (
+	opAppend op = iota + 1
+	opRead
+	opEnd
+	opOldest
+)
+
+type request struct {
+	Op       op
+	Category string
+	Payload  []byte
+	Offset   int64
+	Max      int
+}
+
+type response struct {
+	Err    string
+	TooOld bool // distinguishes ErrTooOld so clients can skip forward
+	Offset int64
+	Msgs   []Message
+}
+
+// NewServer serves the bus on addr.
+func NewServer(bus *Bus, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("scribe: listen: %w", err)
+	}
+	s := &Server{bus: bus, ln: ln, conns: make(map[net.Conn]struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		switch req.Op {
+		case opAppend:
+			resp.Offset = s.bus.Append(req.Category, req.Payload)
+		case opRead:
+			msgs, err := s.bus.Read(req.Category, req.Offset, req.Max)
+			if errors.Is(err, ErrTooOld) {
+				resp.TooOld = true
+				resp.Err = err.Error()
+			} else if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Msgs = msgs
+			}
+		case opEnd:
+			resp.Offset = s.bus.End(req.Category)
+		case opOldest:
+			resp.Offset, _ = s.bus.Oldest(req.Category)
+		default:
+			resp.Err = fmt.Sprintf("scribe: unknown op %d", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+// Client talks to a remote scribed. It satisfies Source, so tailers consume
+// it exactly like an in-process Bus. Safe for concurrent use.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial creates a client; the connection is established lazily and re-dialed
+// after transport errors.
+func Dial(addr string) *Client { return &Client{addr: addr} }
+
+var _ Source = (*Client)(nil)
+
+func (c *Client) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.callLocked(req)
+	if err != nil {
+		// All scribe ops except Append are idempotent; Append retries
+		// could duplicate a message, which Scuba tolerates, but we stay
+		// conservative and only retry reads.
+		if req.Op == opAppend {
+			return nil, err
+		}
+		resp, err = c.callLocked(req)
+	}
+	return resp, err
+}
+
+func (c *Client) callLocked(req *request) (*response, error) {
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, err
+		}
+		c.conn = conn
+		c.enc = gob.NewEncoder(conn)
+		c.dec = gob.NewDecoder(conn)
+	}
+	drop := func() {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if err := c.enc.Encode(req); err != nil {
+		drop()
+		return nil, err
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		drop()
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return nil
+}
+
+// Append adds one message and returns its offset.
+func (c *Client) Append(category string, payload []byte) (int64, error) {
+	resp, err := c.call(&request{Op: opAppend, Category: category, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, errors.New(resp.Err)
+	}
+	return resp.Offset, nil
+}
+
+// Read implements Source.
+func (c *Client) Read(category string, offset int64, max int) ([]Message, error) {
+	resp, err := c.call(&request{Op: opRead, Category: category, Offset: offset, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	if resp.TooOld {
+		return nil, fmt.Errorf("%w: %s", ErrTooOld, strings.TrimPrefix(resp.Err, ErrTooOld.Error()+": "))
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Msgs, nil
+}
+
+// End returns the offset one past the newest message.
+func (c *Client) End(category string) (int64, error) {
+	resp, err := c.call(&request{Op: opEnd, Category: category})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, errors.New(resp.Err)
+	}
+	return resp.Offset, nil
+}
+
+// Oldest implements Source.
+func (c *Client) Oldest(category string) (int64, error) {
+	resp, err := c.call(&request{Op: opOldest, Category: category})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, errors.New(resp.Err)
+	}
+	return resp.Offset, nil
+}

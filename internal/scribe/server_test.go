@@ -1,0 +1,115 @@
+package scribe
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newNetPair(t *testing.T, retain int) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(NewBus(retain), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := Dial(srv.Addr())
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestNetworkAppendRead(t *testing.T) {
+	_, c := newNetPair(t, 0)
+	for i := 0; i < 10; i++ {
+		off, err := c.Append("cat", []byte(fmt.Sprintf("m%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != int64(i) {
+			t.Errorf("offset = %d", off)
+		}
+	}
+	msgs, err := c.Read("cat", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 4 || string(msgs[0].Payload) != "m3" || msgs[0].Offset != 3 {
+		t.Errorf("msgs = %v", msgs)
+	}
+	end, err := c.End("cat")
+	if err != nil || end != 10 {
+		t.Errorf("End = %d, %v", end, err)
+	}
+	oldest, err := c.Oldest("cat")
+	if err != nil || oldest != 0 {
+		t.Errorf("Oldest = %d, %v", oldest, err)
+	}
+}
+
+func TestNetworkTooOldSkips(t *testing.T) {
+	_, c := newNetPair(t, 3)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Append("cat", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Read("cat", 0, 5); !errors.Is(err, ErrTooOld) {
+		t.Fatalf("err = %v", err)
+	}
+	// A tailer over the network client recovers via Oldest exactly like the
+	// in-process one.
+	tl := NewTailer(c, "cat", 0)
+	msgs, lost, err := tl.Poll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 7 || len(msgs) != 3 {
+		t.Errorf("lost %d, msgs %d", lost, len(msgs))
+	}
+}
+
+func TestNetworkTailerEndToEnd(t *testing.T) {
+	_, c := newNetPair(t, 0)
+	for i := 0; i < 100; i++ {
+		if _, err := c.Append("cat", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tl := NewTailer(c, "cat", 0)
+	total := 0
+	for {
+		msgs, _, err := tl.Poll(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		total += len(msgs)
+	}
+	if total != 100 {
+		t.Errorf("polled %d", total)
+	}
+}
+
+func TestNetworkClientReconnects(t *testing.T) {
+	srv, c := newNetPair(t, 0)
+	if _, err := c.Append("cat", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	for conn := range srv.conns {
+		conn.Close()
+	}
+	srv.mu.Unlock()
+	// Reads retry transparently.
+	var err error
+	for try := 0; try < 3; try++ {
+		if _, err = c.Read("cat", 0, 1); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("read did not recover: %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+package shm
+
+import (
+	"fmt"
+	"io"
+	"unsafe"
+)
+
+// unsafePointer returns the address of a byte slice's backing array for the
+// raw msync syscall.
+func unsafePointer(b []byte) unsafe.Pointer {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Pointer(&b[0])
+}
+
+// loadFallback reads the whole backing file into a heap buffer. Used when
+// mmap is disabled; cross-process semantics still hold because storeFallback
+// writes the buffer back to the shared file.
+func (s *Segment) loadFallback() error {
+	buf := make([]byte, s.size)
+	if _, err := s.f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("shm: read segment %s: %w", s.name, err)
+	}
+	s.data = buf
+	return nil
+}
+
+// storeFallback writes the heap buffer back to the file.
+func (s *Segment) storeFallback() error {
+	if s.data == nil {
+		return nil
+	}
+	if _, err := s.f.WriteAt(s.data[:min(int64(len(s.data)), s.size)], 0); err != nil {
+		return fmt.Errorf("shm: write segment %s: %w", s.name, err)
+	}
+	if int64(len(s.data)) != s.size {
+		s.data = nil // force reload at the new size
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package shm
+
+import "testing"
+
+// FuzzDecodeMetadata feeds arbitrary bytes to the leaf-metadata decoder —
+// the first thing a restarting process reads from shared memory. Garbage
+// must be rejected (sending the leaf to disk recovery), never trusted.
+func FuzzDecodeMetadata(f *testing.F) {
+	valid := (&Metadata{
+		Valid:    true,
+		Version:  LayoutVersion,
+		Created:  1700000000,
+		Segments: []SegmentInfo{{Table: "events", Segment: "tbl-events"}},
+	}).encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		md, err := decodeMetadata(data)
+		if err == nil && md == nil {
+			t.Fatal("nil metadata without error")
+		}
+	})
+}

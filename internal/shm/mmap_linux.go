@@ -1,0 +1,53 @@
+//go:build linux
+
+package shm
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// mapIn maps the segment: real mmap when enabled, heap fallback otherwise.
+func (s *Segment) mapIn() error {
+	if !s.useMmap {
+		return s.loadFallback()
+	}
+	data, err := syscall.Mmap(int(s.f.Fd()), 0, int(s.size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("shm: mmap %s (%d bytes): %w", s.name, s.size, err)
+	}
+	s.data = data
+	return nil
+}
+
+// mapOut unmaps the segment. MAP_SHARED writes are visible to the file
+// without an explicit flush.
+func (s *Segment) mapOut() error {
+	if !s.useMmap {
+		return s.storeFallback()
+	}
+	if s.data == nil {
+		return nil
+	}
+	err := syscall.Munmap(s.data)
+	s.data = nil
+	if err != nil {
+		return fmt.Errorf("shm: munmap %s: %w", s.name, err)
+	}
+	return nil
+}
+
+func (s *Segment) sync() error {
+	if !s.useMmap {
+		return s.storeFallback()
+	}
+	// MS_SYNC through the raw syscall; the data slice is page-aligned
+	// because it came from mmap.
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafePointer(s.data)), uintptr(len(s.data)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return fmt.Errorf("shm: msync %s: %w", s.name, errno)
+	}
+	return nil
+}

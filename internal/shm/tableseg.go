@@ -1,0 +1,234 @@
+package shm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scuba/internal/rowblock"
+)
+
+// Table segment layout (Figure 4). One shared memory segment per table.
+// Because the full set of row blocks and their sizes is known at backup
+// time, blocks are laid out contiguously — one less level of indirection
+// than the heap layout:
+//
+//	u32  magic "SGT1"
+//	u32  shm layout version
+//	u64  payload start (offset of the first block image)
+//	u64  footer offset (end of payload, patched by Finish)
+//	u32  number of row blocks (patched by Finish)
+//	u16  table name length
+//	...  table name bytes
+//	...  row block images, contiguous (see rowblock.AppendImage)
+//	footer: u64 per block — offset of each block image
+//
+// The footer lets the restore path drain the segment in reverse, truncating
+// the tail after each block so tmpfs pages are released as the data moves
+// back to the heap, keeping the total footprint flat (§4.4, Figure 7).
+
+// SegMagic identifies a table segment.
+const SegMagic uint32 = 0x31544753 // "SGT1"
+
+const segHeaderFixed = 4 + 4 + 8 + 8 + 4 + 2
+
+// ErrSegCorrupt is returned for structurally invalid table segments.
+var ErrSegCorrupt = fmt.Errorf("shm: corrupt table segment")
+
+// TableSegmentWriter streams a table's row blocks into a segment, one row
+// block column at a time (Figure 6).
+type TableSegmentWriter struct {
+	seg     *Segment
+	pos     int64
+	offsets []int64
+	// BytesCopied counts payload bytes written, for bandwidth accounting.
+	BytesCopied int64
+}
+
+// CreateTableSegment creates a segment sized by estimate (Figure 6:
+// "estimate size of table"); WriteBlock grows it as needed.
+func CreateTableSegment(m *Manager, segName, tableName string, estimate int64) (*TableSegmentWriter, error) {
+	headerSize := int64(segHeaderFixed + len(tableName))
+	size := headerSize + estimate
+	if size < headerSize+1024 {
+		size = headerSize + 1024
+	}
+	seg, err := m.CreateSegment(segName, size)
+	if err != nil {
+		return nil, err
+	}
+	b := seg.Bytes()
+	binary.LittleEndian.PutUint32(b[0:], SegMagic)
+	binary.LittleEndian.PutUint32(b[4:], LayoutVersion)
+	binary.LittleEndian.PutUint64(b[8:], uint64(headerSize))
+	binary.LittleEndian.PutUint64(b[16:], uint64(headerSize)) // patched by Finish
+	binary.LittleEndian.PutUint32(b[24:], 0)                  // patched by Finish
+	binary.LittleEndian.PutUint16(b[28:], uint16(len(tableName)))
+	copy(b[segHeaderFixed:], tableName)
+	return &TableSegmentWriter{seg: seg, pos: headerSize}, nil
+}
+
+// WriteBlock copies one row block into the segment column by column. When
+// release is true each heap column is dropped right after its copy, so the
+// block's memory is reclaimed incrementally (Figure 6 pseudocode).
+func (w *TableSegmentWriter) WriteBlock(rb *rowblock.RowBlock, release bool) error {
+	imageSize := int64(rb.ImageSize()) // before columns are released
+	need := w.pos + imageSize
+	if need > w.seg.Size() {
+		// Figure 6: "grow the table segment in size if needed".
+		newSize := w.seg.Size() + w.seg.Size()/2
+		if newSize < need {
+			newSize = need
+		}
+		if err := w.seg.Grow(newSize); err != nil {
+			return err
+		}
+	}
+	iw, err := rb.NewImageWriter(w.seg.Bytes()[w.pos:])
+	if err != nil {
+		return err
+	}
+	for i := 0; !iw.Done(); i++ {
+		n := iw.CopyColumn()
+		w.BytesCopied += int64(n)
+		if release {
+			rb.ReleaseColumn(i)
+		}
+	}
+	w.offsets = append(w.offsets, w.pos)
+	w.pos += imageSize
+	return nil
+}
+
+// Finish writes the footer, patches the header, trims any over-allocation,
+// and closes the segment. The data stays in the backing tmpfs file.
+func (w *TableSegmentWriter) Finish() error {
+	footerOff := w.pos
+	need := footerOff + int64(8*len(w.offsets))
+	if need > w.seg.Size() {
+		if err := w.seg.Grow(need); err != nil {
+			return err
+		}
+	}
+	b := w.seg.Bytes()
+	for i, off := range w.offsets {
+		binary.LittleEndian.PutUint64(b[footerOff+int64(8*i):], uint64(off))
+	}
+	binary.LittleEndian.PutUint64(b[16:], uint64(footerOff))
+	binary.LittleEndian.PutUint32(b[24:], uint32(len(w.offsets)))
+	if err := w.seg.Sync(); err != nil {
+		return err
+	}
+	if need < w.seg.Size() {
+		if err := w.seg.Truncate(need); err != nil {
+			return err
+		}
+	}
+	return w.seg.Close()
+}
+
+// Abort closes the segment without finishing; the caller removes it.
+func (w *TableSegmentWriter) Abort() error { return w.seg.Close() }
+
+// TableSegmentReader drains a table segment back to the heap, last block
+// first, truncating the segment as it goes (Figure 7).
+type TableSegmentReader struct {
+	m         *Manager
+	seg       *Segment
+	tableName string
+	offsets   []int64
+	remaining int
+}
+
+// OpenTableSegment validates a segment's header and footer for restore.
+func OpenTableSegment(m *Manager, segName string) (*TableSegmentReader, error) {
+	seg, err := m.OpenSegment(segName)
+	if err != nil {
+		return nil, err
+	}
+	r := &TableSegmentReader{m: m, seg: seg}
+	if err := r.parseHeader(); err != nil {
+		seg.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *TableSegmentReader) parseHeader() error {
+	b := r.seg.Bytes()
+	if len(b) < segHeaderFixed {
+		return fmt.Errorf("%w: %d bytes", ErrSegCorrupt, len(b))
+	}
+	if m := binary.LittleEndian.Uint32(b[0:]); m != SegMagic {
+		return fmt.Errorf("%w: magic %08x", ErrSegCorrupt, m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != LayoutVersion {
+		return fmt.Errorf("%w: segment version %d, code version %d", ErrVersionSkew, v, LayoutVersion)
+	}
+	payloadStart := int64(binary.LittleEndian.Uint64(b[8:]))
+	footerOff := int64(binary.LittleEndian.Uint64(b[16:]))
+	nblocks := int(binary.LittleEndian.Uint32(b[24:]))
+	nameLen := int(binary.LittleEndian.Uint16(b[28:]))
+	if payloadStart != int64(segHeaderFixed+nameLen) ||
+		footerOff < payloadStart ||
+		footerOff+int64(8*nblocks) > int64(len(b)) {
+		return fmt.Errorf("%w: payload=%d footer=%d blocks=%d len=%d",
+			ErrSegCorrupt, payloadStart, footerOff, nblocks, len(b))
+	}
+	r.tableName = string(b[segHeaderFixed : segHeaderFixed+nameLen])
+	r.offsets = make([]int64, nblocks)
+	prev := payloadStart
+	for i := 0; i < nblocks; i++ {
+		off := int64(binary.LittleEndian.Uint64(b[footerOff+int64(8*i):]))
+		if off < prev || off >= footerOff {
+			return fmt.Errorf("%w: block %d offset %d", ErrSegCorrupt, i, off)
+		}
+		r.offsets[i] = off
+		prev = off
+	}
+	r.remaining = nblocks
+	return nil
+}
+
+// TableName returns the table this segment belongs to.
+func (r *TableSegmentReader) TableName() string { return r.tableName }
+
+// NumBlocks returns the total number of row blocks in the segment.
+func (r *TableSegmentReader) NumBlocks() int { return len(r.offsets) }
+
+// Remaining returns how many blocks have not been read yet.
+func (r *TableSegmentReader) Remaining() int { return r.remaining }
+
+// ReadBlock copies the next block (in reverse order) to fresh heap memory,
+// verifies its checksums, truncates the segment to release the pages, and
+// returns the block. Returns nil when the segment is drained.
+func (r *TableSegmentReader) ReadBlock() (*rowblock.RowBlock, error) {
+	if r.remaining == 0 {
+		return nil, nil
+	}
+	idx := r.remaining - 1
+	off := r.offsets[idx]
+	rb, _, err := rowblock.DecodeImage(r.seg.Bytes()[off:], true)
+	if err != nil {
+		return nil, fmt.Errorf("shm: block %d of %s: %w", idx, r.tableName, err)
+	}
+	r.remaining--
+	// Figure 7: "truncate the table shared memory segment if needed" —
+	// drop the consumed tail so physical pages are released while the heap
+	// side grows, keeping total footprint flat.
+	if err := r.seg.Truncate(off); err != nil {
+		return nil, err
+	}
+	return rb, nil
+}
+
+// Close closes and deletes the segment (Figure 7 deletes each table segment
+// after restoring it).
+func (r *TableSegmentReader) Close(remove bool) error {
+	err := r.seg.Close()
+	if remove {
+		if rerr := r.m.RemoveSegment(r.seg.Name()); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return err
+}

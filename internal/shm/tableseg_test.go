@@ -1,0 +1,314 @@
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"scuba/internal/rowblock"
+)
+
+func buildBlocks(t *testing.T, nblocks, rowsPerBlock int) []*rowblock.RowBlock {
+	t.Helper()
+	out := make([]*rowblock.RowBlock, nblocks)
+	for bidx := range out {
+		b := rowblock.NewBuilder(int64(1000 + bidx))
+		for i := 0; i < rowsPerBlock; i++ {
+			err := b.AddRow(rowblock.Row{
+				Time: int64(bidx*rowsPerBlock + i),
+				Cols: map[string]rowblock.Value{
+					"host": rowblock.StringValue(fmt.Sprintf("host-%d", i%7)),
+					"lat":  rowblock.Int64Value(int64(i)),
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rb, err := b.Seal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[bidx] = rb
+	}
+	return out
+}
+
+func TestTableSegmentRoundTrip(t *testing.T) {
+	runBothModes(t, func(t *testing.T, noMmap bool) {
+		m := newTestManager(t, 1, noMmap)
+		blocks := buildBlocks(t, 4, 300)
+		var totalBytes int64
+		for _, rb := range blocks {
+			totalBytes += int64(rb.ImageSize())
+		}
+
+		w, err := CreateTableSegment(m, "tbl-events", "events", totalBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rb := range blocks {
+			if err := w.WriteBlock(rb, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := OpenTableSegment(m, "tbl-events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TableName() != "events" {
+			t.Errorf("TableName = %q", r.TableName())
+		}
+		if r.NumBlocks() != 4 {
+			t.Errorf("NumBlocks = %d", r.NumBlocks())
+		}
+		// Blocks come back in reverse order.
+		var restored []*rowblock.RowBlock
+		for {
+			rb, err := r.ReadBlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rb == nil {
+				break
+			}
+			restored = append(restored, rb)
+		}
+		if err := r.Close(true); err != nil {
+			t.Fatal(err)
+		}
+		if len(restored) != 4 {
+			t.Fatalf("restored %d blocks", len(restored))
+		}
+		for i, rb := range restored {
+			orig := blocks[len(blocks)-1-i]
+			if rb.Header() != orig.Header() {
+				t.Errorf("block %d header mismatch", i)
+			}
+			gotTimes, err := rb.Times()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTimes, _ := orig.Times()
+			if !reflect.DeepEqual(gotTimes, wantTimes) {
+				t.Errorf("block %d times mismatch", i)
+			}
+		}
+		if m.SegmentExists("tbl-events") {
+			t.Error("segment not removed after Close(true)")
+		}
+	})
+}
+
+func TestTableSegmentGrowsFromSmallEstimate(t *testing.T) {
+	// Figure 6 estimates the size and grows if needed; force growth with a
+	// deliberately tiny estimate.
+	m := newTestManager(t, 1, false)
+	blocks := buildBlocks(t, 6, 500)
+	w, err := CreateTableSegment(m, "tbl-g", "g", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rb := range blocks {
+		if err := w.WriteBlock(rb, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenTableSegment(m, "tbl-g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(true)
+	count := 0
+	for {
+		rb, err := r.ReadBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb == nil {
+			break
+		}
+		count++
+	}
+	if count != 6 {
+		t.Errorf("restored %d blocks", count)
+	}
+}
+
+func TestWriteBlockReleasesHeapColumns(t *testing.T) {
+	m := newTestManager(t, 1, false)
+	blocks := buildBlocks(t, 1, 100)
+	w, err := CreateTableSegment(m, "tbl-r", "r", int64(blocks[0].ImageSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(blocks[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if !blocks[0].Released() {
+		t.Error("columns not released after copy")
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Released blocks still restore correctly from the segment.
+	r, err := OpenTableSegment(m, "tbl-r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(true)
+	rb, err := r.ReadBlock()
+	if err != nil || rb == nil {
+		t.Fatalf("read: %v", err)
+	}
+	if rb.Rows() != 100 {
+		t.Errorf("rows = %d", rb.Rows())
+	}
+}
+
+func TestReaderTruncatesAsItDrains(t *testing.T) {
+	m := newTestManager(t, 1, false)
+	blocks := buildBlocks(t, 3, 1000)
+	var total int64
+	for _, rb := range blocks {
+		total += int64(rb.ImageSize())
+	}
+	w, err := CreateTableSegment(m, "tbl-t", "t", total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rb := range blocks {
+		if err := w.WriteBlock(rb, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenTableSegment(m, "tbl-t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(true)
+	prev := r.seg.Size()
+	for {
+		rb, err := r.ReadBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb == nil {
+			break
+		}
+		if r.seg.Size() >= prev {
+			t.Errorf("segment did not shrink: %d -> %d", prev, r.seg.Size())
+		}
+		prev = r.seg.Size()
+	}
+}
+
+func TestOpenTableSegmentRejectsCorruption(t *testing.T) {
+	m := newTestManager(t, 1, false)
+	blocks := buildBlocks(t, 2, 50)
+	w, err := CreateTableSegment(m, "tbl-c", "c", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rb := range blocks {
+		if err := w.WriteBlock(rb, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mut func([]byte)) error {
+		seg, err := m.OpenSegment("tbl-c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(seg.Bytes())
+		seg.Close()
+		r, err := OpenTableSegment(m, "tbl-c")
+		if err != nil {
+			return err
+		}
+		for {
+			rb, rerr := r.ReadBlock()
+			if rerr != nil {
+				r.Close(false)
+				return rerr
+			}
+			if rb == nil {
+				break
+			}
+		}
+		r.Close(false)
+		return nil
+	}
+
+	if err := corrupt(func(b []byte) { b[0] ^= 0xff }); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Restore the magic, corrupt the version.
+	if err := corrupt(func(b []byte) { b[0] ^= 0xff; b[4] ^= 0xff }); !errors.Is(err, ErrVersionSkew) {
+		t.Errorf("version skew: %v", err)
+	}
+	// Fix version, corrupt a payload byte: the RBC checksum must catch it.
+	if err := corrupt(func(b []byte) { b[4] ^= 0xff; b[200] ^= 0x01 }); err == nil {
+		t.Error("payload corruption accepted")
+	}
+}
+
+func TestAbortLeavesRemovableSegment(t *testing.T) {
+	m := newTestManager(t, 1, false)
+	blocks := buildBlocks(t, 1, 10)
+	w, err := CreateTableSegment(m, "tbl-a", "a", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(blocks[0], false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveSegment("tbl-a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.SegmentExists("tbl-a") {
+		t.Error("segment still exists")
+	}
+}
+
+func TestBytesCopiedAccounting(t *testing.T) {
+	m := newTestManager(t, 1, false)
+	blocks := buildBlocks(t, 2, 100)
+	w, err := CreateTableSegment(m, "tbl-b", "b", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, rb := range blocks {
+		for i := 0; i < rb.NumColumns(); i++ {
+			want += int64(rb.Column(i).Size())
+		}
+		if err := w.WriteBlock(rb, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.BytesCopied != want {
+		t.Errorf("BytesCopied = %d, want %d", w.BytesCopied, want)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

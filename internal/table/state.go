@@ -1,0 +1,78 @@
+package table
+
+import "fmt"
+
+// State is the per-table state machine from Figure 5(c) and 5(d).
+//
+// Backup (shutdown) path:   ALIVE -> PREPARE -> COPY_TO_SHM -> DONE
+// Restore (startup) path:   INIT -> MEMORY_RECOVERY | DISK_RECOVERY -> ALIVE
+//
+// PREPARE (Figure 5c) rejects new requests, kills DELETE requests in
+// progress, waits for ADD/QUERY requests in flight to complete, and flushes
+// data to disk. Scuba stops deleting expired data once shutdown starts; any
+// needed deletions are made after recovery.
+type State uint8
+
+// Table states.
+const (
+	StateInit State = iota
+	StateMemoryRecovery
+	StateDiskRecovery
+	StateAlive
+	StatePrepare
+	StateCopyToShm
+	StateDone
+)
+
+func (s State) String() string {
+	switch s {
+	case StateInit:
+		return "INIT"
+	case StateMemoryRecovery:
+		return "MEMORY_RECOVERY"
+	case StateDiskRecovery:
+		return "DISK_RECOVERY"
+	case StateAlive:
+		return "ALIVE"
+	case StatePrepare:
+		return "PREPARE"
+	case StateCopyToShm:
+		return "COPY_TO_SHM"
+	case StateDone:
+		return "DONE"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// legalTransitions encodes Figure 5(c) and 5(d) exactly. A new table starts
+// in INIT and reaches ALIVE through one of the recovery states (or directly,
+// for a table created empty by the first incoming batch).
+var legalTransitions = map[State][]State{
+	StateInit:           {StateMemoryRecovery, StateDiskRecovery, StateAlive},
+	StateMemoryRecovery: {StateAlive, StateDiskRecovery}, // exception -> disk
+	StateDiskRecovery:   {StateAlive},
+	StateAlive:          {StatePrepare},
+	StatePrepare:        {StateCopyToShm},
+	StateCopyToShm:      {StateDone},
+	StateDone:           nil,
+}
+
+// CanTransition reports whether from -> to is a legal edge.
+func CanTransition(from, to State) bool {
+	for _, s := range legalTransitions[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrBadTransition wraps illegal state-machine transitions.
+type ErrBadTransition struct {
+	From, To State
+}
+
+func (e *ErrBadTransition) Error() string {
+	return fmt.Sprintf("table: illegal transition %v -> %v", e.From, e.To)
+}

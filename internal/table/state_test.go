@@ -1,0 +1,69 @@
+package table
+
+import "testing"
+
+func TestStateStrings(t *testing.T) {
+	for s := StateInit; s <= StateDone; s++ {
+		if s.String() == "" {
+			t.Errorf("state %d has empty name", s)
+		}
+	}
+	if State(99).String() != "state(99)" {
+		t.Errorf("unknown state = %q", State(99).String())
+	}
+}
+
+// TestTransitionsMatchFigure5 exhaustively checks every (from, to) pair
+// against the edges drawn in Figure 5(c) and 5(d).
+func TestTransitionsMatchFigure5(t *testing.T) {
+	type edge struct{ from, to State }
+	legal := map[edge]bool{
+		// Figure 5(d): restore.
+		{StateInit, StateMemoryRecovery}:         true,
+		{StateInit, StateDiskRecovery}:           true, // memory recovery disabled
+		{StateInit, StateAlive}:                  true, // brand-new empty table
+		{StateMemoryRecovery, StateAlive}:        true,
+		{StateMemoryRecovery, StateDiskRecovery}: true, // exception
+		{StateDiskRecovery, StateAlive}:          true,
+		// Figure 5(c): backup.
+		{StateAlive, StatePrepare}:     true,
+		{StatePrepare, StateCopyToShm}: true,
+		{StateCopyToShm, StateDone}:    true,
+	}
+	all := []State{StateInit, StateMemoryRecovery, StateDiskRecovery, StateAlive, StatePrepare, StateCopyToShm, StateDone}
+	for _, from := range all {
+		for _, to := range all {
+			want := legal[edge{from, to}]
+			if got := CanTransition(from, to); got != want {
+				t.Errorf("CanTransition(%v, %v) = %v, want %v", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestBadTransitionError(t *testing.T) {
+	tbl := New("t", Options{})
+	err := tbl.Transition(StateDone)
+	if err == nil {
+		t.Fatal("ALIVE -> DONE allowed")
+	}
+	var bad *ErrBadTransition
+	if !asErr(err, &bad) {
+		t.Fatalf("error type %T", err)
+	}
+	if bad.From != StateAlive || bad.To != StateDone {
+		t.Errorf("edge = %v -> %v", bad.From, bad.To)
+	}
+	if bad.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+// asErr is a tiny errors.As wrapper to keep the test body readable.
+func asErr(err error, target *(*ErrBadTransition)) bool {
+	if e, ok := err.(*ErrBadTransition); ok {
+		*target = e
+		return true
+	}
+	return false
+}

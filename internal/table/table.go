@@ -1,0 +1,408 @@
+// Package table implements Scuba tables: an ordered vector of row blocks
+// plus a header (Figure 2), with ingestion, age/size-based expiration, and
+// the per-table shutdown/restore state machine (Figure 5c, 5d).
+//
+// Each leaf server holds a fraction of most tables (§2.1). A table accepts
+// new rows into an in-progress row block builder, seals the builder when it
+// reaches 65,536 rows (or the byte cap), and serves queries over its sealed
+// blocks. Deletion of expired data runs during normal operation and is
+// stopped as soon as shutdown starts.
+package table
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"scuba/internal/rowblock"
+)
+
+// Options configure a table.
+type Options struct {
+	// MaxAgeSeconds expires row blocks whose newest row is older than this.
+	// Zero means no age limit.
+	MaxAgeSeconds int64
+	// MaxBytes trims oldest blocks when total compressed bytes exceed it.
+	// Zero means no size limit.
+	MaxBytes int64
+}
+
+// Errors returned by table operations.
+var (
+	ErrNotAccepting  = errors.New("table: not accepting requests in current state")
+	ErrDeletesKilled = errors.New("table: delete killed by shutdown")
+)
+
+// Table holds one table's data on one leaf.
+type Table struct {
+	name string
+	opts Options
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	state       State
+	inflightAdd int
+	inflightQry int
+	inflightDel int
+	killDeletes bool
+
+	blocks []*rowblock.RowBlock
+	active *rowblock.Builder
+	// synced is the number of leading blocks already persisted to disk;
+	// only data changed since the last synchronization point is written
+	// again (§4.1). Expiration rebases it.
+	synced int
+
+	rowsTotal  int64
+	bytesTotal int64
+}
+
+// New creates an empty table in the ALIVE state (a table created by its
+// first incoming batch transitions INIT -> ALIVE with nothing to recover).
+func New(name string, opts Options) *Table {
+	t := &Table{name: name, opts: opts, state: StateAlive}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// NewRecovering creates a table in INIT for the restore paths.
+func NewRecovering(name string, opts Options) *Table {
+	t := &Table{name: name, opts: opts, state: StateInit}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// State returns the current state.
+func (t *Table) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Transition moves the state machine along a legal edge.
+func (t *Table) Transition(to State) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.transitionLocked(to)
+}
+
+func (t *Table) transitionLocked(to State) error {
+	if !CanTransition(t.state, to) {
+		return &ErrBadTransition{From: t.state, To: to}
+	}
+	t.state = to
+	t.cond.Broadcast()
+	return nil
+}
+
+// acceptingAdds reports whether adds are allowed: tables take new data while
+// alive and during disk recovery (§4.1 step 2: "the server also accepts new
+// data as soon as it starts recovery"). Memory recovery is seconds long and
+// accepts nothing (§4.3).
+func (t *Table) acceptingAdds() bool {
+	return t.state == StateAlive || t.state == StateDiskRecovery
+}
+
+func (t *Table) acceptingQueries() bool {
+	return t.state == StateAlive || t.state == StateDiskRecovery
+}
+
+// AddRows ingests a batch of rows, sealing row blocks as they fill.
+func (t *Table) AddRows(rows []rowblock.Row, now int64) error {
+	t.mu.Lock()
+	if !t.acceptingAdds() {
+		st := t.state
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrNotAccepting, st)
+	}
+	t.inflightAdd++
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		t.inflightAdd--
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range rows {
+		if t.active == nil {
+			t.active = rowblock.NewBuilder(now)
+		}
+		if err := t.active.AddRow(r); err != nil {
+			if errors.Is(err, rowblock.ErrFull) {
+				if err := t.sealActiveLocked(); err != nil {
+					return err
+				}
+				t.active = rowblock.NewBuilder(now)
+				if err := t.active.AddRow(r); err != nil {
+					return err
+				}
+				continue
+			}
+			return err
+		}
+		if t.active.Full() {
+			if err := t.sealActiveLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sealActiveLocked seals the in-progress builder into the block vector.
+func (t *Table) sealActiveLocked() error {
+	if t.active == nil || t.active.Rows() == 0 {
+		t.active = nil
+		return nil
+	}
+	rb, err := t.active.Seal()
+	if err != nil {
+		return err
+	}
+	t.active = nil
+	t.blocks = append(t.blocks, rb)
+	t.rowsTotal += int64(rb.Rows())
+	t.bytesTotal += rb.Header().Size
+	return nil
+}
+
+// SealActive force-seals any in-progress rows (used before disk sync and
+// before copying to shared memory).
+func (t *Table) SealActive() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sealActiveLocked()
+}
+
+// Blocks returns a snapshot of the sealed blocks.
+func (t *Table) Blocks() []*rowblock.RowBlock {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*rowblock.RowBlock, len(t.blocks))
+	copy(out, t.blocks)
+	return out
+}
+
+// Scan calls fn for every sealed block overlapping [from, to], under query
+// gating. Blocks are pruned by their min/max time header fields (§2.1).
+func (t *Table) Scan(from, to int64, fn func(*rowblock.RowBlock) error) error {
+	t.mu.Lock()
+	if !t.acceptingQueries() {
+		st := t.state
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrNotAccepting, st)
+	}
+	t.inflightQry++
+	snapshot := make([]*rowblock.RowBlock, len(t.blocks))
+	copy(snapshot, t.blocks)
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		t.inflightQry--
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}()
+
+	for _, rb := range snapshot {
+		if !rb.Overlaps(from, to) {
+			continue
+		}
+		if err := fn(rb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActiveSnapshot returns a queryable view of the unsealed in-progress rows
+// (nil when there are none), gated like Scan. Queries see data the moment it
+// arrives, before its block seals.
+func (t *Table) ActiveSnapshot() (*rowblock.UnsealedView, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.acceptingQueries() {
+		return nil, fmt.Errorf("%w: %v", ErrNotAccepting, t.state)
+	}
+	if t.active == nil {
+		return nil, nil
+	}
+	return t.active.Snapshot(), nil
+}
+
+// Expire drops expired or over-budget blocks (oldest first). It aborts with
+// ErrDeletesKilled if shutdown starts mid-way (Figure 5c kills DELETEs).
+// Returns the number of blocks dropped.
+func (t *Table) Expire(now int64) (int, error) {
+	t.mu.Lock()
+	if t.state != StateAlive {
+		st := t.state
+		t.mu.Unlock()
+		return 0, fmt.Errorf("%w: %v", ErrNotAccepting, st)
+	}
+	t.inflightDel++
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		t.inflightDel--
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}()
+
+	dropped := 0
+	for {
+		t.mu.Lock()
+		if t.killDeletes {
+			t.mu.Unlock()
+			return dropped, ErrDeletesKilled
+		}
+		if len(t.blocks) == 0 {
+			t.mu.Unlock()
+			return dropped, nil
+		}
+		oldest := t.blocks[0]
+		expired := t.opts.MaxAgeSeconds > 0 && oldest.Header().MaxTime < now-t.opts.MaxAgeSeconds
+		overBudget := t.opts.MaxBytes > 0 && t.bytesTotal > t.opts.MaxBytes
+		if !expired && !overBudget {
+			t.mu.Unlock()
+			return dropped, nil
+		}
+		t.blocks = t.blocks[1:]
+		t.rowsTotal -= int64(oldest.Rows())
+		t.bytesTotal -= oldest.Header().Size
+		if t.synced > 0 {
+			t.synced--
+		}
+		dropped++
+		t.mu.Unlock()
+	}
+}
+
+// Prepare runs the PREPARE phase of Figure 5(c): transition to PREPARE
+// (rejecting new requests), signal in-flight deletes to die, wait for adds
+// and queries in flight to complete, and seal pending rows so the flush to
+// disk sees everything. The caller then flushes to disk and transitions to
+// COPY_TO_SHM.
+func (t *Table) Prepare() error {
+	t.mu.Lock()
+	if err := t.transitionLocked(StatePrepare); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.killDeletes = true
+	t.cond.Broadcast()
+	for t.inflightAdd > 0 || t.inflightQry > 0 || t.inflightDel > 0 {
+		t.cond.Wait()
+	}
+	err := t.sealActiveLocked()
+	t.mu.Unlock()
+	return err
+}
+
+// UnsyncedBlocks returns sealed blocks not yet persisted, for incremental
+// disk sync: "only the sections of data that have changed since the last
+// synchronization point need to be updated" (§4.1).
+func (t *Table) UnsyncedBlocks() []*rowblock.RowBlock {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*rowblock.RowBlock, len(t.blocks)-t.synced)
+	copy(out, t.blocks[t.synced:])
+	return out
+}
+
+// MarkSynced advances the disk-sync watermark by n blocks.
+func (t *Table) MarkSynced(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.synced += n
+	if t.synced > len(t.blocks) {
+		t.synced = len(t.blocks)
+	}
+}
+
+// RestoreBlock appends a recovered block during MEMORY_RECOVERY or
+// DISK_RECOVERY. Restored blocks count as already synced to disk: the
+// shutdown path flushed them before copying to shared memory, and the disk
+// path read them from disk in the first place.
+func (t *Table) RestoreBlock(rb *rowblock.RowBlock) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateMemoryRecovery && t.state != StateDiskRecovery && t.state != StateInit {
+		return fmt.Errorf("%w: RestoreBlock in %v", ErrNotAccepting, t.state)
+	}
+	t.blocks = append(t.blocks, rb)
+	t.rowsTotal += int64(rb.Rows())
+	t.bytesTotal += rb.Header().Size
+	t.synced = len(t.blocks)
+	return nil
+}
+
+// Stats describes a table's current contents.
+type Stats struct {
+	Name      string
+	State     State
+	NumBlocks int
+	Rows      int64
+	Bytes     int64
+	// Unsealed counts rows still in the active builder; UnsealedBytes is
+	// their pre-compression size. Placement decisions must see unsealed
+	// data too, or a leaf absorbing a burst looks deceptively empty.
+	Unsealed      int
+	UnsealedBytes int64
+}
+
+// Stats returns a consistent snapshot of table statistics.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	unsealed, unsealedBytes := 0, int64(0)
+	if t.active != nil {
+		unsealed = t.active.Rows()
+		unsealedBytes = t.active.RawBytes()
+	}
+	return Stats{
+		Name:          t.name,
+		State:         t.state,
+		NumBlocks:     len(t.blocks),
+		Rows:          t.rowsTotal,
+		Bytes:         t.bytesTotal,
+		Unsealed:      unsealed,
+		UnsealedBytes: unsealedBytes,
+	}
+}
+
+// Bytes returns the total compressed bytes across sealed blocks.
+func (t *Table) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytesTotal
+}
+
+// Rows returns the total sealed row count.
+func (t *Table) Rows() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rowsTotal
+}
+
+// DropBlocksForShutdown pops up to n leading blocks so the shutdown path can
+// release them after copying to shared memory (Figure 6 deletes each row
+// block from the heap as it is copied). Only legal in COPY_TO_SHM.
+func (t *Table) DropBlocksForShutdown(n int) ([]*rowblock.RowBlock, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateCopyToShm {
+		return nil, fmt.Errorf("%w: DropBlocksForShutdown in %v", ErrNotAccepting, t.state)
+	}
+	if n > len(t.blocks) {
+		n = len(t.blocks)
+	}
+	out := t.blocks[:n]
+	t.blocks = t.blocks[n:]
+	return out, nil
+}

@@ -1,0 +1,404 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"scuba/internal/rowblock"
+)
+
+func mkRows(n int, startTime int64) []rowblock.Row {
+	rows := make([]rowblock.Row, n)
+	for i := range rows {
+		rows[i] = rowblock.Row{
+			Time: startTime + int64(i),
+			Cols: map[string]rowblock.Value{
+				"service": rowblock.StringValue(fmt.Sprintf("svc-%d", i%3)),
+				"count":   rowblock.Int64Value(int64(i)),
+			},
+		}
+	}
+	return rows
+}
+
+func TestAddAndSeal(t *testing.T) {
+	tbl := New("events", Options{})
+	if err := tbl.AddRows(mkRows(100, 1000), 999); err != nil {
+		t.Fatal(err)
+	}
+	st := tbl.Stats()
+	if st.Unsealed != 100 || st.NumBlocks != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := tbl.SealActive(); err != nil {
+		t.Fatal(err)
+	}
+	st = tbl.Stats()
+	if st.NumBlocks != 1 || st.Rows != 100 || st.Unsealed != 0 {
+		t.Errorf("stats after seal = %+v", st)
+	}
+	if st.Bytes != tbl.Bytes() || tbl.Rows() != 100 {
+		t.Errorf("accessor mismatch: %+v", st)
+	}
+}
+
+func TestAutoSealAtCapacity(t *testing.T) {
+	tbl := New("events", Options{})
+	if err := tbl.AddRows(mkRows(rowblock.MaxRows+10, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	st := tbl.Stats()
+	if st.NumBlocks != 1 {
+		t.Errorf("NumBlocks = %d, want 1 sealed at 65536", st.NumBlocks)
+	}
+	if st.Unsealed != 10 {
+		t.Errorf("Unsealed = %d, want 10", st.Unsealed)
+	}
+	if st.Rows != rowblock.MaxRows {
+		t.Errorf("sealed rows = %d", st.Rows)
+	}
+}
+
+func TestScanPrunesByTime(t *testing.T) {
+	tbl := New("events", Options{})
+	// Three blocks covering [0,99], [100,199], [200,299].
+	for b := 0; b < 3; b++ {
+		if err := tbl.AddRows(mkRows(100, int64(b*100)), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.SealActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visited := 0
+	err := tbl.Scan(100, 199, func(rb *rowblock.RowBlock) error {
+		visited++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 1 {
+		t.Errorf("visited %d blocks, want 1", visited)
+	}
+	visited = 0
+	if err := tbl.Scan(0, 300, func(*rowblock.RowBlock) error { visited++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if visited != 3 {
+		t.Errorf("visited %d blocks, want 3", visited)
+	}
+}
+
+func TestScanPropagatesError(t *testing.T) {
+	tbl := New("events", Options{})
+	if err := tbl.AddRows(mkRows(10, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SealActive(); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("boom")
+	if err := tbl.Scan(0, 100, func(*rowblock.RowBlock) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExpireByAge(t *testing.T) {
+	tbl := New("events", Options{MaxAgeSeconds: 50})
+	for b := 0; b < 3; b++ {
+		if err := tbl.AddRows(mkRows(10, int64(b*100)), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.SealActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// now=300: block 0 has MaxTime 9 (<250), block 1 MaxTime 109 (<250),
+	// block 2 MaxTime 209 (<250) — all expired.
+	dropped, err := tbl.Expire(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	// now=160: nothing left to drop.
+	dropped, err = tbl.Expire(160)
+	if err != nil || dropped != 0 {
+		t.Errorf("second expire: %d, %v", dropped, err)
+	}
+}
+
+func TestExpireByBytes(t *testing.T) {
+	tbl := New("events", Options{MaxBytes: 1}) // everything over budget
+	for b := 0; b < 2; b++ {
+		if err := tbl.AddRows(mkRows(10, int64(b*100)), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.SealActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, err := tbl.Expire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trims oldest-first until at or under budget; with MaxBytes=1 both of
+	// the two blocks cannot fit, but trimming stops when bytesTotal <= 1,
+	// which requires dropping both.
+	if dropped != 2 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	if tbl.Bytes() != 0 {
+		t.Errorf("bytes = %d", tbl.Bytes())
+	}
+}
+
+func TestExpireUpdatesSyncWatermark(t *testing.T) {
+	tbl := New("events", Options{MaxAgeSeconds: 10})
+	for b := 0; b < 2; b++ {
+		if err := tbl.AddRows(mkRows(10, int64(b*1000)), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.SealActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(tbl.UnsyncedBlocks()); got != 2 {
+		t.Fatalf("unsynced = %d", got)
+	}
+	tbl.MarkSynced(2)
+	if got := len(tbl.UnsyncedBlocks()); got != 0 {
+		t.Fatalf("unsynced after mark = %d", got)
+	}
+	// Expire the first block; watermark must shift so the remaining block
+	// still counts as synced.
+	if _, err := tbl.Expire(2000); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.UnsyncedBlocks()); got != 0 {
+		t.Errorf("unsynced after expire = %d", got)
+	}
+}
+
+func TestPrepareGatesRequests(t *testing.T) {
+	tbl := New("events", Options{})
+	if err := tbl.AddRows(mkRows(10, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.State() != StatePrepare {
+		t.Fatalf("state = %v", tbl.State())
+	}
+	// Pending rows were sealed by Prepare (flush sees everything).
+	if st := tbl.Stats(); st.Unsealed != 0 || st.NumBlocks != 1 {
+		t.Errorf("stats after prepare = %+v", st)
+	}
+	// New requests are rejected.
+	if err := tbl.AddRows(mkRows(1, 0), 1); !errors.Is(err, ErrNotAccepting) {
+		t.Errorf("add err = %v", err)
+	}
+	if err := tbl.Scan(0, 10, func(*rowblock.RowBlock) error { return nil }); !errors.Is(err, ErrNotAccepting) {
+		t.Errorf("scan err = %v", err)
+	}
+	if _, err := tbl.Expire(100); !errors.Is(err, ErrNotAccepting) {
+		t.Errorf("expire err = %v", err)
+	}
+}
+
+func TestPrepareWaitsForInflightQueries(t *testing.T) {
+	tbl := New("events", Options{})
+	if err := tbl.AddRows(mkRows(10, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SealActive(); err != nil {
+		t.Fatal(err)
+	}
+
+	queryEntered := make(chan struct{})
+	releaseQuery := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tbl.Scan(0, 100, func(*rowblock.RowBlock) error { //nolint:errcheck
+			close(queryEntered)
+			<-releaseQuery
+			return nil
+		})
+	}()
+	<-queryEntered
+
+	prepared := make(chan struct{})
+	go func() {
+		tbl.Prepare() //nolint:errcheck
+		close(prepared)
+	}()
+	select {
+	case <-prepared:
+		t.Fatal("Prepare returned while a query was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(releaseQuery)
+	wg.Wait()
+	select {
+	case <-prepared:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Prepare did not complete after query finished")
+	}
+}
+
+func TestShutdownKillsDeletes(t *testing.T) {
+	// A long-running expire must observe the kill flag and abort.
+	tbl := New("events", Options{MaxAgeSeconds: 1})
+	for b := 0; b < 50; b++ {
+		if err := tbl.AddRows(mkRows(2, int64(b)), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.SealActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Start expire and prepare concurrently; expire either finishes first
+	// or gets killed — both are legal, but after Prepare returns no delete
+	// may still be running, and state must be PREPARE.
+	var expErr error
+	done := make(chan struct{})
+	go func() {
+		_, expErr = tbl.Expire(1 << 40)
+		close(done)
+	}()
+	if err := tbl.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if expErr != nil && !errors.Is(expErr, ErrDeletesKilled) && !errors.Is(expErr, ErrNotAccepting) {
+		t.Errorf("expire err = %v", expErr)
+	}
+	if tbl.State() != StatePrepare {
+		t.Errorf("state = %v", tbl.State())
+	}
+}
+
+func TestRestoreBlockStates(t *testing.T) {
+	tbl := NewRecovering("events", Options{})
+	if err := tbl.Transition(StateMemoryRecovery); err != nil {
+		t.Fatal(err)
+	}
+	src := New("tmp", Options{})
+	if err := src.AddRows(mkRows(10, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SealActive(); err != nil {
+		t.Fatal(err)
+	}
+	rb := src.Blocks()[0]
+	if err := tbl.RestoreBlock(rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Transition(StateAlive); err != nil {
+		t.Fatal(err)
+	}
+	// Restored blocks are considered synced.
+	if got := len(tbl.UnsyncedBlocks()); got != 0 {
+		t.Errorf("unsynced = %d", got)
+	}
+	// RestoreBlock after ALIVE is illegal.
+	if err := tbl.RestoreBlock(rb); !errors.Is(err, ErrNotAccepting) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDropBlocksForShutdown(t *testing.T) {
+	tbl := New("events", Options{})
+	for b := 0; b < 3; b++ {
+		if err := tbl.AddRows(mkRows(5, int64(b*10)), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.SealActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.DropBlocksForShutdown(1); !errors.Is(err, ErrNotAccepting) {
+		t.Errorf("drop in ALIVE: %v", err)
+	}
+	if err := tbl.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Transition(StateCopyToShm); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.DropBlocksForShutdown(2)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("drop: %d, %v", len(got), err)
+	}
+	got, err = tbl.DropBlocksForShutdown(5)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("drain: %d, %v", len(got), err)
+	}
+}
+
+func TestAddDuringDiskRecovery(t *testing.T) {
+	// §4.1: the server accepts new data as soon as disk recovery starts.
+	tbl := NewRecovering("events", Options{})
+	if err := tbl.Transition(StateDiskRecovery); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRows(mkRows(5, 0), 1); err != nil {
+		t.Errorf("add during disk recovery: %v", err)
+	}
+	if err := tbl.Scan(0, 10, func(*rowblock.RowBlock) error { return nil }); err != nil {
+		t.Errorf("scan during disk recovery: %v", err)
+	}
+}
+
+func TestAddDuringMemoryRecoveryRejected(t *testing.T) {
+	// §4.3: during memory recovery no add or query requests are accepted.
+	tbl := NewRecovering("events", Options{})
+	if err := tbl.Transition(StateMemoryRecovery); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRows(mkRows(1, 0), 1); !errors.Is(err, ErrNotAccepting) {
+		t.Errorf("add err = %v", err)
+	}
+	if err := tbl.Scan(0, 10, func(*rowblock.RowBlock) error { return nil }); !errors.Is(err, ErrNotAccepting) {
+		t.Errorf("scan err = %v", err)
+	}
+}
+
+func TestConcurrentAddsAndScans(t *testing.T) {
+	tbl := New("events", Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := tbl.AddRows(mkRows(20, int64(w*1000+i)), 1); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tbl.Scan(0, 1<<40, func(*rowblock.RowBlock) error { return nil }) //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tbl.SealActive(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Rows(); got != 8*50*20 {
+		t.Errorf("rows = %d, want %d", got, 8*50*20)
+	}
+}

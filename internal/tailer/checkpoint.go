@@ -1,0 +1,55 @@
+package tailer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Checkpoint persists a tailer's Scribe offset so a restarted tailer
+// process resumes exactly where its predecessor stopped. Tailers restart
+// during the same weekly code rollovers the leaves do; without a checkpoint
+// every tailer restart would replay (duplicate) or skip (lose) rows.
+//
+// The file holds the offset and a CRC, written atomically (temp + rename),
+// so a torn write yields "no checkpoint" — the tailer then starts from the
+// oldest retained message, duplicating at most the retention window, which
+// matches Scuba's at-least-approximate delivery posture.
+type Checkpoint struct {
+	path string
+}
+
+// NewCheckpoint names the checkpoint file.
+func NewCheckpoint(path string) *Checkpoint { return &Checkpoint{path: path} }
+
+var cpTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Load returns the saved offset, or 0 when no valid checkpoint exists.
+func (c *Checkpoint) Load() int64 {
+	b, err := os.ReadFile(c.path)
+	if err != nil || len(b) != 12 {
+		return 0
+	}
+	off := int64(binary.LittleEndian.Uint64(b))
+	sum := binary.LittleEndian.Uint32(b[8:])
+	if crc32.Checksum(b[:8], cpTable) != sum || off < 0 {
+		return 0
+	}
+	return off
+}
+
+// Save atomically records the offset.
+func (c *Checkpoint) Save(offset int64) error {
+	var b [12]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(offset))
+	binary.LittleEndian.PutUint32(b[8:], crc32.Checksum(b[:8], cpTable))
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, b[:], 0o644); err != nil {
+		return fmt.Errorf("tailer: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("tailer: install checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+// Package tailer implements Scuba's tailer processes (§2, Figure 1). A
+// tailer pulls one table's rows out of Scribe and, every N rows or t
+// seconds, chooses a leaf server and sends it the batch.
+//
+// Placement is the paper's two-random-choice policy: pick two leaves at
+// random, ask both for their state and free memory, and send to the leaf
+// with more free memory if both are alive. If only one is alive, it gets
+// the batch. If neither is alive, try two more leaves, and after enough
+// tries send the data to a restarting server (§2).
+package tailer
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"scuba/internal/leaf"
+	"scuba/internal/rowblock"
+	"scuba/internal/scribe"
+)
+
+// Target is a leaf server as seen by a tailer: something that reports state
+// and free memory and accepts batches. In-process clusters adapt
+// *leaf.Leaf; distributed deployments adapt a wire client.
+type Target interface {
+	Stats() (leaf.Stats, error)
+	AddRows(table string, rows []rowblock.Row) error
+}
+
+// EncodeRow serializes a row for a Scribe payload.
+func EncodeRow(r rowblock.Row) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("tailer: encode row: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRow parses a Scribe payload back into a row.
+func DecodeRow(b []byte) (rowblock.Row, error) {
+	var r rowblock.Row
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return rowblock.Row{}, fmt.Errorf("tailer: decode row: %w", err)
+	}
+	return r, nil
+}
+
+// ErrNoTarget is returned when no leaf could accept a batch at all.
+var ErrNoTarget = errors.New("tailer: no leaf accepted the batch")
+
+// PlacerStats counts placement decisions for the balance experiments (E10).
+type PlacerStats struct {
+	Batches        int64
+	RowsPlaced     int64
+	BothAlive      int64 // decided by free memory between two alive leaves
+	OneAlive       int64 // only one of the pair was alive
+	RetriedPairs   int64 // extra pairs tried because neither was alive
+	SentToRecovery int64 // fell back to a restarting server
+	PerTarget      []int64
+}
+
+// Policy selects the placement strategy. The paper uses two-random-choice;
+// PolicyRandom exists as an ablation baseline (experiment E10).
+type Policy uint8
+
+// Placement policies.
+const (
+	PolicyTwoChoice Policy = iota // pick two, send to the freer alive leaf
+	PolicyRandom                  // pick one alive leaf uniformly at random
+)
+
+// Placer implements two-random-choice placement over a fixed target set.
+type Placer struct {
+	mu      sync.Mutex
+	targets []Target
+	rng     *rand.Rand
+	// MaxTries is how many random pairs to probe before falling back to a
+	// restarting server. The paper says "after enough tries".
+	MaxTries int
+	// Policy is PolicyTwoChoice unless overridden for ablations.
+	Policy Policy
+	stats  PlacerStats
+}
+
+// NewPlacer creates a placer; seed fixes the random choices for tests.
+func NewPlacer(targets []Target, seed int64) *Placer {
+	return &Placer{
+		targets:  targets,
+		rng:      rand.New(rand.NewSource(seed)),
+		MaxTries: 4,
+		stats:    PlacerStats{PerTarget: make([]int64, len(targets))},
+	}
+}
+
+// Stats returns a snapshot of placement counters.
+func (p *Placer) Stats() PlacerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.PerTarget = append([]int64(nil), p.stats.PerTarget...)
+	return st
+}
+
+// isAlive reports whether a leaf is fully alive (not restarting).
+func isAlive(st leaf.Stats, err error) bool {
+	return err == nil && st.State == leaf.StateAlive
+}
+
+// isAccepting reports whether a leaf can take adds at all (alive or in disk
+// recovery, §4.1).
+func isAccepting(st leaf.Stats, err error) bool {
+	return err == nil && (st.State == leaf.StateAlive || st.State == leaf.StateDiskRecovery)
+}
+
+// Place sends one batch to a leaf per the two-choice policy and returns the
+// chosen target index.
+func (p *Placer) Place(table string, rows []rowblock.Row) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.targets) == 0 {
+		return -1, ErrNoTarget
+	}
+	p.stats.Batches++
+
+	var recoveryCandidate = -1
+	for try := 0; try < p.MaxTries; try++ {
+		i := p.rng.Intn(len(p.targets))
+		if p.Policy == PolicyRandom {
+			// Ablation baseline: one uniformly random probe per try,
+			// ignoring free memory entirely.
+			si, erri := p.targets[i].Stats()
+			if isAlive(si, erri) {
+				p.stats.OneAlive++
+				return i, p.send(i, table, rows)
+			}
+			p.stats.RetriedPairs++
+			if recoveryCandidate < 0 && isAccepting(si, erri) {
+				recoveryCandidate = i
+			}
+			continue
+		}
+		j := p.rng.Intn(len(p.targets))
+		for len(p.targets) > 1 && j == i {
+			j = p.rng.Intn(len(p.targets))
+		}
+		si, erri := p.targets[i].Stats()
+		sj, errj := p.targets[j].Stats()
+		iAlive, jAlive := isAlive(si, erri), isAlive(sj, errj)
+		switch {
+		case iAlive && jAlive:
+			pick := i
+			if sj.FreeMemory > si.FreeMemory {
+				pick = j
+			}
+			p.stats.BothAlive++
+			return pick, p.send(pick, table, rows)
+		case iAlive:
+			p.stats.OneAlive++
+			return i, p.send(i, table, rows)
+		case jAlive:
+			p.stats.OneAlive++
+			return j, p.send(j, table, rows)
+		default:
+			p.stats.RetriedPairs++
+			if recoveryCandidate < 0 {
+				if isAccepting(si, erri) {
+					recoveryCandidate = i
+				} else if isAccepting(sj, errj) {
+					recoveryCandidate = j
+				}
+			}
+		}
+	}
+	// After enough tries, send the data to a restarting server (§2).
+	if recoveryCandidate >= 0 {
+		p.stats.SentToRecovery++
+		return recoveryCandidate, p.send(recoveryCandidate, table, rows)
+	}
+	// Last resort: probe every target once for anything accepting.
+	for i := range p.targets {
+		if st, err := p.targets[i].Stats(); isAccepting(st, err) {
+			p.stats.SentToRecovery++
+			return i, p.send(i, table, rows)
+		}
+	}
+	return -1, ErrNoTarget
+}
+
+func (p *Placer) send(idx int, table string, rows []rowblock.Row) error {
+	if err := p.targets[idx].AddRows(table, rows); err != nil {
+		return err
+	}
+	p.stats.RowsPlaced += int64(len(rows))
+	p.stats.PerTarget[idx]++
+	return nil
+}
+
+// Config configures a tailer loop.
+type Config struct {
+	// Category is the Scribe category to tail; Table is the Scuba table the
+	// rows land in (usually the same name).
+	Category string
+	Table    string
+	// BatchRows flushes a batch every N rows (default 1000).
+	BatchRows int
+	// FlushInterval flushes a partial batch after this long (default 1s).
+	FlushInterval time.Duration
+	// PollBatch bounds one Scribe read (default = BatchRows).
+	PollBatch int
+	// Checkpoint, when set, is loaded at construction (overriding the
+	// offset argument) and saved after every successful drain, so a
+	// restarted tailer resumes where its predecessor stopped.
+	Checkpoint *Checkpoint
+}
+
+// Tailer pumps one category from Scribe into the cluster.
+type Tailer struct {
+	cfg    Config
+	reader *scribe.Tailer
+	placer *Placer
+
+	// RowsLost counts rows dropped by Scribe retention.
+	RowsLost int64
+	// RowsBad counts undecodable payloads.
+	RowsBad int64
+}
+
+// New creates a tailer reading from offset. The source may be an in-process
+// scribe.Bus or a network scribe.Client.
+func New(cfg Config, bus scribe.Source, placer *Placer, offset int64) *Tailer {
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 1000
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Second
+	}
+	if cfg.PollBatch <= 0 {
+		cfg.PollBatch = cfg.BatchRows
+	}
+	if cfg.Table == "" {
+		cfg.Table = cfg.Category
+	}
+	if cfg.Checkpoint != nil {
+		if saved := cfg.Checkpoint.Load(); saved > offset {
+			offset = saved
+		}
+	}
+	return &Tailer{cfg: cfg, reader: scribe.NewTailer(bus, cfg.Category, offset), placer: placer}
+}
+
+// DrainOnce pulls everything currently in the category and places it in
+// batches, returning rows placed. It is the synchronous building block for
+// tests, benchmarks and the simulator; Run wraps it in a loop.
+func (t *Tailer) DrainOnce() (int, error) {
+	placed := 0
+	var batch []rowblock.Row
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := t.placer.Place(t.cfg.Table, batch); err != nil {
+			return err
+		}
+		placed += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		msgs, lost, err := t.reader.Poll(t.cfg.PollBatch)
+		if err != nil {
+			return placed, err
+		}
+		t.RowsLost += lost
+		if len(msgs) == 0 {
+			break
+		}
+		for _, m := range msgs {
+			row, err := DecodeRow(m.Payload)
+			if err != nil {
+				t.RowsBad++
+				continue
+			}
+			batch = append(batch, row)
+			if len(batch) >= t.cfg.BatchRows {
+				if err := flush(); err != nil {
+					return placed, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return placed, err
+	}
+	if t.cfg.Checkpoint != nil {
+		if err := t.cfg.Checkpoint.Save(t.reader.Offset()); err != nil {
+			return placed, err
+		}
+	}
+	return placed, nil
+}
+
+// Run pumps until stop is closed, flushing every N rows or t seconds (§2).
+func (t *Tailer) Run(stop <-chan struct{}) error {
+	ticker := time.NewTicker(t.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			_, err := t.DrainOnce()
+			return err
+		case <-ticker.C:
+			if _, err := t.DrainOnce(); err != nil && !errors.Is(err, ErrNoTarget) {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"scuba/internal/aggregator"
+	"scuba/internal/query"
+)
+
+// AggServer exposes an aggregator over TCP: each machine runs one
+// aggregator server next to its eight leaf servers (§2, Figure 1). Clients
+// send ordinary query requests; the aggregator distributes them to every
+// leaf and merges the partial results.
+type AggServer struct {
+	agg *aggregator.Aggregator
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewAggServer starts an aggregator server over the given leaf addresses.
+func NewAggServer(leafAddrs []string, addr string) (*AggServer, error) {
+	targets := make([]aggregator.LeafTarget, len(leafAddrs))
+	for i, a := range leafAddrs {
+		targets[i] = Dial(a)
+	}
+	return NewAggServerOver(aggregator.New(targets), addr)
+}
+
+// NewAggServerOver serves an existing aggregator (tests inject in-process
+// leaves this way).
+func NewAggServerOver(agg *aggregator.Aggregator, addr string) (*AggServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: aggregator listen: %w", err)
+	}
+	s := &AggServer{agg: agg, ln: ln, conns: make(map[net.Conn]struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *AggServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *AggServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *AggServer) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp Response
+		switch req.Kind {
+		case KindPing:
+		case KindQuery:
+			res, err := s.agg.Query(req.Query)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Result = res.Export()
+			}
+		default:
+			resp.Err = fmt.Sprintf("wire: aggregator does not handle request kind %d", req.Kind)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server.
+func (s *AggServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+// QueryVia sends one query to a remote aggregator and returns the merged
+// result. It is what CLIs and dashboards use instead of fanning out to
+// leaves themselves.
+func (c *Client) QueryVia(q *query.Query) (*query.Result, error) {
+	return c.Query(q) // same request shape; the server side differs
+}

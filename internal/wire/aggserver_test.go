@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"scuba/internal/query"
+)
+
+func TestAggServerFansOutOverWire(t *testing.T) {
+	// Two leaf servers over TCP, one aggregator server over TCP on top.
+	s0, _, _ := newServer(t, 0)
+	s1, _, _ := newServer(t, 1)
+	loader0, loader1 := Dial(s0.Addr()), Dial(s1.Addr())
+	defer loader0.Close()
+	defer loader1.Close()
+	if err := loader0.AddRows("events", mkRows(300, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := loader1.AddRows("events", mkRows(200, 5000)); err != nil {
+		t.Fatal(err)
+	}
+
+	agg, err := NewAggServer([]string{s0.Addr(), s1.Addr()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	c := Dial(agg.Addr())
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}},
+		GroupBy:      []string{"service"}}
+	res, err := c.QueryVia(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows(q)
+	if len(rows) != 1 || rows[0].Values[0] != 500 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if res.LeavesTotal != 2 || res.LeavesAnswered != 2 {
+		t.Errorf("coverage = %d/%d", res.LeavesAnswered, res.LeavesTotal)
+	}
+}
+
+func TestAggServerPartialWhenLeafGone(t *testing.T) {
+	s0, _, _ := newServer(t, 0)
+	loader := Dial(s0.Addr())
+	defer loader.Close()
+	if err := loader.AddRows("events", mkRows(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The second "leaf" address points nowhere.
+	agg, err := NewAggServer([]string{s0.Addr(), "127.0.0.1:1"}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	c := Dial(agg.Addr())
+	defer c.Close()
+	q := &query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}}}
+	res, err := c.QueryVia(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesAnswered != 1 || res.LeavesTotal != 2 {
+		t.Errorf("coverage = %d/%d", res.LeavesAnswered, res.LeavesTotal)
+	}
+	if rows := res.Rows(q); rows[0].Values[0] != 100 {
+		t.Errorf("count = %v", rows[0].Values[0])
+	}
+}
+
+func TestAggServerRejectsNonQuery(t *testing.T) {
+	s0, _, _ := newServer(t, 0)
+	agg, err := NewAggServer([]string{s0.Addr()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	c := Dial(agg.Addr())
+	defer c.Close()
+	if _, err := c.Stats(); err == nil || !strings.Contains(err.Error(), "does not handle") {
+		t.Errorf("stats via aggregator: %v", err)
+	}
+	// Invalid queries come back as remote errors, not hangs.
+	if _, err := c.QueryVia(&query.Query{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}

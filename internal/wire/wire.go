@@ -1,0 +1,335 @@
+// Package wire is the RPC protocol between Scuba processes: tailers and
+// aggregators talk to leaf servers over TCP (Figure 1). The protocol is a
+// persistent connection carrying gob-encoded request/response pairs; the
+// client side implements the tailer.Target and aggregator.LeafTarget
+// interfaces so in-process and networked deployments are interchangeable.
+//
+// The shutdown RPC is how the rollover script asks a leaf to exit cleanly
+// through shared memory (§4.3); the script then waits for the process to
+// die and kills it after a timeout.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scuba/internal/leaf"
+	"scuba/internal/metrics"
+	"scuba/internal/query"
+	"scuba/internal/rowblock"
+)
+
+// Kind tags a request.
+type Kind uint8
+
+func (k Kind) String() string {
+	switch k {
+	case KindPing:
+		return "ping"
+	case KindAddRows:
+		return "add"
+	case KindQuery:
+		return "query"
+	case KindStats:
+		return "stats"
+	case KindShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request kinds.
+const (
+	KindPing Kind = iota + 1
+	KindAddRows
+	KindQuery
+	KindStats
+	KindShutdown
+)
+
+// Request is one RPC request.
+type Request struct {
+	Kind  Kind
+	Table string
+	Rows  []rowblock.Row
+	Query *query.Query
+	// UseShm selects the shared memory shutdown path (vs disk-only).
+	UseShm bool
+}
+
+// Response is one RPC response.
+type Response struct {
+	Err      string
+	Stats    *leaf.Stats
+	Result   *query.WireResult
+	Shutdown *leaf.ShutdownInfo
+}
+
+// Server exposes one leaf over TCP.
+type Server struct {
+	leaf *leaf.Leaf
+	ln   net.Listener
+	reg  *metrics.Registry
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	shutdown chan leaf.ShutdownInfo
+}
+
+// NewServer starts serving the leaf on addr (use "127.0.0.1:0" to pick a
+// free port). The returned server must be Closed.
+func NewServer(l *leaf.Leaf, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s := &Server{
+		leaf:     l,
+		ln:       ln,
+		reg:      metrics.NewRegistry(),
+		conns:    make(map[net.Conn]struct{}),
+		shutdown: make(chan leaf.ShutdownInfo, 1),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Metrics exposes the server's request counters and timers: rpc.<kind>
+// counters, rpc.errors, rows.added, and the query.latency timer.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// ShutdownRequested delivers the shutdown info once a shutdown RPC has
+// completed; the owning process exits after receiving it.
+func (s *Server) ShutdownRequested() <-chan leaf.ShutdownInfo { return s.shutdown }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if req.Kind == KindShutdown && resp.Err == "" {
+			// Tell the owner the leaf is drained; it will exit.
+			select {
+			case s.shutdown <- *resp.Shutdown:
+			default:
+			}
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	s.reg.Counter("rpc." + req.Kind.String()).Add(1)
+	switch req.Kind {
+	case KindPing:
+		return &Response{}
+	case KindAddRows:
+		if err := s.leaf.AddRows(req.Table, req.Rows); err != nil {
+			s.reg.Counter("rpc.errors").Add(1)
+			return &Response{Err: err.Error()}
+		}
+		s.reg.Counter("rows.added").Add(int64(len(req.Rows)))
+		return &Response{}
+	case KindQuery:
+		start := time.Now()
+		res, err := s.leaf.Query(req.Query)
+		if err != nil {
+			s.reg.Counter("rpc.errors").Add(1)
+			return &Response{Err: err.Error()}
+		}
+		s.reg.Timer("query.latency").Observe(time.Since(start))
+		return &Response{Result: res.Export()}
+	case KindStats:
+		st := s.leaf.Stats()
+		return &Response{Stats: &st}
+	case KindShutdown:
+		var info leaf.ShutdownInfo
+		var err error
+		if req.UseShm {
+			info, err = s.leaf.Shutdown()
+		} else {
+			info, err = s.leaf.ShutdownToDisk()
+		}
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Shutdown: &info}
+	default:
+		return &Response{Err: fmt.Sprintf("wire: unknown request kind %d", req.Kind)}
+	}
+}
+
+// Close stops accepting and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+// Client talks to one leaf server. Safe for concurrent use; requests are
+// serialized over a single connection and the connection is re-dialed on
+// error (leaves come and go across restarts).
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial creates a client; the connection is established lazily.
+func Dial(addr string) *Client { return &Client{addr: addr} }
+
+func (c *Client) ensureLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Call performs one RPC. Read-only requests (ping, query, stats) are
+// retried once on a transport error: a stale connection to a leaf that
+// restarted since the last call fails exactly once, and the retry lands on
+// the replacement process. Mutating requests are never retried — a timed-out
+// AddRows may have been applied.
+func (c *Client) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.callLocked(req)
+	if err != nil && idempotent(req.Kind) {
+		resp, err = c.callLocked(req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+func idempotent(k Kind) bool {
+	return k == KindPing || k == KindQuery || k == KindStats
+}
+
+func (c *Client) callLocked(req *Request) (*Response, error) {
+	if err := c.ensureLocked(); err != nil {
+		return nil, err
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropLocked()
+	return nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.Call(&Request{Kind: KindPing})
+	return err
+}
+
+// AddRows implements tailer.Target.
+func (c *Client) AddRows(table string, rows []rowblock.Row) error {
+	_, err := c.Call(&Request{Kind: KindAddRows, Table: table, Rows: rows})
+	return err
+}
+
+// Stats implements tailer.Target.
+func (c *Client) Stats() (leaf.Stats, error) {
+	resp, err := c.Call(&Request{Kind: KindStats})
+	if err != nil {
+		return leaf.Stats{}, err
+	}
+	return *resp.Stats, nil
+}
+
+// Query implements aggregator.LeafTarget.
+func (c *Client) Query(q *query.Query) (*query.Result, error) {
+	resp, err := c.Call(&Request{Kind: KindQuery, Query: q})
+	if err != nil {
+		return nil, err
+	}
+	return query.Import(resp.Result), nil
+}
+
+// Shutdown asks the leaf to exit cleanly (through shared memory when
+// useShm), returning the shutdown report.
+func (c *Client) Shutdown(useShm bool) (leaf.ShutdownInfo, error) {
+	resp, err := c.Call(&Request{Kind: KindShutdown, UseShm: useShm})
+	if err != nil {
+		return leaf.ShutdownInfo{}, err
+	}
+	return *resp.Shutdown, nil
+}

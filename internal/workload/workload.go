@@ -1,0 +1,179 @@
+// Package workload generates synthetic Scuba workloads shaped like the ones
+// the paper's introduction motivates: service performance logs, user-facing
+// error monitoring, and ads revenue events (§1 — "code regression analysis,
+// bug report monitoring, ads revenue monitoring, and performance
+// debugging"). Generators are deterministic given a seed, so experiments are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scuba/internal/query"
+	"scuba/internal/rowblock"
+)
+
+// Generator produces rows for one table.
+type Generator struct {
+	Table string
+	rng   *rand.Rand
+	now   int64
+	make  func(g *Generator) rowblock.Row
+
+	services []string
+	hosts    []string
+	products []string
+	errors   []string
+}
+
+func newGenerator(table string, seed, start int64, mk func(*Generator) rowblock.Row) *Generator {
+	g := &Generator{Table: table, rng: rand.New(rand.NewSource(seed)), now: start, make: mk}
+	for i := 0; i < 12; i++ {
+		g.services = append(g.services, fmt.Sprintf("svc-%s", []string{
+			"web", "ads", "search", "graph", "msg", "video", "photos", "events",
+			"pay", "iap", "growth", "infra"}[i]))
+	}
+	for i := 0; i < 200; i++ {
+		g.hosts = append(g.hosts, fmt.Sprintf("host-%03d.prn%d", i, i%4+1))
+	}
+	g.products = []string{"www", "android", "ios", "msite", "api"}
+	g.errors = []string{"timeout", "oom", "5xx", "null_deref", "assert", "net_unreach"}
+	return g
+}
+
+// ServiceLogs generates performance-debugging rows: service, host, status,
+// latency and CPU metrics, plus tags.
+func ServiceLogs(seed, start int64) *Generator {
+	return newGenerator("service_logs", seed, start, func(g *Generator) rowblock.Row {
+		status := int64(200)
+		switch {
+		case g.rng.Float64() < 0.02:
+			status = 500
+		case g.rng.Float64() < 0.05:
+			status = 404
+		}
+		return rowblock.Row{
+			Time: g.tick(),
+			Cols: map[string]rowblock.Value{
+				"service":    rowblock.StringValue(g.services[g.rng.Intn(len(g.services))]),
+				"host":       rowblock.StringValue(g.hosts[g.rng.Intn(len(g.hosts))]),
+				"status":     rowblock.Int64Value(status),
+				"latency_ms": rowblock.Int64Value(int64(g.rng.ExpFloat64() * 40)),
+				// Measurements arrive quantized (0.25 ms ticks), like real
+				// profiler output; full-entropy mantissas would be
+				// unrealistically incompressible.
+				"cpu_ms": rowblock.Float64Value(math.Round(g.rng.ExpFloat64()*12*4) / 4),
+				"tags":   rowblock.SetValue("prod", fmt.Sprintf("tier%d", g.rng.Intn(3))),
+			},
+		}
+	})
+}
+
+// ErrorEvents generates the error-monitoring workload from the paper's
+// introduction ("detecting user-facing errors").
+func ErrorEvents(seed, start int64) *Generator {
+	return newGenerator("error_events", seed, start, func(g *Generator) rowblock.Row {
+		return rowblock.Row{
+			Time: g.tick(),
+			Cols: map[string]rowblock.Value{
+				"product":  rowblock.StringValue(g.products[g.rng.Intn(len(g.products))]),
+				"error":    rowblock.StringValue(g.errors[g.rng.Intn(len(g.errors))]),
+				"severity": rowblock.Int64Value(int64(g.rng.Intn(4))),
+				"host":     rowblock.StringValue(g.hosts[g.rng.Intn(len(g.hosts))]),
+				"count":    rowblock.Int64Value(1 + int64(g.rng.ExpFloat64()*3)),
+			},
+		}
+	})
+}
+
+// AdsRevenue generates revenue-monitoring rows.
+func AdsRevenue(seed, start int64) *Generator {
+	return newGenerator("ads_revenue", seed, start, func(g *Generator) rowblock.Row {
+		return rowblock.Row{
+			Time: g.tick(),
+			Cols: map[string]rowblock.Value{
+				"campaign":    rowblock.StringValue(fmt.Sprintf("camp-%04d", g.rng.Intn(2000))),
+				"product":     rowblock.StringValue(g.products[g.rng.Intn(len(g.products))]),
+				"impressions": rowblock.Int64Value(1 + int64(g.rng.ExpFloat64()*10)),
+				"revenue_usd": rowblock.Float64Value(g.rng.ExpFloat64() * 0.02),
+			},
+		}
+	})
+}
+
+// tick advances time: many events share a second (timestamps are not
+// unique, §2.1).
+func (g *Generator) tick() int64 {
+	if g.rng.Float64() < 0.3 {
+		g.now++
+	}
+	return g.now
+}
+
+// Now returns the generator's current timestamp.
+func (g *Generator) Now() int64 { return g.now }
+
+// Next returns one row.
+func (g *Generator) Next() rowblock.Row { return g.make(g) }
+
+// NextBatch returns n rows.
+func (g *Generator) NextBatch(n int) []rowblock.Row {
+	out := make([]rowblock.Row, n)
+	for i := range out {
+		out[i] = g.make(g)
+	}
+	return out
+}
+
+// Queries generates a realistic query mix over a generator's table: time
+// windows of varying width, filters on low-cardinality columns, group-bys
+// with counts and latency aggregates.
+type Queries struct {
+	rng   *rand.Rand
+	table string
+	from  int64
+	to    int64
+}
+
+// NewQueries builds a query generator over [from, to].
+func NewQueries(seed int64, table string, from, to int64) *Queries {
+	return &Queries{rng: rand.New(rand.NewSource(seed)), table: table, from: from, to: to}
+}
+
+// Next produces one query.
+func (qs *Queries) Next() *query.Query {
+	span := qs.to - qs.from
+	if span < 1 {
+		span = 1
+	}
+	width := span / int64(1<<qs.rng.Intn(6)) // whole range down to 1/32
+	start := qs.from + qs.rng.Int63n(span)
+	q := &query.Query{
+		Table:        qs.table,
+		From:         start,
+		To:           start + width,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}},
+	}
+	switch qs.rng.Intn(5) {
+	case 0:
+		q.GroupBy = []string{"service"}
+		q.Aggregations = append(q.Aggregations, query.Aggregation{Op: query.AggAvg, Column: "latency_ms"})
+	case 1:
+		q.Filters = []query.Filter{{Column: "status", Op: query.OpGe, Int: 500}}
+		q.GroupBy = []string{"host"}
+		q.Limit = 10
+	case 2:
+		q.Aggregations = append(q.Aggregations,
+			query.Aggregation{Op: query.AggP90, Column: "latency_ms"},
+			query.Aggregation{Op: query.AggP99, Column: "latency_ms"})
+	case 3:
+		// A dashboard time-series panel: error count per minute.
+		q.TimeBucketSeconds = 60
+		q.Filters = []query.Filter{{Column: "status", Op: query.OpGe, Int: 500}}
+	default:
+		q.Filters = []query.Filter{{Column: "service", Op: query.OpEq, Str: "svc-web"}}
+	}
+	return q
+}

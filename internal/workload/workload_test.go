@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+
+	"scuba/internal/rowblock"
+	"scuba/internal/table"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, mk := range []func(int64, int64) *Generator{ServiceLogs, ErrorEvents, AdsRevenue} {
+		a, b := mk(42, 1000), mk(42, 1000)
+		ra, rb := a.NextBatch(50), b.NextBatch(50)
+		for i := range ra {
+			if ra[i].Time != rb[i].Time {
+				t.Fatalf("%s: nondeterministic times at %d", a.Table, i)
+			}
+			for k, v := range ra[i].Cols {
+				w := rb[i].Cols[k]
+				if v.Str != w.Str || v.Int != w.Int || v.Float != w.Float || len(v.Set) != len(w.Set) {
+					t.Fatalf("%s: nondeterministic col %q at %d", a.Table, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRowsIngestCleanly(t *testing.T) {
+	for _, mk := range []func(int64, int64) *Generator{ServiceLogs, ErrorEvents, AdsRevenue} {
+		g := mk(1, 1700000000)
+		tbl := table.New(g.Table, table.Options{})
+		if err := tbl.AddRows(g.NextBatch(500), 1); err != nil {
+			t.Fatalf("%s: %v", g.Table, err)
+		}
+		if err := tbl.SealActive(); err != nil {
+			t.Fatalf("%s: %v", g.Table, err)
+		}
+		if tbl.Rows() != 500 {
+			t.Errorf("%s: rows = %d", g.Table, tbl.Rows())
+		}
+	}
+}
+
+func TestTimesRoughlyChronological(t *testing.T) {
+	g := ServiceLogs(7, 1000)
+	rows := g.NextBatch(1000)
+	prev := int64(0)
+	for i, r := range rows {
+		if r.Time < prev {
+			t.Fatalf("time went backwards at %d", i)
+		}
+		prev = r.Time
+	}
+	if g.Now() <= 1000 {
+		t.Error("clock did not advance")
+	}
+	if g.Now() >= 2000 {
+		t.Error("clock advanced too fast (timestamps should repeat)")
+	}
+}
+
+func TestQueriesValidAndVaried(t *testing.T) {
+	qs := NewQueries(3, "service_logs", 1000, 2000)
+	groupBys, filters := 0, 0
+	for i := 0; i < 100; i++ {
+		q := qs.Next()
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %d invalid: %v", i, err)
+		}
+		if q.From < 1000 || q.From > 2000 {
+			t.Errorf("query %d from = %d", i, q.From)
+		}
+		if len(q.GroupBy) > 0 {
+			groupBys++
+		}
+		if len(q.Filters) > 0 {
+			filters++
+		}
+	}
+	if groupBys == 0 || filters == 0 {
+		t.Errorf("mix not varied: %d group-bys, %d filters", groupBys, filters)
+	}
+}
+
+func TestServiceLogsShape(t *testing.T) {
+	g := ServiceLogs(5, 0)
+	row := g.Next()
+	for _, col := range []string{"service", "host", "status", "latency_ms", "cpu_ms", "tags"} {
+		if _, ok := row.Cols[col]; !ok {
+			t.Errorf("missing column %q", col)
+		}
+	}
+	if _, reserved := row.Cols[rowblock.TimeColumn]; reserved {
+		t.Error("generator emitted reserved time column")
+	}
+}

@@ -1,0 +1,307 @@
+// Package scuba is a Go reproduction of the system described in "Fast
+// Database Restarts at Facebook" (SIGMOD 2014): Scuba, a distributed
+// in-memory column-store analytics database, together with the paper's
+// contribution — restarting a database server in minutes instead of hours
+// by staging its in-memory state through shared memory across planned
+// process restarts.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Leaf servers (ingest, query, expire, restart): NewLeaf / Leaf.
+//   - Shared memory restart: Leaf.Shutdown + a fresh Leaf.Start recover the
+//     full dataset at memory speed; crashes fall back to the disk backup.
+//   - Clusters (machines x 8 leaves) with tailer placement, aggregator
+//     fan-out and 2%-at-a-time rollovers: NewCluster / Cluster.Rollover.
+//   - The query model: Query, Filter, Aggregation, Result.
+//   - A discrete-event simulator calibrated to the paper's production
+//     numbers: SimParams / DefaultSimParams.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	l, _ := scuba.NewLeaf(scuba.LeafConfig{ID: 0, DiskRoot: "/var/lib/scuba"})
+//	_ = l.Start()
+//	_ = l.AddRows("events", []scuba.Row{{
+//		Time: time.Now().Unix(),
+//		Cols: map[string]scuba.Value{"service": scuba.String("web")},
+//	}})
+//	res, _ := l.Query(&scuba.Query{
+//		Table: "events", From: 0, To: 1 << 40,
+//		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}},
+//	})
+//
+// Upgrading without losing memory state:
+//
+//	info, _ := l.Shutdown() // copy to shared memory, set valid bit, exit
+//	// ... exec the new binary; in the new process:
+//	l2, _ := scuba.NewLeaf(sameConfig)
+//	_ = l2.Start() // restores from shared memory in memory-copy time
+package scuba
+
+import (
+	"scuba/internal/aggregator"
+	"scuba/internal/cluster"
+	"scuba/internal/disk"
+	"scuba/internal/leaf"
+	"scuba/internal/query"
+	"scuba/internal/rowblock"
+	"scuba/internal/scribe"
+	"scuba/internal/shm"
+	"scuba/internal/sim"
+	"scuba/internal/table"
+	"scuba/internal/tailer"
+	"scuba/internal/wire"
+	"scuba/internal/workload"
+)
+
+// Data model.
+type (
+	// Row is one ingested event: a unix timestamp plus named columns.
+	Row = rowblock.Row
+	// Value is one cell of a row.
+	Value = rowblock.Value
+	// Schema describes one row block's columns.
+	Schema = rowblock.Schema
+	// Field is one schema entry.
+	Field = rowblock.Field
+)
+
+// Typed cell constructors.
+var (
+	Int64   = rowblock.Int64Value
+	Float64 = rowblock.Float64Value
+	String  = rowblock.StringValue
+	Set     = rowblock.SetValue
+)
+
+// Leaf servers.
+type (
+	// Leaf is one Scuba leaf server.
+	Leaf = leaf.Leaf
+	// LeafConfig configures a leaf.
+	LeafConfig = leaf.Config
+	// LeafState is the Figure 5 state machine position.
+	LeafState = leaf.State
+	// LeafStats summarizes a leaf for placement and dashboards.
+	LeafStats = leaf.Stats
+	// RecoveryInfo reports how a leaf came up.
+	RecoveryInfo = leaf.RecoveryInfo
+	// ShutdownInfo reports what a clean shutdown did.
+	ShutdownInfo = leaf.ShutdownInfo
+	// ShmOptions configures the shared memory directory and namespace.
+	ShmOptions = shm.Options
+	// TableOptions sets per-table retention.
+	TableOptions = table.Options
+	// DiskFormat selects the backup encoding.
+	DiskFormat = disk.Format
+)
+
+// NewLeaf creates a leaf server in INIT; call Start to recover and serve.
+func NewLeaf(cfg LeafConfig) (*Leaf, error) { return leaf.New(cfg) }
+
+// Disk formats.
+const (
+	// FormatRow is the default row-oriented backup; recovery pays the
+	// paper's translate cost (hours at production scale).
+	FormatRow = disk.FormatRow
+	// FormatColumnar stores the shared-memory block format on disk — the
+	// paper's §6 future work; recovery is nearly translate-free.
+	FormatColumnar = disk.FormatColumnar
+)
+
+// Recovery paths.
+const (
+	RecoveryNone   = leaf.RecoveryNone
+	RecoveryMemory = leaf.RecoveryMemory
+	RecoveryDisk   = leaf.RecoveryDisk
+)
+
+// Queries.
+type (
+	// Query is an aggregation query with a required time range.
+	Query = query.Query
+	// Filter is one column predicate.
+	Filter = query.Filter
+	// Aggregation names one output: operator over column.
+	Aggregation = query.Aggregation
+	// Order overrides the default result ordering.
+	Order = query.Order
+	// Result is a (possibly partial) mergeable query result.
+	Result = query.Result
+	// ResultRow is one finalized output row.
+	ResultRow = query.Row
+)
+
+// Aggregation operators.
+const (
+	AggCount = query.AggCount
+	AggSum   = query.AggSum
+	AggMin   = query.AggMin
+	AggMax   = query.AggMax
+	AggAvg   = query.AggAvg
+	AggP50   = query.AggP50
+	AggP90   = query.AggP90
+	AggP99   = query.AggP99
+	// AggCountDistinct counts distinct values of a column exactly.
+	AggCountDistinct = query.AggCountDistinct
+)
+
+// Filter operators.
+const (
+	OpEq       = query.OpEq
+	OpNe       = query.OpNe
+	OpLt       = query.OpLt
+	OpLe       = query.OpLe
+	OpGt       = query.OpGt
+	OpGe       = query.OpGe
+	OpContains = query.OpContains
+)
+
+// FormatResult renders finalized result rows as an aligned text table.
+var FormatResult = query.Format
+
+// Clusters.
+type (
+	// Cluster is machines x leaves with rollover orchestration.
+	Cluster = cluster.Cluster
+	// ClusterConfig describes a cluster.
+	ClusterConfig = cluster.Config
+	// ClusterNode is one leaf slot.
+	ClusterNode = cluster.Node
+	// RolloverConfig drives a system-wide upgrade.
+	RolloverConfig = cluster.RolloverConfig
+	// RolloverReport summarizes a completed rollover.
+	RolloverReport = cluster.RolloverReport
+	// RestartOptions control one node restart.
+	RestartOptions = cluster.RestartOptions
+	// ClusterSnapshot is one Figure 8 dashboard sample.
+	ClusterSnapshot = cluster.Snapshot
+	// Canary is an experimental deployment on a handful of leaves (§6),
+	// revertible through shared memory.
+	Canary = cluster.Canary
+	// CanaryConfig selects the canaried nodes and version.
+	CanaryConfig = cluster.CanaryConfig
+)
+
+// NewCluster creates and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// Ingestion pipeline.
+type (
+	// Bus is the simulated Scribe message bus.
+	Bus = scribe.Bus
+	// Tailer pumps one Scribe category into the cluster.
+	Tailer = tailer.Tailer
+	// TailerConfig configures a tailer.
+	TailerConfig = tailer.Config
+	// Placer implements two-random-choice batch placement.
+	Placer = tailer.Placer
+	// PlacerTarget is a leaf as seen by a tailer.
+	PlacerTarget = tailer.Target
+	// Aggregator fans queries out to leaves and merges partial results.
+	Aggregator = aggregator.Aggregator
+)
+
+// NewBus creates a Scribe-like bus retaining up to retain messages per
+// category (0 = default).
+func NewBus(retain int) *Bus { return scribe.NewBus(retain) }
+
+// ScribeServer exposes a bus over TCP (run by cmd/scribed); ScribeClient
+// satisfies the same Source interface tailers consume in-process.
+type (
+	ScribeServer = scribe.Server
+	ScribeClient = scribe.Client
+)
+
+// NewScribeServer serves a bus on addr.
+func NewScribeServer(bus *Bus, addr string) (*ScribeServer, error) {
+	return scribe.NewServer(bus, addr)
+}
+
+// DialScribe connects to a remote scribed.
+func DialScribe(addr string) *ScribeClient { return scribe.Dial(addr) }
+
+// TailerCheckpoint persists a tailer's offset across tailer restarts.
+type TailerCheckpoint = tailer.Checkpoint
+
+// NewTailerCheckpoint names the checkpoint file.
+var NewTailerCheckpoint = tailer.NewCheckpoint
+
+// NewPlacer creates a two-random-choice placer.
+var NewPlacer = tailer.NewPlacer
+
+// NewTailer creates a tailer over a bus and placer.
+var NewTailer = tailer.New
+
+// EncodeRow and DecodeRow convert rows to and from Scribe payloads.
+var (
+	EncodeRow = tailer.EncodeRow
+	DecodeRow = tailer.DecodeRow
+)
+
+// Networking.
+type (
+	// Server exposes a leaf over TCP.
+	Server = wire.Server
+	// AggServer exposes an aggregator over TCP (one per machine, Figure 1).
+	AggServer = wire.AggServer
+	// Client talks to a remote leaf or aggregator; it satisfies both the
+	// tailer target and aggregator target interfaces.
+	Client = wire.Client
+)
+
+// NewServer serves a leaf on addr.
+func NewServer(l *Leaf, addr string) (*Server, error) { return wire.NewServer(l, addr) }
+
+// NewAggServer serves an aggregator over the given leaf addresses.
+func NewAggServer(leafAddrs []string, addr string) (*AggServer, error) {
+	return wire.NewAggServer(leafAddrs, addr)
+}
+
+// DialLeaf connects to a remote leaf (or aggregator) server.
+func DialLeaf(addr string) *Client { return wire.Dial(addr) }
+
+// Background maintenance.
+type (
+	// Maintainer runs a leaf's background disk sync and expiration loop.
+	Maintainer = leaf.Maintainer
+	// MaintenanceConfig tunes the loop intervals.
+	MaintenanceConfig = leaf.MaintenanceConfig
+)
+
+// Placement policies (tailer ablation knob).
+const (
+	PolicyTwoChoice = tailer.PolicyTwoChoice
+	PolicyRandom    = tailer.PolicyRandom
+)
+
+// Simulation of production scale.
+type (
+	// SimParams parameterize the discrete-event cluster model.
+	SimParams = sim.Params
+	// SimReport summarizes one simulated rollover.
+	SimReport = sim.Report
+)
+
+// DefaultSimParams returns the paper-calibrated cluster model (100 machines
+// x 8 leaves x 15 GB).
+var DefaultSimParams = sim.DefaultParams
+
+// WeeklyFullAvailability converts a rollover duration into the fraction of
+// a week with 100% of data available (the paper's 93% vs 99.5%).
+var WeeklyFullAvailability = sim.WeeklyFullAvailability
+
+// Workload generators.
+type (
+	// Workload generates synthetic rows for one table.
+	Workload = workload.Generator
+	// WorkloadQueries generates a realistic query mix.
+	WorkloadQueries = workload.Queries
+)
+
+// Generators for the workloads the paper's introduction motivates.
+var (
+	ServiceLogs = workload.ServiceLogs
+	ErrorEvents = workload.ErrorEvents
+	AdsRevenue  = workload.AdsRevenue
+	NewQueries  = workload.NewQueries
+)
