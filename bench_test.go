@@ -250,6 +250,62 @@ func BenchmarkParallelRestart(b *testing.B) {
 	}
 }
 
+// ---- E14: restart copy worker sweep ----
+
+// BenchmarkShutdownRestoreWorkers sweeps the restart-path copy pool over a
+// multi-table leaf: each iteration is one full shutdown+restore cycle. The
+// per-table copy is pure memory bandwidth, so wall clock should drop as
+// workers are added until the memory bus saturates.
+func BenchmarkShutdownRestoreWorkers(b *testing.B) {
+	const tables = 16
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := newBenchEnv(b)
+				cfg := e.config(0, scuba.FormatRow)
+				cfg.CopyWorkers = workers
+				l, err := scuba.NewLeaf(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := l.Start(); err != nil {
+					b.Fatal(err)
+				}
+				for t := 0; t < tables; t++ {
+					gen := scuba.ServiceLogs(int64(t+1), 1700000000)
+					if err := l.AddRows(fmt.Sprintf("service_logs_%02d", t), gen.NextBatch(benchRows/8)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := l.SealAll(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := l.SyncToDisk(); err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(l.Stats().Bytes)
+				b.StartTimer()
+				if _, err := l.Shutdown(); err != nil {
+					b.Fatal(err)
+				}
+				nu, err := scuba.NewLeaf(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := nu.Start(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if nu.Recovery().Path != scuba.RecoveryMemory {
+					b.Fatalf("recovery = %v", nu.Recovery().Path)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
 // ---- E7: compression ----
 
 // BenchmarkCompressionRatio seals one full row block of service logs and

@@ -735,4 +735,109 @@ func runE13() error {
 	return nil
 }
 
+// ---- E14: restart copy worker sweep ----
+
+// loadLeafTables spreads the workload over many tables so the restart copy
+// pool has independent units of work.
+func loadLeafTables(l *scuba.Leaf, tables, rowsPerTable int) (int64, error) {
+	for t := 0; t < tables; t++ {
+		gen := scuba.ServiceLogs(int64(t+1), 1700000000)
+		name := fmt.Sprintf("service_logs_%02d", t)
+		const batch = 10000
+		for sent := 0; sent < rowsPerTable; sent += batch {
+			n := batch
+			if sent+n > rowsPerTable {
+				n = rowsPerTable - sent
+			}
+			if err := l.AddRows(name, gen.NextBatch(n)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := l.SealAll(); err != nil {
+		return 0, err
+	}
+	return l.Stats().Bytes, nil
+}
+
+// runE14 sweeps Config.CopyWorkers over a multi-table leaf and reports one
+// full shutdown+restore cycle per pool size, with the slowest table of each
+// half (the critical path a wider pool hides).
+func runE14() error {
+	const tables = 16
+	rowsPerTable := *rowsFlag / tables
+	fmt.Printf("%8s | %12s %12s | %12s %12s | %8s | %s\n",
+		"workers", "shutdown", "restore", "cycle", "data", "speedup", "slowest table out/in")
+	var base time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		b, cleanup := newBench()
+		cfg := b.leafConfig(0, scuba.FormatRow)
+		cfg.CopyWorkers = workers
+		if err := os.MkdirAll(filepath.Join(b.dir, "shm"), 0o755); err != nil {
+			cleanup()
+			return err
+		}
+		l, err := scuba.NewLeaf(cfg)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		if err := l.Start(); err != nil {
+			cleanup()
+			return err
+		}
+		bytes, err := loadLeafTables(l, tables, rowsPerTable)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		if _, err := l.SyncToDisk(); err != nil {
+			cleanup()
+			return err
+		}
+		sinfo, err := l.Shutdown()
+		if err != nil {
+			cleanup()
+			return err
+		}
+		nu, err := scuba.NewLeaf(cfg)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		if err := nu.Start(); err != nil {
+			cleanup()
+			return err
+		}
+		rec := nu.Recovery()
+		if rec.Path != scuba.RecoveryMemory {
+			cleanup()
+			return fmt.Errorf("e14: recovery = %v", rec.Path)
+		}
+		cycle := sinfo.Duration + rec.Duration
+		if workers == 1 {
+			base = cycle
+		}
+		fmt.Printf("%8d | %12v %12v | %12v %12s | %7.2fx | %v / %v\n",
+			workers, sinfo.Duration.Round(time.Millisecond), rec.Duration.Round(time.Millisecond),
+			cycle.Round(time.Millisecond), mb(bytes), base.Seconds()/cycle.Seconds(),
+			slowestTable(sinfo.PerTable).Round(time.Millisecond),
+			slowestTable(rec.PerTable).Round(time.Millisecond))
+		cleanup()
+	}
+	fmt.Printf("note: GOMAXPROCS=%d; true parallel speedup needs multiple cores — on one core the pool only overlaps blocking I/O\n",
+		runtime.GOMAXPROCS(0))
+	return nil
+}
+
+func slowestTable(stats []scuba.TableCopyStat) time.Duration {
+	var worst time.Duration
+	for _, st := range stats {
+		if st.Duration > worst {
+			worst = st.Duration
+		}
+	}
+	return worst
+}
+
 func mb(b int64) string { return fmt.Sprintf("%.1f MB", float64(b)/(1<<20)) }

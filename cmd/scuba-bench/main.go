@@ -46,6 +46,7 @@ func main() {
 		{"e11", "query latency (subsecond over the full dataset)", runE11},
 		{"e12", "flat memory footprint: one RBC at a time (§4.4)", runE12},
 		{"e13", "batch-fraction tradeoff: why restart 2% at a time", runE13},
+		{"e14", "parallel copy-out/copy-in: restart-path worker sweep", runE14},
 	}
 
 	ran := 0

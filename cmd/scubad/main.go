@@ -38,6 +38,7 @@ func main() {
 		budget     = flag.Int64("memory-budget", 8<<30, "data budget in bytes, reported to tailers")
 		maxAge     = flag.Int64("max-age", 0, "expire rows older than this many seconds (0 = keep)")
 		maxBytes   = flag.Int64("max-bytes", 0, "per-table compressed byte cap (0 = no cap)")
+		workers    = flag.Int("copy-workers", 0, "restart-path copy pool size (0 = NumCPU, 1 = serial)")
 		syncEvery  = flag.Duration("sync-interval", 5*time.Second, "disk write-behind interval")
 		expireEach = flag.Duration("expire-interval", time.Minute, "expiration sweep interval")
 	)
@@ -55,6 +56,7 @@ func main() {
 		MemoryBudget:          *budget,
 		Table:                 scuba.TableOptions{MaxAgeSeconds: *maxAge, MaxBytes: *maxBytes},
 		DisableMemoryRecovery: *noShm,
+		CopyWorkers:           *workers,
 	}
 	l, err := scuba.NewLeaf(cfg)
 	if err != nil {
@@ -65,9 +67,10 @@ func main() {
 		log.Fatal(err)
 	}
 	rec := l.Recovery()
-	log.Printf("scubad leaf %d up in %v (recovery: %s, %d blocks, %.1f MB)",
+	log.Printf("scubad leaf %d up in %v (recovery: %s, %d blocks, %.1f MB, %d copy workers)",
 		*id, time.Since(start).Round(time.Millisecond), rec.Path, rec.Blocks,
-		float64(rec.BytesRestored)/(1<<20))
+		float64(rec.BytesRestored)/(1<<20), rec.Workers)
+	logPerTable("restored", rec.PerTable)
 
 	srv, err := scuba.NewServer(l, *addr)
 	if err != nil {
@@ -89,9 +92,10 @@ func main() {
 	case info := <-srv.ShutdownRequested():
 		// A shutdown RPC already drained the leaf (to shm or disk).
 		maint.Stop()
-		log.Printf("shutdown RPC: %d tables, %d blocks, %.1f MB in %v (shm=%v); exiting",
+		log.Printf("shutdown RPC: %d tables, %d blocks, %.1f MB in %v (shm=%v, %d copy workers); exiting",
 			info.Tables, info.Blocks, float64(info.BytesCopied)/(1<<20),
-			info.Duration.Round(time.Millisecond), info.ToShm)
+			info.Duration.Round(time.Millisecond), info.ToShm, info.Workers)
+		logPerTable("copied", info.PerTable)
 		srv.Close()
 	case sig := <-sigs:
 		// A signal is a *planned* stop: drain through shared memory so the
@@ -104,11 +108,21 @@ func main() {
 		if err != nil {
 			log.Fatalf("shutdown: %v", err)
 		}
-		log.Printf("drained %.1f MB to shared memory in %v; exiting",
-			float64(info.BytesCopied)/(1<<20), info.Duration.Round(time.Millisecond))
+		log.Printf("drained %.1f MB to shared memory in %v with %d copy workers; exiting",
+			float64(info.BytesCopied)/(1<<20), info.Duration.Round(time.Millisecond), info.Workers)
+		logPerTable("copied", info.PerTable)
 	}
 	if m := srv.Metrics().String(); m != "" {
 		log.Printf("final metrics:\n%s", m)
 	}
 	fmt.Println("scubad: bye")
+}
+
+// logPerTable prints the per-table copy breakdown of a restart-path half.
+func logPerTable(verb string, stats []scuba.TableCopyStat) {
+	for _, st := range stats {
+		log.Printf("  %s %q: worker %d, %d blocks, %.1f MB in %v",
+			verb, st.Table, st.Worker, st.Blocks, float64(st.Bytes)/(1<<20),
+			st.Duration.Round(time.Millisecond))
+	}
 }

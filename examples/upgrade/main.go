@@ -28,8 +28,9 @@ import (
 var (
 	phase = flag.String("phase", "", "internal: old | new")
 	dir   = flag.String("dir", "", "shared working directory")
-	rows  = flag.Int("rows", 200000, "rows to ingest")
-	crash = flag.Bool("crash", false, "crash the old process instead of a clean shutdown")
+	rows    = flag.Int("rows", 200000, "rows to ingest")
+	crash   = flag.Bool("crash", false, "crash the old process instead of a clean shutdown")
+	workers = flag.Int("copy-workers", 0, "restart-path copy pool size (0 = NumCPU, 1 = serial)")
 )
 
 func config(workDir string) scuba.LeafConfig {
@@ -39,6 +40,7 @@ func config(workDir string) scuba.LeafConfig {
 		DiskRoot:     workDir + "/disk",
 		DiskFormat:   scuba.FormatRow,
 		MemoryBudget: 4 << 30,
+		CopyWorkers:  *workers,
 	}
 }
 
@@ -72,6 +74,7 @@ func orchestrate() {
 			"-dir", workDir,
 			fmt.Sprintf("-rows=%d", *rows),
 			fmt.Sprintf("-crash=%v", *crash),
+			fmt.Sprintf("-copy-workers=%d", *workers),
 		)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -120,8 +123,10 @@ func runOld() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("[old pid %d] clean shutdown: %.1f MB to shared memory in %v\n",
-		os.Getpid(), float64(info.BytesCopied)/(1<<20), info.Duration.Round(time.Millisecond))
+	fmt.Printf("[old pid %d] clean shutdown: %.1f MB to shared memory in %v with %d copy workers\n",
+		os.Getpid(), float64(info.BytesCopied)/(1<<20), info.Duration.Round(time.Millisecond),
+		info.Workers)
+	printPerTable(os.Getpid(), "copied out", info.PerTable)
 }
 
 func runNew() {
@@ -134,9 +139,10 @@ func runNew() {
 		log.Fatal(err)
 	}
 	rec := l.Recovery()
-	fmt.Printf("[new pid %d] recovered via %s: %d blocks, %.1f MB in %v\n",
+	fmt.Printf("[new pid %d] recovered via %s: %d blocks, %.1f MB in %v with %d copy workers\n",
 		os.Getpid(), rec.Path, rec.Blocks, float64(rec.BytesRestored)/(1<<20),
-		rec.Duration.Round(time.Millisecond))
+		rec.Duration.Round(time.Millisecond), rec.Workers)
+	printPerTable(os.Getpid(), "copied in", rec.PerTable)
 
 	q := &scuba.Query{
 		Table: "service_logs", From: 0, To: 1 << 40,
@@ -153,4 +159,13 @@ func runNew() {
 	}
 	fmt.Printf("[new pid %d] query sees %.0f rows; total restart wall time %v\n",
 		os.Getpid(), count, time.Since(start).Round(time.Millisecond))
+}
+
+// printPerTable shows which worker carried each table through the copy.
+func printPerTable(pid int, verb string, stats []scuba.TableCopyStat) {
+	for _, st := range stats {
+		fmt.Printf("[pid %d]   %s %q: worker %d, %d blocks, %.1f MB in %v\n",
+			pid, verb, st.Table, st.Worker, st.Blocks, float64(st.Bytes)/(1<<20),
+			st.Duration.Round(time.Millisecond))
+	}
 }

@@ -1,0 +1,474 @@
+package leaf
+
+// Concurrency harness for the parallel restart path: serial/parallel
+// equivalence, worker fault injection on both halves, and a
+// shutdown-while-ingesting hammer meant to run under -race.
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scuba/internal/metrics"
+	"scuba/internal/rowblock"
+	"scuba/internal/shm"
+	"scuba/internal/table"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata")
+
+// seedTables ingests a deterministic pseudo-random dataset of 8 tables.
+// Each batch seals into its own block, and the first row of every batch
+// carries only the "latency" column so the builder registers columns one at
+// a time — that makes the sealed block images byte-deterministic across
+// leaves fed the same seed.
+func seedTables(t *testing.T, l *Leaf, seed int64) map[string]int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[string]int)
+	for ti := 0; ti < 8; ti++ {
+		name := fmt.Sprintf("tbl-%02d", ti)
+		batches := 1 + rng.Intn(4)
+		for b := 0; b < batches; b++ {
+			n := 20 + rng.Intn(200)
+			rows := make([]rowblock.Row, n)
+			for i := range rows {
+				cols := map[string]rowblock.Value{
+					"latency": rowblock.Int64Value(int64(rng.Intn(1000))),
+				}
+				if i > 0 {
+					cols["service"] = rowblock.StringValue(fmt.Sprintf("svc-%d", rng.Intn(6)))
+				}
+				rows[i] = rowblock.Row{Time: int64(rng.Intn(1 << 20)), Cols: cols}
+			}
+			if err := l.AddRows(name, rows); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.SealAll(); err != nil {
+				t.Fatal(err)
+			}
+			counts[name] += n
+		}
+	}
+	return counts
+}
+
+// tableImages serializes every sealed block of every table.
+func tableImages(t *testing.T, l *Leaf) map[string][][]byte {
+	t.Helper()
+	out := make(map[string][][]byte)
+	for _, name := range l.Tables() {
+		var imgs [][]byte
+		for _, rb := range l.Table(name).Blocks() {
+			imgs = append(imgs, rb.AppendImage(nil))
+		}
+		out[name] = imgs
+	}
+	return out
+}
+
+// checkPerTable asserts the stat breakdown is sorted, covers every table
+// once, and sums to the given totals.
+func checkPerTable(t *testing.T, what string, stats []TableCopyStat, tables, blocks int, bytesTotal int64) {
+	t.Helper()
+	if len(stats) != tables {
+		t.Fatalf("%s: %d per-table stats, want %d", what, len(stats), tables)
+	}
+	var sumBlocks int
+	var sumBytes int64
+	for i, st := range stats {
+		if i > 0 && stats[i-1].Table >= st.Table {
+			t.Errorf("%s: stats not sorted: %q before %q", what, stats[i-1].Table, st.Table)
+		}
+		sumBlocks += st.Blocks
+		sumBytes += st.Bytes
+	}
+	if sumBlocks != blocks || sumBytes != bytesTotal {
+		t.Errorf("%s: per-table sums %d blocks / %d bytes, totals say %d / %d",
+			what, sumBlocks, sumBytes, blocks, bytesTotal)
+	}
+}
+
+// TestParallelRestartMatchesSerial is the equivalence property test: a full
+// shutdown+restore cycle with an N-worker pool must restore row blocks
+// byte-for-byte identical to the 1-worker (serial) cycle over the same
+// deterministic dataset.
+func TestParallelRestartMatchesSerial(t *testing.T) {
+	const seed = 0xC0FFEE
+	fixedClock := func() int64 { return 1_700_000_000 }
+
+	run := func(workers int) (map[string][][]byte, ShutdownInfo, RecoveryInfo) {
+		e := newEnv(t)
+		cfg := e.config(0)
+		cfg.CopyWorkers = workers
+		cfg.Clock = fixedClock
+		l := startLeaf(t, cfg)
+		seedTables(t, l, seed)
+		sinfo, err := l.Shutdown()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		nu := startLeaf(t, cfg)
+		rec := nu.Recovery()
+		if rec.Path != RecoveryMemory {
+			t.Fatalf("workers=%d: recovery = %+v", workers, rec)
+		}
+		return tableImages(t, nu), sinfo, rec
+	}
+
+	base, baseShut, baseRec := run(1)
+	if baseShut.Workers != 1 || baseRec.Workers != 1 {
+		t.Fatalf("serial cycle ran with %d/%d workers", baseShut.Workers, baseRec.Workers)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		imgs, sinfo, rec := run(workers)
+		if sinfo.Workers != workers {
+			t.Errorf("shutdown ran with %d workers, want %d", sinfo.Workers, workers)
+		}
+		checkPerTable(t, fmt.Sprintf("shutdown w=%d", workers), sinfo.PerTable,
+			sinfo.Tables, sinfo.Blocks, sinfo.BytesCopied)
+		checkPerTable(t, fmt.Sprintf("restore w=%d", workers), rec.PerTable,
+			rec.Tables, rec.Blocks, rec.BytesRestored)
+		if len(imgs) != len(base) {
+			t.Fatalf("workers=%d restored %d tables, serial %d", workers, len(imgs), len(base))
+		}
+		for name, want := range base {
+			got, ok := imgs[name]
+			if !ok {
+				t.Errorf("workers=%d: table %q missing", workers, name)
+				continue
+			}
+			if len(got) != len(want) {
+				t.Errorf("workers=%d: %q has %d blocks, serial %d", workers, name, len(got), len(want))
+				continue
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Errorf("workers=%d: %q block %d differs from serial image", workers, name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerFailureDuringShutdown kills one copy worker mid-table and checks
+// the whole shutdown rolls back: no metadata, no orphaned segments of any
+// table (including ones whose writers had already finished — the satellite
+// regression), and the next start serves full results from disk.
+func TestWorkerFailureDuringShutdown(t *testing.T) {
+	e := newEnv(t)
+	cfg := e.config(0)
+	cfg.CopyWorkers = 4
+	l := startLeaf(t, cfg)
+	for i := 0; i < 6; i++ {
+		ingest(t, l, fmt.Sprintf("t%d", i), 200+10*i, int64(1000*i))
+	}
+	boom := errors.New("boom")
+	l.copyBlockHook = func(tbl string, block int) error {
+		if tbl == "t3" && block == 1 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := l.Shutdown(); !errors.Is(err, boom) {
+		t.Fatalf("shutdown err = %v, want injected fault", err)
+	}
+	m := shm.NewManager(0, shm.Options{Dir: e.shmDir, Namespace: "test"})
+	if _, err := m.ReadMetadata(); !errors.Is(err, shm.ErrNoMetadata) {
+		t.Errorf("metadata survived failed shutdown: %v", err)
+	}
+	entries, err := os.ReadDir(e.shmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		var names []string
+		for _, en := range entries {
+			names = append(names, en.Name())
+		}
+		t.Errorf("orphaned shm files after failed shutdown: %v", names)
+	}
+	nu := startLeaf(t, e.config(0))
+	rec := nu.Recovery()
+	if rec.Path != RecoveryDisk {
+		t.Fatalf("recovery = %+v, want disk", rec)
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if got, want := countRows(t, nu, name), float64(200+10*i); got != want {
+			t.Errorf("%s count = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestWorkerFailureDuringRestore kills one restore worker; Start must fall
+// back to disk with no half-restored tables and no leftover shared memory.
+func TestWorkerFailureDuringRestore(t *testing.T) {
+	e := newEnv(t)
+	cfg := e.config(0)
+	cfg.CopyWorkers = 4
+	old := startLeaf(t, cfg)
+	for i := 0; i < 6; i++ {
+		ingest(t, old, fmt.Sprintf("t%d", i), 150+i, int64(1000*i))
+	}
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	nu, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	nu.restoreBlockHook = func(tbl string, block int) error {
+		if tbl == "t2" {
+			return boom
+		}
+		return nil
+	}
+	if err := nu.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rec := nu.Recovery()
+	if rec.Path != RecoveryDisk || !rec.FellBack {
+		t.Fatalf("recovery = %+v, want disk fallback", rec)
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if got, want := countRows(t, nu, name), float64(150+i); got != want {
+			t.Errorf("%s count = %v, want %v", name, got, want)
+		}
+	}
+	m := shm.NewManager(0, shm.Options{Dir: e.shmDir, Namespace: "test"})
+	if _, err := m.ReadMetadata(); !errors.Is(err, shm.ErrNoMetadata) {
+		t.Errorf("metadata survived failed restore: %v", err)
+	}
+}
+
+// TestShutdownWhileIngesting hammers a parallel shutdown with concurrent
+// ingest (run it under -race). Every AddRows either succeeds — and its rows
+// must survive the restart — or is rejected with the state-machine errors;
+// nothing is silently dropped.
+func TestShutdownWhileIngesting(t *testing.T) {
+	e := newEnv(t)
+	cfg := e.config(0)
+	cfg.CopyWorkers = 4
+	l := startLeaf(t, cfg)
+	const ingesters = 4
+	for g := 0; g < ingesters; g++ {
+		ingest(t, l, fmt.Sprintf("t%d", g), 50, 0)
+	}
+	var accepted [ingesters]int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", g)
+			for batch := int64(0); ; batch++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows := make([]rowblock.Row, 20)
+				for i := range rows {
+					rows[i] = rowblock.Row{Time: batch*100 + int64(i), Cols: map[string]rowblock.Value{
+						"v": rowblock.Int64Value(int64(i)),
+					}}
+				}
+				if err := l.AddRows(name, rows); err != nil {
+					if !errors.Is(err, ErrNotAlive) && !errors.Is(err, table.ErrNotAccepting) {
+						t.Errorf("add error: %v", err)
+					}
+					return
+				}
+				atomic.AddInt64(&accepted[g], 20)
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond) // let the ingesters race the shutdown
+	if _, err := l.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	nu := startLeaf(t, e.config(0))
+	if nu.Recovery().Path != RecoveryMemory {
+		t.Fatalf("recovery = %+v", nu.Recovery())
+	}
+	for g := 0; g < ingesters; g++ {
+		name := fmt.Sprintf("t%d", g)
+		want := float64(50 + atomic.LoadInt64(&accepted[g]))
+		if got := countRows(t, nu, name); got != want {
+			t.Errorf("%s count = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestCopyWorkerDefaultsAndClamp checks CopyWorkers resolution through the
+// reported info: explicit pools clamp to the table count, and the 0 default
+// resolves to at least one worker.
+func TestCopyWorkerDefaultsAndClamp(t *testing.T) {
+	e := newEnv(t)
+	cfg := e.config(0)
+	cfg.CopyWorkers = 8
+	l := startLeaf(t, cfg)
+	ingest(t, l, "only", 30, 0)
+	ingest(t, l, "pair", 30, 0)
+	info, err := l.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Workers != 2 {
+		t.Errorf("shutdown workers = %d, want clamp to 2 tables", info.Workers)
+	}
+	nu := startLeaf(t, e.config(0)) // CopyWorkers 0: NumCPU, clamped to 2
+	rec := nu.Recovery()
+	if rec.Workers < 1 || rec.Workers > 2 {
+		t.Errorf("restore workers = %d, want 1..2", rec.Workers)
+	}
+}
+
+// TestShutdownPublishesWorkerMetrics checks the per-worker gauges appear in
+// the configured registry for both halves of the cycle.
+func TestShutdownPublishesWorkerMetrics(t *testing.T) {
+	e := newEnv(t)
+	cfg := e.config(0)
+	cfg.CopyWorkers = 2
+	cfg.Metrics = metrics.NewRegistry()
+	l := startLeaf(t, cfg)
+	ingest(t, l, "a", 100, 0)
+	ingest(t, l, "b", 100, 0)
+	if _, err := l.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	out := cfg.Metrics.String()
+	for _, want := range []string{"leaf0.shutdown.worker0.bytes", "leaf0.shutdown.worker1.bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing gauge %s in:\n%s", want, out)
+		}
+	}
+	nu, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nu.Start(); err != nil {
+		t.Fatal(err)
+	}
+	out = cfg.Metrics.String()
+	if !strings.Contains(out, "leaf0.restore.worker0.bytes") {
+		t.Errorf("missing restore gauges in:\n%s", out)
+	}
+}
+
+// TestGoldenMetadataFixture pins the on-disk metadata encoding for the
+// current LayoutVersion to a golden fixture: the encoding may only change
+// together with a version bump, because a restoring binary decides
+// shm-vs-disk by decoding exactly these bytes.
+func TestGoldenMetadataFixture(t *testing.T) {
+	canonical := &shm.Metadata{
+		Valid:   true,
+		Version: shm.LayoutVersion,
+		Created: 1_700_000_000,
+		Segments: []shm.SegmentInfo{
+			{Table: "events", Segment: shm.SegmentNameForTable("events")},
+			{Table: "perf metrics", Segment: shm.SegmentNameForTable("perf metrics")},
+			{Table: "errors", Segment: shm.SegmentNameForTable("errors")},
+		},
+	}
+	dir := t.TempDir()
+	m := shm.NewManager(0, shm.Options{Dir: dir, Namespace: "test"})
+	if err := m.WriteMetadata(canonical); err != nil {
+		t.Fatal(err)
+	}
+	// The metadata location is the hard-coded per-leaf path of §4.2.
+	metaPath := filepath.Join(dir, "test-leaf0-meta")
+	raw, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", fmt.Sprintf("metadata-v%d.golden", shm.LayoutVersion))
+	if *updateGolden {
+		if err := os.WriteFile(golden, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("metadata encoding changed for layout version %d (got %d bytes, golden %d); bump shm.LayoutVersion instead of changing the encoding in place",
+			shm.LayoutVersion, len(raw), len(want))
+	}
+	// The golden bytes must decode to exactly the canonical struct.
+	if err := os.WriteFile(metaPath, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md, err := m.ReadMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(md, canonical) {
+		t.Fatalf("golden decode = %+v, want %+v", md, canonical)
+	}
+}
+
+// TestParallelShutdownMetadataRoundTrips checks metadata written by a
+// multi-worker shutdown: valid, current version, exactly one segment per
+// table, and stable under a ReadMetadata/WriteMetadata round-trip.
+func TestParallelShutdownMetadataRoundTrips(t *testing.T) {
+	e := newEnv(t)
+	cfg := e.config(0)
+	cfg.CopyWorkers = 4
+	l := startLeaf(t, cfg)
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i, n := range names {
+		ingest(t, l, n, 60+i, int64(100*i))
+	}
+	if _, err := l.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	m := shm.NewManager(0, shm.Options{Dir: e.shmDir, Namespace: "test"})
+	md, err := m.ReadMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !md.Valid || md.Version != shm.LayoutVersion {
+		t.Fatalf("metadata = %+v", md)
+	}
+	// Workers register segments in completion order, so compare as a set.
+	if len(md.Segments) != len(names) {
+		t.Fatalf("segments = %+v", md.Segments)
+	}
+	seen := make(map[string]string)
+	for _, s := range md.Segments {
+		seen[s.Table] = s.Segment
+	}
+	for _, n := range names {
+		if seen[n] != shm.SegmentNameForTable(n) {
+			t.Errorf("table %q mapped to segment %q", n, seen[n])
+		}
+	}
+	if err := m.WriteMetadata(md); err != nil {
+		t.Fatal(err)
+	}
+	again, err := m.ReadMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, md) {
+		t.Fatalf("round-trip changed metadata:\ngot  %+v\nwant %+v", again, md)
+	}
+}

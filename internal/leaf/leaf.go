@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"scuba/internal/disk"
+	"scuba/internal/metrics"
 	"scuba/internal/query"
 	"scuba/internal/rowblock"
 	"scuba/internal/shm"
@@ -50,6 +51,16 @@ type Config struct {
 	// DisableMemoryRecovery forces disk recovery on start (Figure 5b's
 	// "memory recovery disabled" edge).
 	DisableMemoryRecovery bool
+	// CopyWorkers bounds the worker pool that copies tables between heap
+	// and shared memory on the restart path. The copy is pure memory
+	// bandwidth (§4.2) and parallelizes across tables: 0 means
+	// runtime.NumCPU(), 1 preserves the serial one-table-at-a-time
+	// behavior.
+	CopyWorkers int
+	// Metrics, when non-nil, receives per-worker copy gauges from Shutdown
+	// and Start (leaf<ID>.shutdown.worker<k>.bytes / .busy_us and the
+	// restore equivalents).
+	Metrics *metrics.Registry
 	// Clock supplies unix seconds; nil means time.Now. Tests and the
 	// cluster simulator inject virtual clocks.
 	Clock func() int64
@@ -75,6 +86,11 @@ type RecoveryInfo struct {
 	// FellBack is set when memory recovery was attempted but an exception
 	// sent the leaf to disk recovery (Figure 5b).
 	FellBack bool
+	// Workers is the copy pool size memory recovery ran with (0 when the
+	// leaf recovered from disk or had nothing to restore).
+	Workers int
+	// PerTable breaks the restore down by table, sorted by table name.
+	PerTable []TableCopyStat
 }
 
 // ShutdownInfo reports what a clean shutdown did.
@@ -86,6 +102,11 @@ type ShutdownInfo struct {
 	// ToShm is false when the leaf shut down without shared memory
 	// (disk-only path).
 	ToShm bool
+	// Workers is the copy pool size the shutdown ran with (0 on the
+	// disk-only path).
+	Workers int
+	// PerTable breaks the copy-out down by table, sorted by table name.
+	PerTable []TableCopyStat
 }
 
 // ErrNotAlive is returned for requests while the leaf is restarting or has
@@ -103,6 +124,13 @@ type Leaf struct {
 	tables map[string]*table.Table
 
 	recovery RecoveryInfo
+
+	// copyBlockHook / restoreBlockHook are test-only fault-injection
+	// points, called before each block copy with the table name and block
+	// index; a non-nil return fails that worker's table mid-copy. Set them
+	// before Shutdown/Start — workers read them without synchronization.
+	copyBlockHook    func(table string, block int) error
+	restoreBlockHook func(table string, block int) error
 }
 
 // New creates a leaf in INIT. Call Start to run recovery and go ALIVE.
@@ -254,46 +282,25 @@ func (l *Leaf) restoreFromShm(info *RecoveryInfo) (bool, error) {
 	if err := l.shm.WriteMetadata(md); err != nil {
 		return false, err
 	}
-	for _, si := range md.Segments {
-		r, err := shm.OpenTableSegment(l.shm, si.Segment)
-		if err != nil {
-			return false, fmt.Errorf("leaf: open segment for %q: %w", si.Table, err)
-		}
-		tbl := table.NewRecovering(si.Table, l.cfg.Table)
-		if err := tbl.Transition(table.StateMemoryRecovery); err != nil {
-			r.Close(false) //nolint:errcheck
-			return false, err
-		}
-		blocks := make([]*rowblock.RowBlock, 0, r.NumBlocks())
-		for {
-			rb, err := r.ReadBlock()
-			if err != nil {
-				r.Close(false) //nolint:errcheck
-				return false, fmt.Errorf("leaf: restore %q: %w", si.Table, err)
-			}
-			if rb == nil {
-				break
-			}
-			blocks = append(blocks, rb)
-		}
-		// ReadBlock drains in reverse; restore original order.
-		for i := len(blocks) - 1; i >= 0; i-- {
-			if err := tbl.RestoreBlock(blocks[i]); err != nil {
-				r.Close(false) //nolint:errcheck
-				return false, err
-			}
-			info.Blocks++
-			info.BytesRestored += blocks[i].Header().Size
-		}
-		// Figure 7: delete the table shared memory segment.
-		if err := r.Close(true); err != nil {
-			return false, err
-		}
-		l.mu.Lock()
-		l.tables[si.Table] = tbl
-		l.mu.Unlock()
-		info.Tables++
+	restored, stats, workers, err := l.copyInAll(md.Segments)
+	info.Workers = workers
+	if err != nil {
+		return false, err
 	}
+	info.PerTable = stats
+	for _, st := range stats {
+		info.Blocks += st.Blocks
+		info.BytesRestored += st.Bytes
+	}
+	// Install the restored tables only now that every worker has succeeded:
+	// an exception above leaves the leaf with no half-restored tables for
+	// the disk fall-back to collide with.
+	l.mu.Lock()
+	for i, si := range md.Segments {
+		l.tables[si.Table] = restored[i]
+	}
+	l.mu.Unlock()
+	info.Tables = len(restored)
 	// Figure 7: delete the metadata shared memory segment.
 	if err := l.shm.RemoveAll(); err != nil {
 		return false, err
@@ -342,10 +349,11 @@ func (l *Leaf) dropAllTables() {
 // ---- Backup path (Figure 6) ----
 
 // Shutdown performs a clean shutdown through shared memory, implementing
-// Figure 6: flush to disk, copy every table to its segment one row block
-// column at a time (releasing heap as it goes), set the valid bit, and move
-// the leaf to EXIT. After Shutdown returns the process can exec its
-// replacement.
+// Figure 6: flush to disk, copy every table to its segment (releasing heap
+// as it goes) with a pool of Config.CopyWorkers workers, set the valid bit,
+// and move the leaf to EXIT. After Shutdown returns the process can exec
+// its replacement. On failure no shared memory survives — the next start
+// recovers from disk.
 func (l *Leaf) Shutdown() (ShutdownInfo, error) {
 	begin := time.Now()
 	info := ShutdownInfo{ToShm: true}
@@ -360,61 +368,20 @@ func (l *Leaf) Shutdown() (ShutdownInfo, error) {
 		return info, err
 	}
 
-	for _, tbl := range l.tablesSorted() {
-		// PREPARE: reject new requests, kill deletes, wait for in-flight
-		// adds/queries, seal pending rows (Figure 5c).
-		if err := tbl.Prepare(); err != nil {
-			return info, err
-		}
-		// Finish pending synchronization with the data on disk (§4.1).
-		if l.store != nil {
-			if _, err := l.store.SyncTable(tbl); err != nil {
-				return info, err
-			}
-		}
-		if err := tbl.Transition(table.StateCopyToShm); err != nil {
-			return info, err
-		}
-
-		segName := shm.SegmentNameForTable(tbl.Name())
-		// Figure 6: estimate size of table, create table segment.
-		w, err := shm.CreateTableSegment(l.shm, segName, tbl.Name(), tbl.Bytes()+4096)
-		if err != nil {
-			return info, err
-		}
-		// Figure 6: add the table segment to the leaf metadata.
-		md.Segments = append(md.Segments, shm.SegmentInfo{Table: tbl.Name(), Segment: segName})
-		if err := l.shm.WriteMetadata(md); err != nil {
-			w.Abort() //nolint:errcheck
-			return info, err
-		}
-		// Copy row blocks, deleting each from the heap as it lands.
-		for {
-			blocks, err := tbl.DropBlocksForShutdown(1)
-			if err != nil {
-				w.Abort() //nolint:errcheck
-				return info, err
-			}
-			if len(blocks) == 0 {
-				break
-			}
-			if err := w.WriteBlock(blocks[0], true); err != nil {
-				w.Abort() //nolint:errcheck
-				return info, err
-			}
-			info.Blocks++
-		}
-		info.BytesCopied += w.BytesCopied
-		if err := w.Finish(); err != nil {
-			return info, err
-		}
-		if err := tbl.Transition(table.StateDone); err != nil {
-			return info, err
-		}
+	stats, workers, err := l.copyOutAll(l.tablesSorted(), md)
+	info.Workers = workers
+	info.PerTable = stats
+	for _, st := range stats {
 		info.Tables++
+		info.Blocks += st.Blocks
+		info.BytesCopied += st.Bytes
+	}
+	if err != nil {
+		return info, err
 	}
 
-	// Figure 6: set valid bit to true — the commit point.
+	// Figure 6: set valid bit to true — the commit point, written exactly
+	// once, after every worker has finished.
 	md.Valid = true
 	if err := l.shm.WriteMetadata(md); err != nil {
 		return info, err

@@ -1,0 +1,357 @@
+package leaf
+
+// Parallel copy-out/copy-in for the restart path. The paper's restart time
+// is dominated by raw memory copying between heap and shared memory (§4.2),
+// and that copy parallelizes across tables: each worker owns one table at a
+// time, drains its row blocks into (or out of) that table's own segment,
+// and the only cross-worker state — segment registration in the leaf
+// metadata — is serialized under a mutex. The valid bit is still written
+// exactly once, by the caller, after every worker has succeeded, so the
+// commit point of Figure 6 is unchanged. Any worker error cancels the rest
+// through a context; a failed shutdown removes every segment it created
+// (no orphans), and a failed restore installs no tables at all, leaving the
+// existing fall-back-to-disk path a clean slate.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"scuba/internal/rowblock"
+	"scuba/internal/shm"
+	"scuba/internal/table"
+)
+
+// TableCopyStat is one table's share of a shutdown copy-out or a restore
+// copy-in: which worker carried it and how much moved. ShutdownInfo and
+// RecoveryInfo report one entry per table, sorted by table name.
+type TableCopyStat struct {
+	Table    string
+	Worker   int
+	Blocks   int
+	Bytes    int64
+	Duration time.Duration
+}
+
+// copyWorkers resolves Config.CopyWorkers for a pool over the given number
+// of jobs: 0 means runtime.NumCPU(), 1 preserves the serial behavior, and
+// the pool never exceeds the job count.
+func (l *Leaf) copyWorkers(jobs int) int {
+	w := l.cfg.CopyWorkers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if jobs > 0 && w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// recordCopyWorker publishes one worker's copy volume and busy time as
+// gauges (leaf<ID>.<phase>.worker<k>.bytes / .busy_us).
+func (l *Leaf) recordCopyWorker(phase string, worker int, bytes int64, busy time.Duration) {
+	r := l.cfg.Metrics
+	if r == nil {
+		return
+	}
+	prefix := fmt.Sprintf("leaf%d.%s.worker%d.", l.cfg.ID, phase, worker)
+	r.Gauge(prefix + "bytes").Set(bytes)
+	r.Gauge(prefix + "busy_us").SetDuration(busy)
+}
+
+// copyOutAll fans the tables of a clean shutdown out to the copy worker
+// pool — Figure 6's per-table loop, run concurrently. On any failure the
+// context cancels the remaining workers, every segment writer created so
+// far is aborted (a no-op for the already-finished ones), all of this
+// leaf's shared memory is removed so a failed shutdown never leaves
+// orphaned segments, and still-unsynced sealed blocks are flushed to disk
+// best-effort so the next process's disk recovery misses nothing sealed.
+// Returns per-table stats (sorted by name) and the worker count used.
+func (l *Leaf) copyOutAll(tables []*table.Table, md *shm.Metadata) ([]TableCopyStat, int, error) {
+	workers := l.copyWorkers(len(tables))
+	if len(tables) == 0 {
+		return nil, workers, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		mdMu      sync.Mutex // serializes md.Segments append + metadata write
+		statsMu   sync.Mutex
+		stats     []TableCopyStat
+		writersMu sync.Mutex
+		writers   []*shm.TableSegmentWriter
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	track := func(w *shm.TableSegmentWriter) {
+		writersMu.Lock()
+		writers = append(writers, w)
+		writersMu.Unlock()
+	}
+	jobs := make(chan *table.Table)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			busy := time.Now()
+			var bytes int64
+			for tbl := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the channel without copying
+				}
+				st, err := l.copyTableOut(ctx, tbl, md, &mdMu, track)
+				st.Worker = worker
+				if err != nil {
+					fail(fmt.Errorf("leaf: shutdown copy of %q: %w", tbl.Name(), err))
+					continue
+				}
+				bytes += st.Bytes
+				statsMu.Lock()
+				stats = append(stats, st)
+				statsMu.Unlock()
+			}
+			l.recordCopyWorker("shutdown", worker, bytes, time.Since(busy))
+		}(w)
+	}
+	for _, tbl := range tables {
+		jobs <- tbl
+	}
+	close(jobs)
+	wg.Wait()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Table < stats[j].Table })
+	if firstErr != nil {
+		for _, w := range writers {
+			w.Abort() //nolint:errcheck // idempotent; finished writers no-op
+		}
+		l.shm.RemoveAll() //nolint:errcheck // valid bit never set; best effort
+		l.flushBestEffort(tables)
+		return stats, workers, firstErr
+	}
+	return stats, workers, nil
+}
+
+// copyTableOut runs one table through the Figure 6 backup steps: PREPARE,
+// disk sync, COPY_TO_SHM, segment create + registration, block-at-a-time
+// copy (releasing heap as it goes), Finish, DONE.
+func (l *Leaf) copyTableOut(ctx context.Context, tbl *table.Table, md *shm.Metadata, mdMu *sync.Mutex, track func(*shm.TableSegmentWriter)) (TableCopyStat, error) {
+	st := TableCopyStat{Table: tbl.Name()}
+	start := time.Now()
+	// PREPARE: reject new requests, kill deletes, wait for in-flight
+	// adds/queries, seal pending rows (Figure 5c).
+	if err := tbl.Prepare(); err != nil {
+		return st, err
+	}
+	// Finish pending synchronization with the data on disk (§4.1).
+	if l.store != nil {
+		if _, err := l.store.SyncTable(tbl); err != nil {
+			return st, err
+		}
+	}
+	if err := tbl.Transition(table.StateCopyToShm); err != nil {
+		return st, err
+	}
+	segName := shm.SegmentNameForTable(tbl.Name())
+	// Figure 6: estimate size of table, create table segment.
+	w, err := shm.CreateTableSegment(l.shm, segName, tbl.Name(), tbl.Bytes()+4096)
+	if err != nil {
+		return st, err
+	}
+	track(w)
+	// Figure 6: add the table segment to the leaf metadata — the one
+	// cross-worker mutation, serialized under the metadata mutex.
+	mdMu.Lock()
+	md.Segments = append(md.Segments, shm.SegmentInfo{Table: tbl.Name(), Segment: segName})
+	err = l.shm.WriteMetadata(md)
+	mdMu.Unlock()
+	if err != nil {
+		w.Abort() //nolint:errcheck
+		return st, err
+	}
+	// Copy row blocks, deleting each from the heap as it lands.
+	for {
+		if err := ctx.Err(); err != nil { // another worker failed
+			w.Abort() //nolint:errcheck
+			return st, err
+		}
+		if h := l.copyBlockHook; h != nil {
+			if err := h(tbl.Name(), st.Blocks); err != nil {
+				w.Abort() //nolint:errcheck
+				return st, err
+			}
+		}
+		blocks, err := tbl.DropBlocksForShutdown(1)
+		if err != nil {
+			w.Abort() //nolint:errcheck
+			return st, err
+		}
+		if len(blocks) == 0 {
+			break
+		}
+		if err := w.WriteBlock(blocks[0], true); err != nil {
+			w.Abort() //nolint:errcheck
+			return st, err
+		}
+		st.Blocks++
+	}
+	st.Bytes = w.BytesCopied
+	if err := w.Finish(); err != nil {
+		return st, err
+	}
+	if err := tbl.Transition(table.StateDone); err != nil {
+		return st, err
+	}
+	st.Duration = time.Since(start)
+	return st, nil
+}
+
+// flushBestEffort writes whatever blocks are still unsynced to the disk
+// backup after a failed shutdown, ignoring errors: the valid bit was never
+// set, so the next start disk-recovers, and every block that reaches disk
+// here is a block not lost. Prepare seals the unsealed tail of tables the
+// pool never reached (a no-op or error on tables already past PREPARE,
+// which is fine — those synced before their copy began).
+func (l *Leaf) flushBestEffort(tables []*table.Table) {
+	if l.store == nil {
+		return
+	}
+	for _, tbl := range tables {
+		tbl.Prepare()          //nolint:errcheck
+		l.store.SyncTable(tbl) //nolint:errcheck
+	}
+}
+
+// copyInAll restores every segment named by the leaf metadata concurrently,
+// symmetric to copyOutAll. Restored tables are NOT installed in the leaf
+// here: the caller installs them only after every worker succeeds, so a
+// failed parallel restore leaves no half-restored table behind when the
+// fall-back disk recovery takes over. The returned table slice is aligned
+// with segments; stats are sorted by table name.
+func (l *Leaf) copyInAll(segments []shm.SegmentInfo) ([]*table.Table, []TableCopyStat, int, error) {
+	workers := l.copyWorkers(len(segments))
+	if len(segments) == 0 {
+		return nil, nil, workers, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	restored := make([]*table.Table, len(segments))
+	stats := make([]TableCopyStat, len(segments))
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			busy := time.Now()
+			var bytes int64
+			for idx := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
+				si := segments[idx]
+				tbl, st, err := l.copyTableIn(ctx, si)
+				st.Worker = worker
+				stats[idx] = st // disjoint indices: no mutex needed
+				if err != nil {
+					fail(fmt.Errorf("leaf: restore %q: %w", si.Table, err))
+					continue
+				}
+				restored[idx] = tbl
+				bytes += st.Bytes
+			}
+			l.recordCopyWorker("restore", worker, bytes, time.Since(busy))
+		}(w)
+	}
+	for i := range segments {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, workers, firstErr
+	}
+	sorted := make([]TableCopyStat, len(stats))
+	copy(sorted, stats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Table < sorted[j].Table })
+	return restored, sorted, workers, nil
+}
+
+// copyTableIn restores one table from its segment (Figure 7's per-table
+// steps): open, drain blocks in reverse (truncating the segment as pages
+// release), rebuild the block vector in original order, delete the segment.
+func (l *Leaf) copyTableIn(ctx context.Context, si shm.SegmentInfo) (*table.Table, TableCopyStat, error) {
+	st := TableCopyStat{Table: si.Table}
+	start := time.Now()
+	r, err := shm.OpenTableSegment(l.shm, si.Segment)
+	if err != nil {
+		return nil, st, fmt.Errorf("open segment: %w", err)
+	}
+	tbl := table.NewRecovering(si.Table, l.cfg.Table)
+	if err := tbl.Transition(table.StateMemoryRecovery); err != nil {
+		r.Close(false) //nolint:errcheck
+		return nil, st, err
+	}
+	blocks := make([]*rowblock.RowBlock, 0, r.NumBlocks())
+	for {
+		if err := ctx.Err(); err != nil { // another worker failed
+			r.Close(false) //nolint:errcheck
+			return nil, st, err
+		}
+		if h := l.restoreBlockHook; h != nil {
+			if err := h(si.Table, len(blocks)); err != nil {
+				r.Close(false) //nolint:errcheck
+				return nil, st, err
+			}
+		}
+		rb, err := r.ReadBlock()
+		if err != nil {
+			r.Close(false) //nolint:errcheck
+			return nil, st, err
+		}
+		if rb == nil {
+			break
+		}
+		blocks = append(blocks, rb)
+	}
+	// ReadBlock drains in reverse; restore original order.
+	for i := len(blocks) - 1; i >= 0; i-- {
+		if err := tbl.RestoreBlock(blocks[i]); err != nil {
+			r.Close(false) //nolint:errcheck
+			return nil, st, err
+		}
+		st.Blocks++
+		st.Bytes += blocks[i].Header().Size
+	}
+	// Figure 7: delete the table shared memory segment.
+	if err := r.Close(true); err != nil {
+		return nil, st, err
+	}
+	st.Duration = time.Since(start)
+	return tbl, st, nil
+}

@@ -28,6 +28,15 @@ type Gauge struct{ v atomic.Int64 }
 // Set stores the value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
+// SetDuration stores a duration in whole microseconds. The restart copy
+// workers report per-worker busy time this way: sub-millisecond copies are
+// common at test scale and would all round to zero in milliseconds.
+func (g *Gauge) SetDuration(d time.Duration) { g.v.Store(d.Microseconds()) }
+
+// Add adjusts the gauge by a delta (useful for high-water tracking under
+// concurrent writers combined with Value polling).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
 // Value reads the gauge.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -85,3 +85,17 @@ func TestRegistryString(t *testing.T) {
 		t.Errorf("order wrong: %q", s)
 	}
 }
+
+func TestGaugeDurationAndAdd(t *testing.T) {
+	var g Gauge
+	g.SetDuration(1500 * time.Microsecond)
+	if got := g.Value(); got != 1500 {
+		t.Errorf("SetDuration value = %d, want 1500", got)
+	}
+	g.Set(10)
+	g.Add(5)
+	g.Add(-3)
+	if got := g.Value(); got != 12 {
+		t.Errorf("Add value = %d, want 12", got)
+	}
+}

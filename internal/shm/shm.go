@@ -195,14 +195,27 @@ func decodeMetadata(b []byte) (*Metadata, error) {
 
 // WriteMetadata atomically replaces the leaf metadata (write temp + rename,
 // so a crash mid-write leaves either the old or the new file, never a torn
-// one — a torn metadata block would defeat the valid bit).
+// one — a torn metadata block would defeat the valid bit). The temp file
+// name is unique per call, so concurrent writers cannot interleave bytes in
+// a shared staging file; the last rename wins with a complete image either
+// way.
 func (m *Manager) WriteMetadata(md *Metadata) error {
 	path := m.metadataPath()
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, md.encode(), 0o644); err != nil {
-		return fmt.Errorf("shm: write metadata: %w", err)
+	f, err := os.CreateTemp(m.dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("shm: stage metadata: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(md.encode())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("shm: write metadata: %w", werr)
 	}
 	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck
 		return fmt.Errorf("shm: install metadata: %w", err)
 	}
 	return nil

@@ -36,13 +36,27 @@ var ErrSegCorrupt = fmt.Errorf("shm: corrupt table segment")
 
 // TableSegmentWriter streams a table's row blocks into a segment, one row
 // block column at a time (Figure 6).
+//
+// A writer is single-goroutine: the parallel shutdown path gives each worker
+// its own writer over its own segment. Distinct writers over distinct
+// segment names are safe to drive concurrently — CreateTableSegment touches
+// only the segment's own file. Finish and Abort are terminal: WriteBlock or
+// Finish after either returns ErrClosed instead of touching unmapped memory,
+// and Abort is idempotent (Abort after Finish is a no-op, so error paths can
+// abort every writer unconditionally).
 type TableSegmentWriter struct {
 	seg     *Segment
 	pos     int64
 	offsets []int64
 	// BytesCopied counts payload bytes written, for bandwidth accounting.
 	BytesCopied int64
+
+	finished bool
+	aborted  bool
 }
+
+// Name returns the segment name the writer targets.
+func (w *TableSegmentWriter) Name() string { return w.seg.Name() }
 
 // CreateTableSegment creates a segment sized by estimate (Figure 6:
 // "estimate size of table"); WriteBlock grows it as needed.
@@ -71,6 +85,9 @@ func CreateTableSegment(m *Manager, segName, tableName string, estimate int64) (
 // release is true each heap column is dropped right after its copy, so the
 // block's memory is reclaimed incrementally (Figure 6 pseudocode).
 func (w *TableSegmentWriter) WriteBlock(rb *rowblock.RowBlock, release bool) error {
+	if w.finished || w.aborted {
+		return fmt.Errorf("%w: WriteBlock on %s segment writer", ErrClosed, w.stateName())
+	}
 	imageSize := int64(rb.ImageSize()) // before columns are released
 	need := w.pos + imageSize
 	if need > w.seg.Size() {
@@ -100,8 +117,13 @@ func (w *TableSegmentWriter) WriteBlock(rb *rowblock.RowBlock, release bool) err
 }
 
 // Finish writes the footer, patches the header, trims any over-allocation,
-// and closes the segment. The data stays in the backing tmpfs file.
+// and closes the segment. The data stays in the backing tmpfs file. Finish
+// is terminal: a second Finish, or a Finish after Abort, returns ErrClosed.
 func (w *TableSegmentWriter) Finish() error {
+	if w.finished || w.aborted {
+		return fmt.Errorf("%w: Finish on %s segment writer", ErrClosed, w.stateName())
+	}
+	w.finished = true
 	footerOff := w.pos
 	need := footerOff + int64(8*len(w.offsets))
 	if need > w.seg.Size() {
@@ -126,8 +148,24 @@ func (w *TableSegmentWriter) Finish() error {
 	return w.seg.Close()
 }
 
-// Abort closes the segment without finishing; the caller removes it.
-func (w *TableSegmentWriter) Abort() error { return w.seg.Close() }
+// Abort closes the segment without finishing; the caller removes it. Abort
+// is idempotent, and aborting an already-finished writer is a no-op, so a
+// failed multi-table shutdown can abort every writer it created — including
+// those of tables whose copy had already finished.
+func (w *TableSegmentWriter) Abort() error {
+	if w.finished || w.aborted {
+		return nil
+	}
+	w.aborted = true
+	return w.seg.Close()
+}
+
+func (w *TableSegmentWriter) stateName() string {
+	if w.aborted {
+		return "aborted"
+	}
+	return "finished"
+}
 
 // TableSegmentReader drains a table segment back to the heap, last block
 // first, truncating the segment as it goes (Figure 7).

@@ -328,7 +328,9 @@ func (t *Table) MarkSynced(n int) {
 // RestoreBlock appends a recovered block during MEMORY_RECOVERY or
 // DISK_RECOVERY. Restored blocks count as already synced to disk: the
 // shutdown path flushed them before copying to shared memory, and the disk
-// path read them from disk in the first place.
+// path read them from disk in the first place. Calls are serialized by the
+// table mutex, so concurrent restore workers (one table each, but also
+// multiple callers on one table) only race over insertion order.
 func (t *Table) RestoreBlock(rb *rowblock.RowBlock) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -392,7 +394,12 @@ func (t *Table) Rows() int64 {
 
 // DropBlocksForShutdown pops up to n leading blocks so the shutdown path can
 // release them after copying to shared memory (Figure 6 deletes each row
-// block from the heap as it is copied). Only legal in COPY_TO_SHM.
+// block from the heap as it is copied). Only legal in COPY_TO_SHM. Safe
+// under concurrent callers (the parallel shutdown runs one worker per table,
+// but nothing here assumes that): each call atomically claims a disjoint
+// prefix. The disk-sync watermark is rebased as blocks leave the vector so a
+// best-effort SyncTable after a failed shutdown sees a consistent view
+// instead of a watermark past the end of the vector.
 func (t *Table) DropBlocksForShutdown(n int) ([]*rowblock.RowBlock, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -404,5 +411,9 @@ func (t *Table) DropBlocksForShutdown(n int) ([]*rowblock.RowBlock, error) {
 	}
 	out := t.blocks[:n]
 	t.blocks = t.blocks[n:]
+	t.synced -= n
+	if t.synced < 0 {
+		t.synced = 0
+	}
 	return out, nil
 }

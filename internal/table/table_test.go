@@ -402,3 +402,134 @@ func TestConcurrentAddsAndScans(t *testing.T) {
 		t.Errorf("rows = %d, want %d", got, 8*50*20)
 	}
 }
+
+func TestDropBlocksForShutdownRebasesSyncWatermark(t *testing.T) {
+	// A failed shutdown flushes whatever is left to disk best-effort; the
+	// sync watermark must follow the shrinking block vector or UnsyncedBlocks
+	// would compute a negative-length slice after a partial drain.
+	tbl := New("events", Options{})
+	for b := 0; b < 4; b++ {
+		if err := tbl.AddRows(mkRows(50, int64(b*100)), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.SealActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl.MarkSynced(4) // all synced, as after the pre-copy flush
+	if err := tbl.Transition(StatePrepare); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Transition(StateCopyToShm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.DropBlocksForShutdown(3); err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.UnsyncedBlocks() // must not panic, and nothing is newly dirty
+	if len(got) != 0 {
+		t.Errorf("unsynced after drain = %d blocks", len(got))
+	}
+}
+
+func TestConcurrentDropBlocksForShutdown(t *testing.T) {
+	// Concurrent callers on one table must partition the block vector: every
+	// block claimed exactly once, no duplicates, no losses.
+	tbl := New("events", Options{})
+	const nBlocks = 40
+	for b := 0; b < nBlocks; b++ {
+		if err := tbl.AddRows(mkRows(10, int64(b*1000)), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.SealActive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Transition(StatePrepare); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Transition(StateCopyToShm); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		claimed []*rowblock.RowBlock
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				blocks, err := tbl.DropBlocksForShutdown(1)
+				if err != nil {
+					t.Errorf("drop: %v", err)
+					return
+				}
+				if len(blocks) == 0 {
+					return
+				}
+				mu.Lock()
+				claimed = append(claimed, blocks[0])
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(claimed) != nBlocks {
+		t.Fatalf("claimed %d blocks, want %d", len(claimed), nBlocks)
+	}
+	seen := make(map[*rowblock.RowBlock]bool, nBlocks)
+	for _, rb := range claimed {
+		if seen[rb] {
+			t.Fatal("block claimed twice")
+		}
+		seen[rb] = true
+	}
+	if tbl.Stats().NumBlocks != 0 {
+		t.Errorf("blocks left = %d", tbl.Stats().NumBlocks)
+	}
+}
+
+func TestConcurrentRestoreBlockAcrossTables(t *testing.T) {
+	// The parallel restore runs one worker per table; RestoreBlock on
+	// distinct tables (and even interleaved on one) must stay consistent.
+	const nTables = 8
+	const nBlocks = 12
+	tables := make([]*Table, nTables)
+	for i := range tables {
+		tables[i] = NewRecovering(fmt.Sprintf("t%d", i), Options{})
+		if err := tables[i].Transition(StateMemoryRecovery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := New("src", Options{})
+	if err := src.AddRows(mkRows(100, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SealActive(); err != nil {
+		t.Fatal(err)
+	}
+	block := src.Blocks()[0]
+
+	var wg sync.WaitGroup
+	for _, tbl := range tables {
+		wg.Add(1)
+		go func(tbl *Table) {
+			defer wg.Done()
+			for b := 0; b < nBlocks; b++ {
+				if err := tbl.RestoreBlock(block); err != nil {
+					t.Errorf("restore: %v", err)
+					return
+				}
+			}
+		}(tbl)
+	}
+	wg.Wait()
+	for _, tbl := range tables {
+		st := tbl.Stats()
+		if st.NumBlocks != nBlocks || st.Rows != int64(nBlocks*100) {
+			t.Errorf("%s: %+v", tbl.Name(), st)
+		}
+	}
+}

@@ -87,6 +87,8 @@ type (
 	RecoveryInfo = leaf.RecoveryInfo
 	// ShutdownInfo reports what a clean shutdown did.
 	ShutdownInfo = leaf.ShutdownInfo
+	// TableCopyStat is one table's share of a restart-path copy.
+	TableCopyStat = leaf.TableCopyStat
 	// ShmOptions configures the shared memory directory and namespace.
 	ShmOptions = shm.Options
 	// TableOptions sets per-table retention.
