@@ -17,13 +17,16 @@ import (
 	"strings"
 	"syscall"
 
+	"scuba/internal/metrics"
+	"scuba/internal/obs"
 	"scuba/internal/wire"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:9001", "listen address")
-		leaves = flag.String("leaves", "", "comma-separated leaf addresses")
+		addr     = flag.String("addr", "127.0.0.1:9001", "listen address")
+		leaves   = flag.String("leaves", "", "comma-separated leaf addresses")
+		httpAddr = flag.String("http", "", "observability listen address serving /metrics and /debug/pprof ('' disables)")
 	)
 	flag.Parse()
 	if *leaves == "" {
@@ -33,11 +36,20 @@ func main() {
 	for _, a := range strings.Split(*leaves, ",") {
 		addrs = append(addrs, strings.TrimSpace(a))
 	}
-	srv, err := wire.NewAggServer(addrs, *addr)
+	reg := metrics.NewRegistry()
+	srv, err := wire.NewAggServerOn(addrs, *addr, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("scuba-aggd serving %d leaves on %s", len(addrs), srv.Addr())
+	if *httpAddr != "" {
+		hs, err := obs.StartHTTP(*httpAddr, obs.Handler(obs.HandlerConfig{Registry: reg}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer hs.Close()
+		log.Printf("observability on http://%s (/metrics /debug/pprof)", hs.Addr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

@@ -29,7 +29,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e15) or 'all'")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -47,6 +47,7 @@ func main() {
 		{"e12", "flat memory footprint: one RBC at a time (§4.4)", runE12},
 		{"e13", "batch-fraction tradeoff: why restart 2% at a time", runE13},
 		{"e14", "parallel copy-out/copy-in: restart-path worker sweep", runE14},
+		{"e15", "restart-phase breakdown: where the cycle time goes", runE15},
 	}
 
 	ran := 0

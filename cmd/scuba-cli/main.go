@@ -8,13 +8,17 @@
 //	scuba-cli -addrs :8001,:8002 load -table service_logs -rows 100000
 //	scuba-cli -addrs :8001,:8002 query -table service_logs -group-by service -agg count,avg:latency_ms
 //	scuba-cli -addrs :8001 stats
+//	scuba-cli stats -http :8081            # scrape a daemon's /metrics + /debug/recovery
 //	scuba-cli -addrs :8001 shutdown [-disk]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -53,7 +57,7 @@ func main() {
 	case "query":
 		runQuery(clients, args)
 	case "stats":
-		runStats(clients)
+		runStats(clients, args)
 	case "shutdown":
 		runShutdown(clients, args)
 	default:
@@ -221,7 +225,14 @@ func parseFilter(s string) (scuba.Filter, error) {
 	return scuba.Filter{}, fmt.Errorf("cannot parse filter %q", s)
 }
 
-func runStats(clients []*scuba.Client) {
+func runStats(clients []*scuba.Client, args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	httpAddr := fs.String("http", "", "scrape a daemon's -http observability listener instead of the stats RPC")
+	fs.Parse(args) //nolint:errcheck
+	if *httpAddr != "" {
+		scrapeObs(*httpAddr)
+		return
+	}
 	fmt.Printf("%-6s %-16s %7s %8s %12s %14s %12s\n",
 		"leaf", "state", "tables", "blocks", "rows", "bytes", "free")
 	for i, c := range clients {
@@ -233,6 +244,68 @@ func runStats(clients []*scuba.Client) {
 		fmt.Printf("%-6d %-16s %7d %8d %12d %14d %12d\n",
 			st.ID, st.State, st.Tables, st.Blocks, st.Rows, st.Bytes, st.FreeMemory)
 	}
+}
+
+// scrapeObs fetches /metrics and /debug/recovery from a daemon's -http
+// listener and pretty-prints the restart story: metrics first, then the
+// previous run's outcome (the flight-recorder answer to "why did the last
+// restart fall back to disk") and the current recovery state.
+func scrapeObs(addr string) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	body, err := httpGet(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== metrics ==")
+	fmt.Print(body)
+
+	recBody, err := httpGet(base + "/debug/recovery")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dump scuba.RecoveryDump
+	if err := json.Unmarshal([]byte(recBody), &dump); err != nil {
+		log.Fatalf("bad /debug/recovery JSON: %v", err)
+	}
+	fmt.Println("== recovery ==")
+	if dump.Recovery != nil {
+		b, _ := json.Marshal(dump.Recovery) //nolint:errcheck
+		fmt.Printf("recovery: %s\n", b)
+	}
+	if pr := dump.PreviousRun; pr != nil {
+		if pr.Failed {
+			fmt.Printf("previous run FAILED in phase %q: %s\n", pr.FailurePhase, pr.FailureDetail)
+		} else {
+			fmt.Printf("previous run: last phase %q (%d events)\n", pr.LastPhase, pr.Events)
+		}
+	} else {
+		fmt.Println("previous run: no flight-recorder data")
+	}
+	if cr := dump.CurrentRun; cr != nil {
+		fmt.Printf("current run: last phase %q (%d events)\n", cr.LastPhase, cr.Events)
+		for _, ev := range dump.CurrentEvents {
+			fmt.Printf("  %s %-5s %s %s\n", ev.Time().Format("15:04:05.000"), ev.KindName, ev.Phase, ev.Detail)
+		}
+	}
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return string(b), nil
 }
 
 func runShutdown(clients []*scuba.Client, args []string) {

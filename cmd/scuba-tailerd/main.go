@@ -21,6 +21,8 @@ import (
 	"syscall"
 	"time"
 
+	"scuba/internal/metrics"
+	"scuba/internal/obs"
 	"scuba/internal/scribe"
 	"scuba/internal/tailer"
 	"scuba/internal/wire"
@@ -36,10 +38,21 @@ func main() {
 		batchRows  = flag.Int("batch-rows", 1000, "flush every N rows")
 		interval   = flag.Duration("interval", time.Second, "flush partial batches this often")
 		seed       = flag.Int64("seed", time.Now().UnixNano(), "placement randomness seed")
+		httpAddr   = flag.String("http", "", "observability listen address serving /metrics and /debug/pprof ('' disables)")
 	)
 	flag.Parse()
 	if *leaves == "" {
 		log.Fatal("scuba-tailerd: -leaves is required")
+	}
+
+	reg := metrics.NewRegistry()
+	if *httpAddr != "" {
+		hs, err := obs.StartHTTP(*httpAddr, obs.Handler(obs.HandlerConfig{Registry: reg}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer hs.Close()
+		log.Printf("observability on http://%s (/metrics /debug/pprof)", hs.Addr())
 	}
 
 	var targets []tailer.Target
@@ -56,6 +69,7 @@ func main() {
 		Table:         *tableName,
 		BatchRows:     *batchRows,
 		FlushInterval: *interval,
+		Metrics:       reg,
 	}
 	if *checkpoint != "" {
 		cfg.Checkpoint = tailer.NewCheckpoint(*checkpoint)

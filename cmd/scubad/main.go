@@ -41,8 +41,30 @@ func main() {
 		workers    = flag.Int("copy-workers", 0, "restart-path copy pool size (0 = NumCPU, 1 = serial)")
 		syncEvery  = flag.Duration("sync-interval", 5*time.Second, "disk write-behind interval")
 		expireEach = flag.Duration("expire-interval", time.Minute, "expiration sweep interval")
+		httpAddr   = flag.String("http", "", "observability listen address serving /metrics, /debug/recovery and /debug/pprof ('' disables)")
 	)
 	flag.Parse()
+
+	// One registry for everything this process observes (restart phases,
+	// query latency, RPC counters) and one flight recorder in its own shm
+	// segment, which survives crashes and the leaf's own segment sweep.
+	reg := scuba.NewMetricsRegistry()
+	fr, err := scuba.OpenFlightRecorder(*id, scuba.FlightRecorderOptions{
+		Dir: *shmDir, Namespace: *namespace,
+	})
+	if err != nil {
+		log.Printf("flight recorder unavailable (continuing without): %v", err)
+	}
+	if prev := fr.Previous(); len(prev) > 0 {
+		sum := scuba.SummarizeFlightEvents(prev)
+		if sum.Failed {
+			log.Printf("previous run recorded a failure in phase %q: %s", sum.FailurePhase, sum.FailureDetail)
+		} else {
+			log.Printf("previous run's last recorded phase: %q (%d events)", sum.LastPhase, sum.Events)
+		}
+	}
+	ob := scuba.NewObserver(reg, fr)
+	ob.Event(scuba.FlightNote, "process.start", fmt.Sprintf("scubad leaf %d", *id))
 
 	format := scuba.FormatRow
 	if *columnar {
@@ -57,6 +79,8 @@ func main() {
 		Table:                 scuba.TableOptions{MaxAgeSeconds: *maxAge, MaxBytes: *maxBytes},
 		DisableMemoryRecovery: *noShm,
 		CopyWorkers:           *workers,
+		Metrics:               reg,
+		Obs:                   ob,
 	}
 	l, err := scuba.NewLeaf(cfg)
 	if err != nil {
@@ -71,12 +95,26 @@ func main() {
 		*id, time.Since(start).Round(time.Millisecond), rec.Path, rec.Blocks,
 		float64(rec.BytesRestored)/(1<<20), rec.Workers)
 	logPerTable("restored", rec.PerTable)
+	logSlowest("restored", rec.PerTable)
 
-	srv, err := scuba.NewServer(l, *addr)
+	srv, err := scuba.NewServerOn(l, *addr, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s", srv.Addr())
+
+	if *httpAddr != "" {
+		hs, err := scuba.StartObsHTTP(*httpAddr, scuba.ObsHandler(scuba.ObsHandlerConfig{
+			Registry: reg,
+			Recorder: fr,
+			Recovery: func() any { return l.Recovery() },
+		}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer hs.Close()
+		log.Printf("observability on http://%s (/metrics /debug/recovery /debug/pprof)", hs.Addr())
+	}
 
 	// Background maintenance: asynchronous disk sync (§4.1) + expiration.
 	maint := l.StartMaintenance(scuba.MaintenanceConfig{
@@ -92,10 +130,7 @@ func main() {
 	case info := <-srv.ShutdownRequested():
 		// A shutdown RPC already drained the leaf (to shm or disk).
 		maint.Stop()
-		log.Printf("shutdown RPC: %d tables, %d blocks, %.1f MB in %v (shm=%v, %d copy workers); exiting",
-			info.Tables, info.Blocks, float64(info.BytesCopied)/(1<<20),
-			info.Duration.Round(time.Millisecond), info.ToShm, info.Workers)
-		logPerTable("copied", info.PerTable)
+		logShutdown("shutdown RPC", info)
 		srv.Close()
 	case sig := <-sigs:
 		// A signal is a *planned* stop: drain through shared memory so the
@@ -108,14 +143,25 @@ func main() {
 		if err != nil {
 			log.Fatalf("shutdown: %v", err)
 		}
-		log.Printf("drained %.1f MB to shared memory in %v with %d copy workers; exiting",
-			float64(info.BytesCopied)/(1<<20), info.Duration.Round(time.Millisecond), info.Workers)
-		logPerTable("copied", info.PerTable)
+		logShutdown("signal shutdown", info)
 	}
-	if m := srv.Metrics().String(); m != "" {
+	if m := reg.String(); m != "" {
 		log.Printf("final metrics:\n%s", m)
 	}
+	ob.Event(scuba.FlightNote, "process.exit", "clean exit")
+	fr.Close()
 	fmt.Println("scubad: bye")
+}
+
+// logShutdown prints a ShutdownInfo symmetrically to the recovery log line
+// at startup: totals, workers, the per-table breakdown, and the slowest
+// table (the one that bounds the restart, §4.2).
+func logShutdown(how string, info scuba.ShutdownInfo) {
+	log.Printf("%s: %d tables, %d blocks, %.1f MB in %v (shm=%v, %d copy workers); exiting",
+		how, info.Tables, info.Blocks, float64(info.BytesCopied)/(1<<20),
+		info.Duration.Round(time.Millisecond), info.ToShm, info.Workers)
+	logPerTable("copied", info.PerTable)
+	logSlowest("copied", info.PerTable)
 }
 
 // logPerTable prints the per-table copy breakdown of a restart-path half.
@@ -125,4 +171,20 @@ func logPerTable(verb string, stats []scuba.TableCopyStat) {
 			verb, st.Table, st.Worker, st.Blocks, float64(st.Bytes)/(1<<20),
 			st.Duration.Round(time.Millisecond))
 	}
+}
+
+// logSlowest names the table whose copy took longest.
+func logSlowest(verb string, stats []scuba.TableCopyStat) {
+	if len(stats) == 0 {
+		return
+	}
+	slow := stats[0]
+	for _, st := range stats[1:] {
+		if st.Duration > slow.Duration {
+			slow = st
+		}
+	}
+	log.Printf("  slowest %s table: %q (%v, %.1f MB on worker %d)",
+		verb, slow.Table, slow.Duration.Round(time.Millisecond),
+		float64(slow.Bytes)/(1<<20), slow.Worker)
 }

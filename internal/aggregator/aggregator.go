@@ -8,7 +8,9 @@ package aggregator
 import (
 	"errors"
 	"sync"
+	"time"
 
+	"scuba/internal/metrics"
 	"scuba/internal/query"
 )
 
@@ -23,6 +25,12 @@ type Aggregator struct {
 	leaves []LeafTarget
 	// Parallelism bounds concurrent per-leaf queries (0 = all at once).
 	Parallelism int
+	// Metrics, when non-nil, receives per-query instrumentation: the
+	// query.latency timer and query.latency_hist histogram (end-to-end
+	// fan-out + merge), query.count / query.errors counters, the
+	// query.leaves_total / query.leaves_answered coverage counters, and a
+	// query.fanout histogram of leaves answered per query.
+	Metrics *metrics.Registry
 }
 
 // New creates an aggregator over the given leaves.
@@ -37,10 +45,17 @@ var ErrNoLeaves = errors.New("aggregator: no leaves configured")
 // error (restarting, unreachable) are skipped; the merged result's
 // LeavesTotal/LeavesAnswered report the coverage users see on dashboards.
 func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
+	start := time.Now()
 	if err := q.Validate(); err != nil {
+		if a.Metrics != nil {
+			a.Metrics.Counter("query.errors").Add(1)
+		}
 		return nil, err
 	}
 	if len(a.leaves) == 0 {
+		if a.Metrics != nil {
+			a.Metrics.Counter("query.errors").Add(1)
+		}
 		return nil, ErrNoLeaves
 	}
 	sem := make(chan struct{}, a.parallelism())
@@ -79,6 +94,15 @@ func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
 			merged.LeavesAnswered++
 		}
 		merged.Merge(res)
+	}
+	if r := a.Metrics; r != nil {
+		d := time.Since(start)
+		r.Counter("query.count").Add(1)
+		r.Timer("query.latency").Observe(d)
+		r.Histogram("query.latency_hist").ObserveDuration(d)
+		r.Counter("query.leaves_total").Add(int64(merged.LeavesTotal))
+		r.Counter("query.leaves_answered").Add(int64(merged.LeavesAnswered))
+		r.Histogram("query.fanout").Observe(int64(merged.LeavesAnswered))
 	}
 	return merged, nil
 }

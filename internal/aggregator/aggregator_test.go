@@ -8,6 +8,7 @@ import (
 
 	"scuba/internal/disk"
 	"scuba/internal/leaf"
+	"scuba/internal/metrics"
 	"scuba/internal/query"
 	"scuba/internal/rowblock"
 	"scuba/internal/shm"
@@ -190,5 +191,44 @@ func TestBoundedParallelism(t *testing.T) {
 	}
 	if a.NumLeaves() != 16 {
 		t.Errorf("NumLeaves = %d", a.NumLeaves())
+	}
+}
+
+func TestQueryMetrics(t *testing.T) {
+	leaves := make([]LeafTarget, 3)
+	for i := range leaves {
+		l := newLeaf(t, i)
+		ingest(t, l, 50, int64(i*1000))
+		leaves[i] = l
+	}
+	a := New(leaves)
+	a.Metrics = metrics.NewRegistry()
+	for i := 0; i < 4; i++ {
+		if _, err := a.Query(countQuery()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := a.Metrics
+	if got := r.Counter("query.count").Value(); got != 4 {
+		t.Errorf("query.count = %d", got)
+	}
+	if got := r.Counter("query.leaves_answered").Value(); got != 12 {
+		t.Errorf("query.leaves_answered = %d", got)
+	}
+	if st := r.Timer("query.latency").Stats(); st.Count != 4 {
+		t.Errorf("latency timer count = %d", st.Count)
+	}
+	if st := r.Histogram("query.latency_hist").Stats(); st.Count != 4 || !st.IsDuration {
+		t.Errorf("latency histogram = %+v", st)
+	}
+	if st := r.Histogram("query.fanout").Stats(); st.Count != 4 || st.Max != 3 {
+		t.Errorf("fanout histogram = %+v", st)
+	}
+	// Validation failures count as errors, not latency samples.
+	if _, err := a.Query(&query.Query{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if got := r.Counter("query.errors").Value(); got != 1 {
+		t.Errorf("query.errors = %d", got)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"scuba/internal/metrics"
 )
 
 // RolloverConfig drives a system-wide software upgrade (§4.5).
@@ -31,6 +33,12 @@ type RolloverConfig struct {
 	// OnBatch, if set, is called with a dashboard snapshot after every
 	// batch (Figure 8).
 	OnBatch func(batch int, snap Snapshot)
+	// Metrics, when non-nil, receives rollover instrumentation: the
+	// rollover.batch timer, rollover.restarts counter, the
+	// rollover.recovery.memory / rollover.recovery.disk path counters, and
+	// a rollover.min_availability_bp gauge (basis points of data available
+	// at the worst moment so far).
+	Metrics *metrics.Registry
 }
 
 // TimelinePoint is one dashboard sample (Figure 8).
@@ -77,6 +85,7 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 
 	restarted := 0
 	for batchNum := 0; len(pending) > 0; batchNum++ {
+		batchStart := time.Now()
 		batch, rest := pickBatch(pending, batchSize, cfg.MaxPerMachine)
 		pending = rest
 
@@ -117,8 +126,14 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 				switch rep.Recovery.Path {
 				case "memory":
 					report.MemoryRecoveries++
+					if cfg.Metrics != nil {
+						cfg.Metrics.Counter("rollover.recovery.memory").Add(1)
+					}
 				case "disk":
 					report.DiskRecoveries++
+					if cfg.Metrics != nil {
+						cfg.Metrics.Counter("rollover.recovery.disk").Add(1)
+					}
 				}
 			}(n)
 		}
@@ -136,6 +151,11 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 			Elapsed: time.Since(begin), Batch: batchNum, Snap: snap,
 		})
 		report.Batches++
+		if r := cfg.Metrics; r != nil {
+			r.Timer("rollover.batch").Observe(time.Since(batchStart))
+			r.Counter("rollover.restarts").Add(int64(len(batch)))
+			r.Gauge("rollover.min_availability_bp").Set(int64(report.MinAvailability * 10000))
+		}
 		_ = cfg.WaitForRecovery // Restart is synchronous: recovery completed
 	}
 	report.Duration = time.Since(begin)

@@ -24,6 +24,7 @@ import (
 
 	"scuba/internal/disk"
 	"scuba/internal/metrics"
+	"scuba/internal/obs"
 	"scuba/internal/query"
 	"scuba/internal/rowblock"
 	"scuba/internal/shm"
@@ -61,6 +62,12 @@ type Config struct {
 	// and Start (leaf<ID>.shutdown.worker<k>.bytes / .busy_us and the
 	// restore equivalents).
 	Metrics *metrics.Registry
+	// Obs, when non-nil, receives phase spans for the restart lifecycle
+	// (restart.copy_out / .commit / .map / .copy_in / .disk_recovery timers
+	// in its registry) and per-table begin/end/fail events in its flight
+	// recorder. Point its registry at Metrics so /metrics shows both. A nil
+	// Obs disables instrumentation at zero cost.
+	Obs *obs.Observer
 	// Clock supplies unix seconds; nil means time.Now. Tests and the
 	// cluster simulator inject virtual clocks.
 	Clock func() int64
@@ -202,15 +209,20 @@ func (l *Leaf) Start() error {
 		if err != nil {
 			// Exception during memory recovery: fall back to disk
 			// (Figure 5b). Anything half-restored is discarded.
+			l.cfg.Obs.Event(obs.EventNote, "restart.disk_fallback",
+				"memory recovery failed, falling back to disk: "+err.Error())
 			l.dropAllTables()
 			l.shm.RemoveAll() //nolint:errcheck // best effort cleanup
 			info = RecoveryInfo{Path: RecoveryNone, FellBack: true}
 			if terr := l.transition(StateDiskRecovery); terr != nil {
 				return terr
 			}
+			sp := l.cfg.Obs.Start(obs.PhaseDiskRecovery)
 			if derr := l.recoverFromDisk(&info); derr != nil {
+				sp.End(derr)
 				return fmt.Errorf("leaf: disk recovery after shm failure (%v): %w", err, derr)
 			}
+			sp.End(nil)
 			info.Path = RecoveryDisk
 		} else if ok {
 			info.Path = RecoveryMemory
@@ -221,9 +233,12 @@ func (l *Leaf) Start() error {
 			if terr := l.transition(StateDiskRecovery); terr != nil {
 				return terr
 			}
+			sp := l.cfg.Obs.Start(obs.PhaseDiskRecovery)
 			if derr := l.recoverFromDisk(&info); derr != nil {
+				sp.End(derr)
 				return derr
 			}
+			sp.End(nil)
 			if info.Blocks > 0 {
 				info.Path = RecoveryDisk
 			}
@@ -232,16 +247,23 @@ func (l *Leaf) Start() error {
 		if err := l.transition(StateDiskRecovery); err != nil {
 			return err
 		}
+		l.cfg.Obs.Event(obs.EventNote, "restart.disk_fallback", "memory recovery disabled by config")
 		l.shm.RemoveAll() //nolint:errcheck
+		sp := l.cfg.Obs.Start(obs.PhaseDiskRecovery)
 		if err := l.recoverFromDisk(&info); err != nil {
+			sp.End(err)
 			return err
 		}
+		sp.End(nil)
 		if info.Blocks > 0 {
 			info.Path = RecoveryDisk
 		}
 	}
 
 	info.Duration = time.Since(begin)
+	l.cfg.Obs.Event(obs.EventNote, "restart.recovered",
+		fmt.Sprintf("path=%s tables=%d blocks=%d bytes=%d in %v",
+			info.Path, info.Tables, info.Blocks, info.BytesRestored, info.Duration))
 	l.mu.Lock()
 	l.recovery = info
 	for _, t := range l.tables {
@@ -261,32 +283,48 @@ func (l *Leaf) Start() error {
 // when the valid bit is unset (caller reverts to disk recovery) and an error
 // on any exception (caller falls back to disk recovery).
 func (l *Leaf) restoreFromShm(info *RecoveryInfo) (bool, error) {
+	ms := l.cfg.Obs.Start(obs.PhaseMap)
 	md, err := l.shm.ReadMetadata()
 	if errors.Is(err, shm.ErrNoMetadata) {
+		ms.End(nil)
+		l.cfg.Obs.Event(obs.EventNote, obs.PhaseMap, "no shm metadata: taking the disk path")
 		return false, nil
 	}
 	if err != nil {
+		ms.End(err)
 		return false, err
 	}
 	if !md.Valid {
+		ms.End(nil)
+		l.cfg.Obs.Event(obs.EventNote, obs.PhaseMap,
+			"valid bit unset (crash or consumed backup): taking the disk path")
 		return false, nil
 	}
 	if md.Version != shm.LayoutVersion {
 		// The shared memory layout changed between releases; the data is
 		// unreadable by this binary. Disk recovery handles it (§4.2).
+		ms.End(nil)
+		l.cfg.Obs.Event(obs.EventNote, obs.PhaseMap,
+			fmt.Sprintf("layout version skew (segment %d, binary %d): taking the disk path",
+				md.Version, shm.LayoutVersion))
 		return false, nil
 	}
 	// Set the valid bit to false first: if this code path is interrupted,
 	// the next restart goes to disk recovery (Figure 7).
 	md.Valid = false
 	if err := l.shm.WriteMetadata(md); err != nil {
+		ms.End(err)
 		return false, err
 	}
+	ms.End(nil)
+	ci := l.cfg.Obs.Start(obs.PhaseCopyIn)
 	restored, stats, workers, err := l.copyInAll(md.Segments)
 	info.Workers = workers
 	if err != nil {
+		ci.End(err)
 		return false, err
 	}
+	ci.End(nil)
 	info.PerTable = stats
 	for _, st := range stats {
 		info.Blocks += st.Blocks
@@ -363,8 +401,10 @@ func (l *Leaf) Shutdown() (ShutdownInfo, error) {
 
 	// Figure 6: create the leaf metadata with the valid bit false. It only
 	// becomes true after every table is safely in shared memory.
+	co := l.cfg.Obs.Start(obs.PhaseCopyOut)
 	md := &shm.Metadata{Valid: false, Version: shm.LayoutVersion, Created: l.cfg.Clock()}
 	if err := l.shm.WriteMetadata(md); err != nil {
+		co.End(err)
 		return info, err
 	}
 
@@ -377,15 +417,20 @@ func (l *Leaf) Shutdown() (ShutdownInfo, error) {
 		info.BytesCopied += st.Bytes
 	}
 	if err != nil {
+		co.End(err)
 		return info, err
 	}
+	co.End(nil)
 
 	// Figure 6: set valid bit to true — the commit point, written exactly
 	// once, after every worker has finished.
+	cm := l.cfg.Obs.Start(obs.PhaseCommit)
 	md.Valid = true
 	if err := l.shm.WriteMetadata(md); err != nil {
+		cm.End(err)
 		return info, err
 	}
+	cm.End(nil)
 	l.dropAllTables()
 	if err := l.transition(StateExit); err != nil {
 		return info, err
@@ -492,7 +537,16 @@ func (l *Leaf) Query(q *query.Query) (*query.Result, error) {
 		}
 		return query.NewResult(), nil
 	}
-	return query.ExecuteTable(tbl, q)
+	return query.ExecuteTableObserved(tbl, q, l.queryRegistry())
+}
+
+// queryRegistry picks the registry query latencies land in: Config.Metrics
+// when set, else the observer's (nil disables query metrics).
+func (l *Leaf) queryRegistry() *metrics.Registry {
+	if l.cfg.Metrics != nil {
+		return l.cfg.Metrics
+	}
+	return l.cfg.Obs.Registry()
 }
 
 // SealAll force-seals in-progress builders on all tables (benchmarks use it

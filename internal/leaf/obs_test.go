@@ -1,0 +1,169 @@
+package leaf
+
+// Observability of the restart path: phase spans must land as registry
+// timers, per-table copies as flight-recorder events, and — the scenario the
+// recorder exists for — a crash during copy-out must be diagnosable by the
+// next process from the surviving ring.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"scuba/internal/metrics"
+	"scuba/internal/obs"
+)
+
+func newObserver(t *testing.T, e env, id int) (*obs.Observer, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	rec, err := obs.OpenFlightRecorder(id, obs.RecorderOptions{Dir: e.shmDir, Namespace: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	return obs.New(reg, rec), reg
+}
+
+func TestRestartPhaseSpans(t *testing.T) {
+	e := newEnv(t)
+
+	cfg := e.config(0)
+	ob, oldReg := newObserver(t, e, 0)
+	cfg.Obs = ob
+	old := startLeaf(t, cfg)
+	ingest(t, old, "events", 300, 0)
+	ingest(t, old, "errors", 100, 0)
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{obs.PhaseCopyOut, obs.PhaseCommit} {
+		if st := oldReg.Timer(name).Stats(); st.Count != 1 {
+			t.Errorf("timer %s count = %d, want 1", name, st.Count)
+		}
+	}
+	if st := oldReg.Histogram("restart.copy_out.table_us").Stats(); st.Count != 2 {
+		t.Errorf("copy-out table histogram count = %d, want 2", st.Count)
+	}
+	cfg.Obs.Recorder().Close()
+
+	cfg2 := e.config(0)
+	var newReg *metrics.Registry
+	cfg2.Obs, newReg = newObserver(t, e, 0)
+	nu := startLeaf(t, cfg2)
+	if rec := nu.Recovery(); rec.Path != RecoveryMemory {
+		t.Fatalf("recovery = %+v, want memory", rec)
+	}
+	for _, name := range []string{obs.PhaseMap, obs.PhaseCopyIn} {
+		if st := newReg.Timer(name).Stats(); st.Count != 1 {
+			t.Errorf("timer %s count = %d, want 1", name, st.Count)
+		}
+	}
+	if st := newReg.Timer(obs.PhaseDiskRecovery).Stats(); st.Count != 0 {
+		t.Errorf("disk recovery ran on the memory path: %+v", st)
+	}
+	if st := newReg.Histogram("restart.copy_in.table_us").Stats(); st.Count != 2 {
+		t.Errorf("copy-in table histogram count = %d, want 2", st.Count)
+	}
+	// The whole lifecycle shows up in the registry text exposition.
+	text := newReg.String()
+	for _, want := range []string{"timer restart.map", "timer restart.copy_in", "histogram restart.copy_in.table_us"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("registry text missing %q:\n%s", want, text)
+		}
+	}
+	// And in the flight recorder: per-table begin/end events inside the span.
+	events := cfg2.Obs.Recorder().Events()
+	var sawTable bool
+	for _, ev := range events {
+		if ev.Phase == obs.PerTablePhase("copy-in", "events") && ev.Kind == obs.EventEnd {
+			sawTable = true
+		}
+	}
+	if !sawTable {
+		t.Errorf("no copy-in:events end event in %+v", events)
+	}
+}
+
+// TestCrashDuringCopyOutDiagnosis is the acceptance scenario: a copy worker
+// faults mid-block during shutdown, the process "dies" (recorder never
+// closed), and the next process reads the previous run's last recorded phase
+// and the disk-fallback reason from the surviving ring.
+func TestCrashDuringCopyOutDiagnosis(t *testing.T) {
+	e := newEnv(t)
+	cfg := e.config(0)
+	cfg.CopyWorkers = 2
+	reg := metrics.NewRegistry()
+	rec, err := obs.OpenFlightRecorder(0, obs.RecorderOptions{Dir: e.shmDir, Namespace: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = obs.New(reg, rec)
+	l := startLeaf(t, cfg)
+	for i := 0; i < 4; i++ {
+		ingest(t, l, fmt.Sprintf("t%d", i), 120, int64(1000*i))
+	}
+	boom := errors.New("injected mid-block fault")
+	l.copyBlockHook = func(tbl string, block int) error {
+		if tbl == "t2" && block == 0 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := l.Shutdown(); !errors.Is(err, boom) {
+		t.Fatalf("shutdown err = %v, want injected fault", err)
+	}
+	// Crash: no Close. The ring lives in its own shm segment under the
+	// "<ns>-obs" namespace, which the leaf's RemoveAll sweep does not touch.
+
+	rec2, err := obs.OpenFlightRecorder(0, obs.RecorderOptions{Dir: e.shmDir, Namespace: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	prev := rec2.Previous()
+	if len(prev) == 0 {
+		t.Fatal("no previous-run events survived the failed shutdown")
+	}
+	sum := obs.Summarize(prev)
+	if !sum.Failed {
+		t.Fatalf("previous run not marked failed: %+v", sum)
+	}
+	if want := obs.PerTablePhase("copy-out", "t2"); sum.FailurePhase != want &&
+		sum.FailurePhase != obs.PhaseCopyOut {
+		t.Errorf("failure phase = %q, want %q (or the whole-leaf span)", sum.FailurePhase, want)
+	}
+	var tableFail bool
+	for _, ev := range prev {
+		if ev.Phase == obs.PerTablePhase("copy-out", "t2") && ev.Kind == obs.EventFail &&
+			strings.Contains(ev.Detail, "injected mid-block fault") {
+			tableFail = true
+		}
+	}
+	if !tableFail {
+		t.Errorf("no copy-out:t2 fail event with the fault reason in %+v", prev)
+	}
+
+	// The next process disk-recovers and records why.
+	cfg2 := e.config(0)
+	reg2 := metrics.NewRegistry()
+	cfg2.Obs = obs.New(reg2, rec2)
+	nu := startLeaf(t, cfg2)
+	if rec := nu.Recovery(); rec.Path != RecoveryDisk {
+		t.Fatalf("recovery = %+v, want disk", rec)
+	}
+	if st := reg2.Timer(obs.PhaseDiskRecovery).Stats(); st.Count != 1 {
+		t.Errorf("disk recovery timer count = %d, want 1", st.Count)
+	}
+	var sawReason bool
+	for _, ev := range rec2.Events() {
+		if ev.Kind == obs.EventNote && ev.Phase == obs.PhaseMap &&
+			strings.Contains(ev.Detail, "disk path") {
+			sawReason = true
+		}
+	}
+	if !sawReason {
+		t.Errorf("no disk-path note in current events %+v", rec2.Events())
+	}
+}

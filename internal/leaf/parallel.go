@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"scuba/internal/obs"
 	"scuba/internal/rowblock"
 	"scuba/internal/shm"
 	"scuba/internal/table"
@@ -63,6 +64,30 @@ func (l *Leaf) recordCopyWorker(phase string, worker int, bytes int64, busy time
 	prefix := fmt.Sprintf("leaf%d.%s.worker%d.", l.cfg.ID, phase, worker)
 	r.Gauge(prefix + "bytes").Set(bytes)
 	r.Gauge(prefix + "busy_us").SetDuration(busy)
+}
+
+// recordTableCopy publishes one table's copy to the observer: a begin/end (or
+// fail) event pair in the flight recorder — so a crash mid-copy pins down the
+// table and block it died in — and the table's duration in a per-phase
+// histogram (restart.copy_out.table_us / restart.copy_in.table_us) whose
+// p50/p95/p99 show the per-table spread behind the whole-leaf span.
+func (l *Leaf) recordTableCopy(half string, st TableCopyStat, err error) {
+	o := l.cfg.Obs
+	phase := obs.PerTablePhase(half, st.Table)
+	if err != nil {
+		o.Event(obs.EventFail, phase,
+			fmt.Sprintf("worker %d, after %d blocks (%d bytes): %v", st.Worker, st.Blocks, st.Bytes, err))
+		return
+	}
+	o.Event(obs.EventEnd, phase,
+		fmt.Sprintf("worker %d, %d blocks, %d bytes in %v", st.Worker, st.Blocks, st.Bytes, st.Duration))
+	if reg := o.Registry(); reg != nil {
+		name := "restart.copy_out.table_us"
+		if half == "copy-in" {
+			name = "restart.copy_in.table_us"
+		}
+		reg.Histogram(name).ObserveDuration(st.Duration)
+	}
 }
 
 // copyOutAll fans the tables of a clean shutdown out to the copy worker
@@ -114,8 +139,11 @@ func (l *Leaf) copyOutAll(tables []*table.Table, md *shm.Metadata) ([]TableCopyS
 				if ctx.Err() != nil {
 					continue // cancelled: drain the channel without copying
 				}
+				l.cfg.Obs.Event(obs.EventBegin, obs.PerTablePhase("copy-out", tbl.Name()),
+					fmt.Sprintf("worker %d", worker))
 				st, err := l.copyTableOut(ctx, tbl, md, &mdMu, track)
 				st.Worker = worker
+				l.recordTableCopy("copy-out", st, err)
 				if err != nil {
 					fail(fmt.Errorf("leaf: shutdown copy of %q: %w", tbl.Name(), err))
 					continue
@@ -275,9 +303,12 @@ func (l *Leaf) copyInAll(segments []shm.SegmentInfo) ([]*table.Table, []TableCop
 					continue
 				}
 				si := segments[idx]
+				l.cfg.Obs.Event(obs.EventBegin, obs.PerTablePhase("copy-in", si.Table),
+					fmt.Sprintf("worker %d", worker))
 				tbl, st, err := l.copyTableIn(ctx, si)
 				st.Worker = worker
 				stats[idx] = st // disjoint indices: no mutex needed
+				l.recordTableCopy("copy-in", st, err)
 				if err != nil {
 					fail(fmt.Errorf("leaf: restore %q: %w", si.Table, err))
 					continue

@@ -1,7 +1,8 @@
-// Package metrics provides the small counter/gauge/timer registry used by
-// the daemons, the rollover driver and the benchmark harness. It is not a
-// general metrics system — just enough to print the dashboards and tables
-// the experiments need, with no dependencies.
+// Package metrics provides the small counter/gauge/timer/histogram registry
+// used by the daemons, the rollover driver and the benchmark harness. It is
+// not a general metrics system — just enough to print the dashboards and
+// tables the experiments need, and to back the /metrics HTTP exposition of
+// every daemon, with no dependencies.
 package metrics
 
 import (
@@ -23,7 +24,13 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a settable value.
-type Gauge struct{ v atomic.Int64 }
+type Gauge struct {
+	v atomic.Int64
+	// duration marks gauges set via SetDuration so snapshots and text
+	// output can render the microsecond value with a unit instead of as a
+	// bare count.
+	duration atomic.Bool
+}
 
 // Set stores the value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
@@ -31,7 +38,10 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // SetDuration stores a duration in whole microseconds. The restart copy
 // workers report per-worker busy time this way: sub-millisecond copies are
 // common at test scale and would all round to zero in milliseconds.
-func (g *Gauge) SetDuration(d time.Duration) { g.v.Store(d.Microseconds()) }
+func (g *Gauge) SetDuration(d time.Duration) {
+	g.duration.Store(true)
+	g.v.Store(d.Microseconds())
+}
 
 // Add adjusts the gauge by a delta (useful for high-water tracking under
 // concurrent writers combined with Value polling).
@@ -90,18 +100,20 @@ func (t *Timer) Stats() TimerStats {
 
 // Registry names a set of metrics.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -141,21 +153,117 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
-// String renders all metrics sorted by name, one per line.
-func (r *Registry) String() string {
+// Histogram returns (creating if needed) a named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var lines []string
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// GaugeValue is one gauge's snapshot. Unit is "us" for gauges set via
+// SetDuration and "" otherwise.
+type GaugeValue struct {
+	Value int64
+	Unit  string
+}
+
+// Snapshot is a point-in-time structured view of every metric in a
+// registry, so tests and HTTP handlers consume typed values instead of
+// parsing the text rendering.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]GaugeValue
+	Timers     map[string]TimerStats
+	Histograms map[string]HistogramStats
+}
+
+// Snapshot captures every metric. Each value is internally consistent; the
+// set as a whole is a best-effort snapshot under concurrent writers.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+		counters[name] = c
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
 	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+		gauges[name] = g
 	}
+	timers := make(map[string]*Timer, len(r.timers))
 	for name, t := range r.timers {
-		st := t.Stats()
-		lines = append(lines, fmt.Sprintf("%s count=%d total=%v mean=%v min=%v max=%v",
+		timers[name] = t
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms[name] = h
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]GaugeValue, len(gauges)),
+		Timers:     make(map[string]TimerStats, len(timers)),
+		Histograms: make(map[string]HistogramStats, len(histograms)),
+	}
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		gv := GaugeValue{Value: g.Value()}
+		if g.duration.Load() {
+			gv.Unit = "us"
+		}
+		snap.Gauges[name] = gv
+	}
+	for name, t := range timers {
+		snap.Timers[name] = t.Stats()
+	}
+	for name, h := range histograms {
+		snap.Histograms[name] = h.Stats()
+	}
+	return snap
+}
+
+// String renders all metrics one per line, each tagged with its type
+// (counter|gauge|timer|histogram) and a unit suffix on duration gauges, so
+// a reader can tell 1500 rows from 1500 microseconds. Lines sort lexically,
+// which groups metrics by type and then by name. This is also the /metrics
+// HTTP exposition format.
+func (r *Registry) String() string {
+	return r.Snapshot().String()
+}
+
+// String renders a snapshot in the registry text format.
+func (s Snapshot) String() string {
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", name, v))
+	}
+	for name, g := range s.Gauges {
+		if g.Unit != "" {
+			lines = append(lines, fmt.Sprintf("gauge %s %d%s", name, g.Value, g.Unit))
+		} else {
+			lines = append(lines, fmt.Sprintf("gauge %s %d", name, g.Value))
+		}
+	}
+	for name, st := range s.Timers {
+		lines = append(lines, fmt.Sprintf("timer %s count=%d total=%v mean=%v min=%v max=%v",
 			name, st.Count, st.Total, st.Mean, st.Min, st.Max))
+	}
+	for name, st := range s.Histograms {
+		if st.IsDuration {
+			us := func(v int64) time.Duration { return time.Duration(v) * time.Microsecond }
+			lines = append(lines, fmt.Sprintf("histogram %s count=%d p50=%v p95=%v p99=%v min=%v max=%v mean=%v",
+				name, st.Count, us(st.P50), us(st.P95), us(st.P99), us(st.Min), us(st.Max), us(st.Mean())))
+		} else {
+			lines = append(lines, fmt.Sprintf("histogram %s count=%d p50=%d p95=%d p99=%d min=%d max=%d mean=%d",
+				name, st.Count, st.P50, st.P95, st.P99, st.Min, st.Max, st.Mean()))
+		}
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

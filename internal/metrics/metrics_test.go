@@ -74,15 +74,56 @@ func TestRegistryString(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b.count").Add(2)
 	r.Gauge("a.gauge").Set(1)
+	r.Gauge("busy").SetDuration(1500 * time.Microsecond)
 	r.Timer("c.timer").Observe(time.Second)
+	r.Histogram("d.hist").Observe(7)
 	s := r.String()
 	lines := strings.Split(s, "\n")
-	if len(lines) != 3 {
+	if len(lines) != 5 {
 		t.Fatalf("lines = %d: %q", len(lines), s)
 	}
-	// Sorted output.
-	if !strings.HasPrefix(lines[0], "a.gauge") || !strings.HasPrefix(lines[2], "c.timer") {
-		t.Errorf("order wrong: %q", s)
+	// Every line is type-tagged, and the lexical sort groups by type.
+	for _, want := range []string{
+		"counter b.count 2",
+		"gauge a.gauge 1",
+		"gauge busy 1500us", // duration gauges carry a unit suffix
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing line %q in:\n%s", want, s)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "counter ") || !strings.HasPrefix(lines[4], "timer ") {
+		t.Errorf("type grouping wrong: %q", s)
+	}
+	if !strings.Contains(s, "histogram d.hist count=1") {
+		t.Errorf("histogram line missing: %q", s)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rows").Add(10)
+	r.Gauge("free").Set(99)
+	r.Gauge("busy").SetDuration(250 * time.Microsecond)
+	r.Timer("t").Observe(time.Millisecond)
+	r.Histogram("h").ObserveDuration(2 * time.Millisecond)
+
+	snap := r.Snapshot()
+	if snap.Counters["rows"] != 10 {
+		t.Errorf("counter = %d", snap.Counters["rows"])
+	}
+	if g := snap.Gauges["free"]; g.Value != 99 || g.Unit != "" {
+		t.Errorf("gauge free = %+v", g)
+	}
+	if g := snap.Gauges["busy"]; g.Value != 250 || g.Unit != "us" {
+		t.Errorf("gauge busy = %+v", g)
+	}
+	if ts := snap.Timers["t"]; ts.Count != 1 || ts.Total != time.Millisecond {
+		t.Errorf("timer = %+v", ts)
+	}
+	hs := snap.Histograms["h"]
+	if hs.Count != 1 || !hs.IsDuration || hs.Min != 2000 || hs.Max != 2000 {
+		t.Errorf("histogram = %+v", hs)
 	}
 }
 

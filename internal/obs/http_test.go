@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"scuba/internal/metrics"
+)
+
+func newTestHandler(t *testing.T) (http.Handler, *metrics.Registry, *Recorder) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	rec, err := OpenFlightRecorder(0, testOpts(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	h := Handler(HandlerConfig{
+		Registry: reg,
+		Recorder: rec,
+		Recovery: func() any { return map[string]string{"path": "memory"} },
+	})
+	return h, reg, rec
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h, reg, _ := newTestHandler(t)
+	reg.Counter("rpc.query").Add(3)
+	reg.Timer(PhaseCopyIn).Observe(5 * time.Millisecond)
+	reg.Histogram("query.latency_hist").ObserveDuration(2 * time.Millisecond)
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"counter rpc.query 3",
+		"timer restart.copy_in count=1",
+		"histogram query.latency_hist count=1",
+		"p50=", "p95=", "p99=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugRecoveryEndpoint(t *testing.T) {
+	h, _, rec := newTestHandler(t)
+	rec.Record(EventBegin, PhaseCopyIn, "")
+	rec.Record(EventEnd, PhaseCopyIn, "1ms")
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/recovery")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var dump RecoveryDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if dump.CurrentRun == nil || dump.CurrentRun.LastPhase != PhaseCopyIn {
+		t.Errorf("current run = %+v", dump.CurrentRun)
+	}
+	if len(dump.CurrentEvents) != 2 {
+		t.Errorf("current events = %+v", dump.CurrentEvents)
+	}
+	if rec, ok := dump.Recovery.(map[string]any); !ok || rec["path"] != "memory" {
+		t.Errorf("recovery = %+v", dump.Recovery)
+	}
+}
+
+func TestPprofAndIndex(t *testing.T) {
+	h, _, _ := newTestHandler(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if code, body := get(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d", code)
+	}
+	if code, body := get(t, srv, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", code, body)
+	}
+	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", code)
+	}
+}
+
+func TestStartHTTP(t *testing.T) {
+	h, reg, _ := newTestHandler(t)
+	reg.Counter("up").Add(1)
+	s, err := StartHTTP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "counter up 1") {
+		t.Errorf("body = %q", b)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"scuba/internal/metrics"
+)
+
+func TestSpanFeedsTimerAndRecorder(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec, err := OpenFlightRecorder(0, testOpts(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	o := New(reg, rec)
+
+	sp := o.Start(PhaseCopyOut)
+	sp.End(nil)
+	sp.End(nil) // idempotent
+
+	if st := reg.Timer(PhaseCopyOut).Stats(); st.Count != 1 {
+		t.Errorf("timer count = %d", st.Count)
+	}
+	events := rec.Events()
+	if len(events) != 2 || events[0].Kind != EventBegin || events[1].Kind != EventEnd {
+		t.Errorf("events = %+v", events)
+	}
+	if events[0].Phase != PhaseCopyOut {
+		t.Errorf("phase = %q", events[0].Phase)
+	}
+}
+
+func TestSpanFailure(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec, err := OpenFlightRecorder(0, testOpts(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	o := New(reg, rec)
+
+	sp := o.Start(PhaseCopyIn)
+	sp.End(errors.New("segment gone"))
+
+	// Failed phases still count toward the timer.
+	if st := reg.Timer(PhaseCopyIn).Stats(); st.Count != 1 {
+		t.Errorf("timer count = %d", st.Count)
+	}
+	sum := Summarize(rec.Events())
+	if !sum.Failed || sum.FailurePhase != PhaseCopyIn || sum.FailureDetail != "segment gone" {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestNilObserverSafe(t *testing.T) {
+	var o *Observer
+	o.Event(EventNote, "x", "")
+	sp := o.Start("phase")
+	sp.End(nil)
+	sp.End(errors.New("still fine"))
+	if o.Registry() != nil || o.Recorder() != nil {
+		t.Error("nil observer leaked sinks")
+	}
+}
+
+func TestObserverWithoutRecorder(t *testing.T) {
+	reg := metrics.NewRegistry()
+	o := New(reg, nil)
+	sp := o.Start("phase.only_timer")
+	sp.End(nil)
+	if st := reg.Timer("phase.only_timer").Stats(); st.Count != 1 {
+		t.Errorf("timer count = %d", st.Count)
+	}
+}
+
+func TestPerTablePhase(t *testing.T) {
+	if got := PerTablePhase("copy-out", "service_logs"); got != "copy-out:service_logs" {
+		t.Errorf("phase = %q", got)
+	}
+	if !strings.HasPrefix(PerTablePhase("copy-in", "t"), "copy-in:") {
+		t.Error("prefix wrong")
+	}
+}

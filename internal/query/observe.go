@@ -1,0 +1,32 @@
+package query
+
+import (
+	"time"
+
+	"scuba/internal/metrics"
+	"scuba/internal/table"
+)
+
+// ExecuteTableObserved runs ExecuteTable and publishes the per-query
+// execution latency to reg: the query.exec.latency timer (count/min/max/
+// mean) and the query.exec.latency_hist histogram (p50/p95/p99 on /metrics),
+// plus query.exec.count and query.exec.errors counters. The names carry the
+// "exec." infix so a daemon sharing one registry between its wire server
+// (which times whole RPCs as query.latency) and its leaf never
+// double-counts. A nil registry degrades to plain ExecuteTable.
+func ExecuteTableObserved(tbl *table.Table, q *Query, reg *metrics.Registry) (*Result, error) {
+	if reg == nil {
+		return ExecuteTable(tbl, q)
+	}
+	start := time.Now()
+	res, err := ExecuteTable(tbl, q)
+	reg.Counter("query.exec.count").Add(1)
+	if err != nil {
+		reg.Counter("query.exec.errors").Add(1)
+		return nil, err
+	}
+	d := time.Since(start)
+	reg.Timer("query.exec.latency").Observe(d)
+	reg.Histogram("query.exec.latency_hist").ObserveDuration(d)
+	return res, nil
+}

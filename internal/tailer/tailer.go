@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"scuba/internal/leaf"
+	"scuba/internal/metrics"
 	"scuba/internal/rowblock"
 	"scuba/internal/scribe"
 )
@@ -215,6 +216,10 @@ type Config struct {
 	// offset argument) and saved after every successful drain, so a
 	// restarted tailer resumes where its predecessor stopped.
 	Checkpoint *Checkpoint
+	// Metrics, when non-nil, receives tailer instrumentation: the
+	// tailer.rows_placed counter and tailer.errors counter, tailer.rows_lost
+	// / tailer.rows_bad gauges (cumulative), and the tailer.drain timer.
+	Metrics *metrics.Registry
 }
 
 // Tailer pumps one category from Scribe into the cluster.
@@ -255,8 +260,19 @@ func New(cfg Config, bus scribe.Source, placer *Placer, offset int64) *Tailer {
 // DrainOnce pulls everything currently in the category and places it in
 // batches, returning rows placed. It is the synchronous building block for
 // tests, benchmarks and the simulator; Run wraps it in a loop.
-func (t *Tailer) DrainOnce() (int, error) {
-	placed := 0
+func (t *Tailer) DrainOnce() (placed int, err error) {
+	if r := t.cfg.Metrics; r != nil {
+		start := time.Now()
+		defer func() {
+			r.Counter("tailer.rows_placed").Add(int64(placed))
+			r.Gauge("tailer.rows_lost").Set(t.RowsLost)
+			r.Gauge("tailer.rows_bad").Set(t.RowsBad)
+			r.Timer("tailer.drain").Observe(time.Since(start))
+			if err != nil {
+				r.Counter("tailer.errors").Add(1)
+			}
+		}()
+	}
 	var batch []rowblock.Row
 	flush := func() error {
 		if len(batch) == 0 {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"scuba/internal/aggregator"
+	"scuba/internal/metrics"
 	"scuba/internal/query"
 )
 
@@ -25,11 +26,20 @@ type AggServer struct {
 
 // NewAggServer starts an aggregator server over the given leaf addresses.
 func NewAggServer(leafAddrs []string, addr string) (*AggServer, error) {
+	return NewAggServerOn(leafAddrs, addr, nil)
+}
+
+// NewAggServerOn is NewAggServer with a caller-owned metrics registry wired
+// into the aggregator (nil leaves it uninstrumented), so the daemon's
+// /metrics endpoint shows query latency and fan-out coverage.
+func NewAggServerOn(leafAddrs []string, addr string, reg *metrics.Registry) (*AggServer, error) {
 	targets := make([]aggregator.LeafTarget, len(leafAddrs))
 	for i, a := range leafAddrs {
 		targets[i] = Dial(a)
 	}
-	return NewAggServerOver(aggregator.New(targets), addr)
+	agg := aggregator.New(targets)
+	agg.Metrics = reg
+	return NewAggServerOver(agg, addr)
 }
 
 // NewAggServerOver serves an existing aggregator (tests inject in-process

@@ -83,16 +83,27 @@ type Server struct {
 }
 
 // NewServer starts serving the leaf on addr (use "127.0.0.1:0" to pick a
-// free port). The returned server must be Closed.
+// free port) with a private metrics registry. The returned server must be
+// Closed.
 func NewServer(l *leaf.Leaf, addr string) (*Server, error) {
+	return NewServerOn(l, addr, nil)
+}
+
+// NewServerOn is NewServer with a caller-owned registry (nil creates a
+// private one), so a daemon's /metrics endpoint shows the RPC counters and
+// query latency histograms alongside its restart-phase timers.
+func NewServerOn(l *leaf.Leaf, addr string, reg *metrics.Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
 		leaf:     l,
 		ln:       ln,
-		reg:      metrics.NewRegistry(),
+		reg:      reg,
 		conns:    make(map[net.Conn]struct{}),
 		shutdown: make(chan leaf.ShutdownInfo, 1),
 	}
@@ -176,7 +187,9 @@ func (s *Server) handle(req *Request) *Response {
 			s.reg.Counter("rpc.errors").Add(1)
 			return &Response{Err: err.Error()}
 		}
-		s.reg.Timer("query.latency").Observe(time.Since(start))
+		d := time.Since(start)
+		s.reg.Timer("query.latency").Observe(d)
+		s.reg.Histogram("query.latency_hist").ObserveDuration(d)
 		return &Response{Result: res.Export()}
 	case KindStats:
 		st := s.leaf.Stats()

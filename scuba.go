@@ -42,6 +42,8 @@ import (
 	"scuba/internal/cluster"
 	"scuba/internal/disk"
 	"scuba/internal/leaf"
+	"scuba/internal/metrics"
+	"scuba/internal/obs"
 	"scuba/internal/query"
 	"scuba/internal/rowblock"
 	"scuba/internal/scribe"
@@ -254,9 +256,22 @@ type (
 // NewServer serves a leaf on addr.
 func NewServer(l *Leaf, addr string) (*Server, error) { return wire.NewServer(l, addr) }
 
+// NewServerOn serves a leaf on addr with a caller-owned metrics registry, so
+// the daemon's /metrics endpoint shows RPC counters and query latency
+// histograms next to its restart-phase timers.
+func NewServerOn(l *Leaf, addr string, reg *MetricsRegistry) (*Server, error) {
+	return wire.NewServerOn(l, addr, reg)
+}
+
 // NewAggServer serves an aggregator over the given leaf addresses.
 func NewAggServer(leafAddrs []string, addr string) (*AggServer, error) {
 	return wire.NewAggServer(leafAddrs, addr)
+}
+
+// NewAggServerOn is NewAggServer with a caller-owned metrics registry wired
+// into the aggregator's fan-out instrumentation.
+func NewAggServerOn(leafAddrs []string, addr string, reg *MetricsRegistry) (*AggServer, error) {
+	return wire.NewAggServerOn(leafAddrs, addr, reg)
 }
 
 // DialLeaf connects to a remote leaf (or aggregator) server.
@@ -291,6 +306,59 @@ var DefaultSimParams = sim.DefaultParams
 // WeeklyFullAvailability converts a rollover duration into the fraction of
 // a week with 100% of data available (the paper's 93% vs 99.5%).
 var WeeklyFullAvailability = sim.WeeklyFullAvailability
+
+// Observability: phase-span timers on /metrics plus a crash-surviving
+// flight recorder in shared memory (its own segment, namespace "<ns>-obs",
+// so the leaf's segment sweep never deletes it). Every daemon takes an
+// -http flag and serves /metrics, /debug/recovery and /debug/pprof through
+// ObsHandler; a nil Observer or FlightRecorder is a valid no-op.
+type (
+	// MetricsRegistry is a named counter/gauge/timer/histogram registry.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a whole registry.
+	MetricsSnapshot = metrics.Snapshot
+	// Observer ties phase spans to a registry and a flight recorder.
+	Observer = obs.Observer
+	// FlightRecorder is the crash-surviving event ring in shared memory.
+	FlightRecorder = obs.Recorder
+	// FlightRecorderOptions configure the recorder segment location.
+	FlightRecorderOptions = obs.RecorderOptions
+	// FlightEvent is one recorded lifecycle event.
+	FlightEvent = obs.Event
+	// FlightRunSummary condenses one run's events (last phase, failure).
+	FlightRunSummary = obs.RunSummary
+	// ObsHandlerConfig wires a daemon's sinks into the HTTP mux.
+	ObsHandlerConfig = obs.HandlerConfig
+	// ObsHTTPServer is one daemon's observability listener.
+	ObsHTTPServer = obs.HTTPServer
+	// RecoveryDump is the /debug/recovery JSON shape.
+	RecoveryDump = obs.RecoveryDump
+)
+
+// Flight-recorder event kinds.
+const (
+	FlightBegin = obs.EventBegin
+	FlightEnd   = obs.EventEnd
+	FlightFail  = obs.EventFail
+	FlightNote  = obs.EventNote
+)
+
+// Observability constructors.
+var (
+	// NewMetricsRegistry creates an empty registry.
+	NewMetricsRegistry = metrics.NewRegistry
+	// NewObserver ties a registry and recorder together (either may be nil).
+	NewObserver = obs.New
+	// OpenFlightRecorder opens (or creates) a leaf's flight-recorder
+	// segment, returning the previous run's events if any survived.
+	OpenFlightRecorder = obs.OpenFlightRecorder
+	// SummarizeFlightEvents condenses an event dump into a RunSummary.
+	SummarizeFlightEvents = obs.Summarize
+	// ObsHandler builds the /metrics + /debug/recovery + pprof mux.
+	ObsHandler = obs.Handler
+	// StartObsHTTP serves a handler on addr in the background.
+	StartObsHTTP = obs.StartHTTP
+)
 
 // Workload generators.
 type (
