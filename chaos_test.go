@@ -1,0 +1,122 @@
+package scuba_test
+
+// Crash drills against the real daemon: ActCrash faults kill the process
+// with os.Exit mid-restart-path, which no in-process test can exercise. The
+// contract under test is the paper's §4.3 invariant — a crash at ANY point
+// before the valid bit commits leaves the shm backup unusable, and the next
+// process must come up from the disk backup with the full dataset.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"scuba"
+)
+
+func TestDaemonCrashDuringShutdownRecoversFromDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess crash drill")
+	}
+	bin := filepath.Join(t.TempDir(), "scubad")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/scubad")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building scubad: %v\n%s", err, out)
+	}
+
+	// Crash at the first copy-out block write, and crash at the valid-bit
+	// commit after all data copied: both must leave the valid bit unset.
+	// With one table, Shutdown's metadata writes are initial(1) +
+	// registration(2, after the table synced to disk and copied) +
+	// commit(3), so after=2 lands the crash exactly on the commit — the
+	// worst case, where the shm backup is complete but uncommitted.
+	for _, site := range []string{"shm.copy_out=crash", "shm.commit=crash;after=2"} {
+		t.Run(site, func(t *testing.T) {
+			workDir := t.TempDir()
+			addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+			startDaemon := func(faultSpec string) *exec.Cmd {
+				args := []string{
+					"-id", "0",
+					"-addr", addr,
+					"-shm-dir", workDir,
+					"-namespace", "chaos",
+					"-disk-root", filepath.Join(workDir, "disk"),
+					"-sync-interval", "100ms",
+				}
+				if faultSpec != "" {
+					args = append(args, "-fault", faultSpec)
+				}
+				cmd := exec.Command(bin, args...)
+				cmd.Stdout = os.Stderr
+				cmd.Stderr = os.Stderr
+				if err := cmd.Start(); err != nil {
+					t.Fatalf("starting scubad: %v", err)
+				}
+				return cmd
+			}
+			waitReady := func(c *scuba.Client) {
+				deadline := time.Now().Add(10 * time.Second)
+				for time.Now().Before(deadline) {
+					if err := c.Ping(); err == nil {
+						return
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				t.Fatal("daemon did not become ready")
+			}
+
+			// The doomed process: the armed site only fires on the restart
+			// path, so it serves normally until the shutdown RPC.
+			doomed := startDaemon(site)
+			client := scuba.DialLeaf(addr)
+			defer client.Close()
+			waitReady(client)
+
+			gen := scuba.ServiceLogs(23, 1700000000)
+			const rows = 20000
+			for sent := 0; sent < rows; sent += 5000 {
+				if err := client.AddRows("service_logs", gen.NextBatch(5000)); err != nil {
+					t.Fatalf("load: %v", err)
+				}
+			}
+			// Let the write-behind sync flush everything to the disk backup
+			// (100ms interval; nothing new is written after this point).
+			time.Sleep(1200 * time.Millisecond)
+
+			// The shutdown RPC crashes the process mid-drain; the client sees
+			// a transport error, never a clean response.
+			if _, err := client.Shutdown(true); err == nil {
+				t.Fatal("shutdown RPC succeeded despite injected crash")
+			}
+			if err := waitExit(doomed, 10*time.Second); err != nil {
+				t.Fatalf("crashed daemon did not exit: %v", err)
+			}
+
+			// The replacement, no faults: the valid bit never committed, so
+			// it must take the disk path and still serve the full dataset.
+			next := startDaemon("")
+			defer func() {
+				next.Process.Signal(os.Interrupt) //nolint:errcheck
+				waitExit(next, 10*time.Second)    //nolint:errcheck
+			}()
+			client2 := scuba.DialLeaf(addr)
+			defer client2.Close()
+			waitReady(client2)
+
+			q := &scuba.Query{Table: "service_logs", From: 0, To: 1 << 40,
+				Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}}}
+			res, err := client2.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Rows(q)
+			if len(got) == 0 || got[0].Values[0] != rows {
+				t.Fatalf("rows after crash recovery = %v, want %d", got, rows)
+			}
+		})
+	}
+}

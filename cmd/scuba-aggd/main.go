@@ -16,7 +16,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"scuba/internal/aggregator"
+	"scuba/internal/fault"
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
 	"scuba/internal/wire"
@@ -24,24 +27,39 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:9001", "listen address")
-		leaves   = flag.String("leaves", "", "comma-separated leaf addresses")
-		httpAddr = flag.String("http", "", "observability listen address serving /metrics and /debug/pprof ('' disables)")
+		addr        = flag.String("addr", "127.0.0.1:9001", "listen address")
+		leaves      = flag.String("leaves", "", "comma-separated leaf addresses")
+		leafTimeout = flag.Duration("leaf-timeout", 10*time.Second, "abandon leaves slower than this per query; their data is reported missing from coverage (0 = wait forever)")
+		faultSpec   = flag.String("fault", "", "arm fault-injection points for chaos testing, e.g. 'wire.read=delay:500ms;count=10' (see internal/fault)")
+		httpAddr    = flag.String("http", "", "observability listen address serving /metrics and /debug/pprof ('' disables)")
 	)
 	flag.Parse()
 	if *leaves == "" {
 		log.Fatal("scuba-aggd: -leaves is required")
+	}
+	if *faultSpec != "" {
+		if err := fault.ArmSpec(*faultSpec); err != nil {
+			log.Fatalf("scuba-aggd: -fault: %v", err)
+		}
+		log.Printf("fault injection armed: %s", fault.String())
 	}
 	var addrs []string
 	for _, a := range strings.Split(*leaves, ",") {
 		addrs = append(addrs, strings.TrimSpace(a))
 	}
 	reg := metrics.NewRegistry()
-	srv, err := wire.NewAggServerOn(addrs, *addr, reg)
+	targets := make([]aggregator.LeafTarget, len(addrs))
+	for i, a := range addrs {
+		targets[i] = wire.Dial(a)
+	}
+	agg := aggregator.New(targets)
+	agg.Metrics = reg
+	agg.LeafTimeout = *leafTimeout
+	srv, err := wire.NewAggServerOver(agg, *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("scuba-aggd serving %d leaves on %s", len(addrs), srv.Addr())
+	log.Printf("scuba-aggd serving %d leaves on %s (leaf timeout %v)", len(addrs), srv.Addr(), *leafTimeout)
 	if *httpAddr != "" {
 		hs, err := obs.StartHTTP(*httpAddr, obs.Handler(obs.HandlerConfig{Registry: reg}))
 		if err != nil {

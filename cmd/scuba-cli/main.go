@@ -272,8 +272,7 @@ func scrapeObs(addr string) {
 	}
 	fmt.Println("== recovery ==")
 	if dump.Recovery != nil {
-		b, _ := json.Marshal(dump.Recovery) //nolint:errcheck
-		fmt.Printf("recovery: %s\n", b)
+		printRecovery(dump.Recovery)
 	}
 	if pr := dump.PreviousRun; pr != nil {
 		if pr.Failed {
@@ -289,6 +288,29 @@ func scrapeObs(addr string) {
 		for _, ev := range dump.CurrentEvents {
 			fmt.Printf("  %s %-5s %s %s\n", ev.Time().Format("15:04:05.000"), ev.KindName, ev.Phase, ev.Detail)
 		}
+	}
+}
+
+// printRecovery renders the /debug/recovery payload: the overall path, then
+// — the degraded-recovery story — each quarantined table and where its data
+// came from instead, so an operator can see at a glance which tables paid
+// disk-recovery time and which came up empty.
+func printRecovery(v any) {
+	b, _ := json.Marshal(v) //nolint:errcheck
+	var rec scuba.RecoveryInfo
+	if err := json.Unmarshal(b, &rec); err != nil || rec.Path == "" {
+		fmt.Printf("recovery: %s\n", b)
+		return
+	}
+	fmt.Printf("recovery: path=%s tables=%d blocks=%d %.1f MB in %v (workers=%d quarantined=%d fellBack=%v)\n",
+		rec.Path, rec.Tables, rec.Blocks, float64(rec.BytesRestored)/(1<<20),
+		rec.Duration.Round(time.Millisecond), rec.Workers, rec.Quarantined, rec.FellBack)
+	for _, tr := range rec.PerTablePath {
+		line := fmt.Sprintf("  table %-20q %s", tr.Table, tr.Path)
+		if tr.Reason != "" {
+			line += "  (" + tr.Reason + ")"
+		}
+		fmt.Println(line)
 	}
 }
 

@@ -42,8 +42,15 @@ func main() {
 		syncEvery  = flag.Duration("sync-interval", 5*time.Second, "disk write-behind interval")
 		expireEach = flag.Duration("expire-interval", time.Minute, "expiration sweep interval")
 		httpAddr   = flag.String("http", "", "observability listen address serving /metrics, /debug/recovery and /debug/pprof ('' disables)")
+		faultSpec  = flag.String("fault", "", "arm fault-injection points for chaos testing, e.g. 'shm.copy_in=corrupt;count=1,disk.read=delay:50ms' (see internal/fault)")
 	)
 	flag.Parse()
+	if *faultSpec != "" {
+		if err := scuba.ArmFaults(*faultSpec); err != nil {
+			log.Fatalf("scubad: -fault: %v", err)
+		}
+		log.Printf("fault injection armed: %s", scuba.DescribeFaults())
+	}
 
 	// One registry for everything this process observes (restart phases,
 	// query latency, RPC counters) and one flight recorder in its own shm

@@ -7,12 +7,17 @@ package aggregator
 
 import (
 	"errors"
-	"sync"
 	"time"
 
 	"scuba/internal/metrics"
 	"scuba/internal/query"
 )
+
+// leafAnswer is one leaf's reply during fan-out (res nil on error).
+type leafAnswer struct {
+	i   int
+	res *query.Result
+}
 
 // LeafTarget is a leaf as seen by the aggregator. In-process clusters adapt
 // *leaf.Leaf; distributed deployments adapt a wire client.
@@ -25,11 +30,18 @@ type Aggregator struct {
 	leaves []LeafTarget
 	// Parallelism bounds concurrent per-leaf queries (0 = all at once).
 	Parallelism int
+	// LeafTimeout bounds how long a query waits for any single leaf
+	// (0 = wait forever). At the deadline the merge proceeds with whatever
+	// has arrived; stragglers are abandoned and show up as unanswered in
+	// LeavesTotal/LeavesAnswered coverage — the paper's partial-results
+	// contract (§1) instead of one hung leaf wedging every query.
+	LeafTimeout time.Duration
 	// Metrics, when non-nil, receives per-query instrumentation: the
 	// query.latency timer and query.latency_hist histogram (end-to-end
 	// fan-out + merge), query.count / query.errors counters, the
-	// query.leaves_total / query.leaves_answered coverage counters, and a
-	// query.fanout histogram of leaves answered per query.
+	// query.leaves_total / query.leaves_answered coverage counters, a
+	// query.leaves_abandoned counter of stragglers dropped at LeafTimeout,
+	// and a query.fanout histogram of leaves answered per query.
 	Metrics *metrics.Registry
 }
 
@@ -59,21 +71,41 @@ func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
 		return nil, ErrNoLeaves
 	}
 	sem := make(chan struct{}, a.parallelism())
-	results := make([]*query.Result, len(a.leaves))
-	var wg sync.WaitGroup
+	// The channel is buffered for the full fan-out, so a leaf answering
+	// after its deadline completes its send and exits instead of leaking.
+	answers := make(chan leafAnswer, len(a.leaves))
 	for i, l := range a.leaves {
-		wg.Add(1)
 		go func(i int, l LeafTarget) {
-			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			res, err := l.Query(q)
-			if err == nil {
-				results[i] = res
+			if err != nil {
+				res = nil
 			}
+			answers <- leafAnswer{i: i, res: res}
 		}(i, l)
 	}
-	wg.Wait()
+
+	var deadline <-chan time.Time
+	if a.LeafTimeout > 0 {
+		tm := time.NewTimer(a.LeafTimeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	// Only the collector writes results, so an abandoned straggler can
+	// never race the merge below.
+	results := make([]*query.Result, len(a.leaves))
+	abandoned := 0
+collect:
+	for received := 0; received < len(a.leaves); received++ {
+		select {
+		case ans := <-answers:
+			results[ans.i] = ans.res
+		case <-deadline:
+			abandoned = len(a.leaves) - received
+			break collect
+		}
+	}
 
 	merged := query.NewResult()
 	for _, res := range results {
@@ -102,6 +134,7 @@ func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
 		r.Histogram("query.latency_hist").ObserveDuration(d)
 		r.Counter("query.leaves_total").Add(int64(merged.LeavesTotal))
 		r.Counter("query.leaves_answered").Add(int64(merged.LeavesAnswered))
+		r.Counter("query.leaves_abandoned").Add(int64(abandoned))
 		r.Histogram("query.fanout").Observe(int64(merged.LeavesAnswered))
 	}
 	return merged, nil

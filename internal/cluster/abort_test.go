@@ -1,0 +1,164 @@
+package cluster
+
+// The rollover canary guard: when restarted leaves can't read their shm
+// backups and a wave of them falls back to disk recovery, the rollover must
+// stop instead of dragging the whole cluster through it (§4.5).
+
+import (
+	"errors"
+	"testing"
+
+	"scuba/internal/fault"
+	"scuba/internal/leaf"
+	"scuba/internal/metrics"
+	"scuba/internal/obs"
+	"scuba/internal/rowblock"
+)
+
+func TestRolloverAbortsOnDiskFallbackWave(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+
+	c := newCluster(t, 4, 2) // 8 leaves
+	loadCluster(t, c, 1600)
+
+	// Every restarted leaf hits a metadata read error and falls back to
+	// disk — the "new build can't read old segments" scenario.
+	if err := fault.ArmSpec("shm.map=error"); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	rec, err := obs.OpenFlightRecorder(0, obs.RecorderOptions{Dir: t.TempDir(), Namespace: "test-rollover"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rec.Close() })
+	rep, err := c.Rollover(RolloverConfig{
+		BatchFraction:   0.25, // 2 leaves per batch
+		UseShm:          true,
+		TargetVersion:   2,
+		MaxDiskFallback: 0.25,
+		Metrics:         reg,
+		Obs:             obs.New(reg, rec),
+	})
+	fault.Reset()
+	if !errors.Is(err, ErrRolloverAborted) {
+		t.Fatalf("err = %v, want ErrRolloverAborted", err)
+	}
+	if !rep.Aborted {
+		t.Error("report not marked aborted")
+	}
+	// The first batch disk-recovers 100% > 25%, so exactly one batch ran.
+	if rep.Batches != 1 || rep.DiskRecoveries != 2 {
+		t.Errorf("batches = %d, disk recoveries = %d (want 1, 2)", rep.Batches, rep.DiskRecoveries)
+	}
+	if got := reg.Counter("rollover.aborts").Value(); got != 1 {
+		t.Errorf("rollover.aborts = %d", got)
+	}
+	found := false
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.EventFail && ev.Phase == "rollover.abort" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no rollover.abort event in flight recorder")
+	}
+
+	// The untouched majority keeps serving: only the aborted batch's leaves
+	// went through a restart, and those recovered from disk with full data.
+	got, res := totalCount(t, c)
+	if got != 1600 || res.Coverage() != 1 {
+		t.Errorf("count = %v coverage = %v after abort", got, res.Coverage())
+	}
+}
+
+func TestRolloverDiskFallbackGuardDisabledByDefault(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+
+	c := newCluster(t, 2, 2)
+	loadCluster(t, c, 400)
+	if err := fault.ArmSpec("shm.map=error"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Rollover(RolloverConfig{
+		BatchFraction: 0.25,
+		UseShm:        true,
+		TargetVersion: 2,
+	})
+	fault.Reset()
+	if err != nil {
+		t.Fatalf("zero MaxDiskFallback must not abort: %v", err)
+	}
+	if rep.DiskRecoveries != 4 || rep.Aborted {
+		t.Errorf("report = %+v", rep)
+	}
+	got, _ := totalCount(t, c)
+	if got != 400 {
+		t.Errorf("count = %v after disk-fallback rollover", got)
+	}
+}
+
+func TestRolloverCountsMixedRecoveries(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+
+	// Two tables per leaf so a single corrupt segment degrades a restore to
+	// "mixed" rather than all the way to disk.
+	c := newCluster(t, 2, 2)
+	for _, n := range c.Nodes() {
+		addNodeRows(t, n, "errors", 50)
+		addNodeRows(t, n, "events", 50)
+	}
+
+	// One corrupted block in the first restarted leaf: it quarantines one
+	// table and reports a mixed recovery — degraded, but not a disk
+	// fallback, so the guard must not trip.
+	if err := fault.ArmSpec("shm.copy_in=corrupt;count=1"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Rollover(RolloverConfig{
+		BatchFraction:   0.25, // 1 leaf per batch
+		UseShm:          true,
+		TargetVersion:   2,
+		MaxDiskFallback: 0.25,
+	})
+	fault.Reset()
+	if err != nil {
+		t.Fatalf("mixed recoveries tripped the disk-fallback guard: %v", err)
+	}
+	if rep.MixedRecoveries != 1 {
+		t.Errorf("mixed recoveries = %d, report = %+v", rep.MixedRecoveries, rep)
+	}
+	if rep.DiskRecoveries != 0 {
+		t.Errorf("disk recoveries = %d", rep.DiskRecoveries)
+	}
+	var mixed *RestartReport
+	for i := range rep.Restarts {
+		if rep.Restarts[i].Recovery.Path == leaf.RecoveryMixed {
+			mixed = &rep.Restarts[i]
+		}
+	}
+	if mixed == nil || mixed.Recovery.Quarantined != 1 {
+		t.Fatalf("no mixed restart with one quarantined table: %+v", rep.Restarts)
+	}
+	got, _ := totalCount(t, c)
+	if got != 200 {
+		t.Errorf("count = %v after mixed-recovery rollover, want 200", got)
+	}
+}
+
+func addNodeRows(t *testing.T, n *Node, tableName string, count int) {
+	t.Helper()
+	rows := make([]rowblock.Row, count)
+	for i := range rows {
+		rows[i] = rowblock.Row{Time: int64(1000 + i), Cols: map[string]rowblock.Value{
+			"service": rowblock.StringValue("svc"),
+		}}
+	}
+	if err := n.AddRows(tableName, rows); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"scuba/internal/metrics"
+	"scuba/internal/obs"
 )
 
 // RolloverConfig drives a system-wide software upgrade (§4.5).
@@ -30,6 +32,17 @@ type RolloverConfig struct {
 	// detects that a leaf is done with recovery and then initiates
 	// rollover for the next one (§4.5).
 	WaitForRecovery bool
+	// MaxDiskFallback aborts the rollover when more than this fraction of
+	// restarted leaves fall back to full disk recovery (0 disables the
+	// guard). A healthy shm rollover disk-recovers almost never; a wave of
+	// disk fallbacks means the new build can't read the old segments (a
+	// layout-version mistake, a corrupting bug) and finishing the rollover
+	// would pay hours of disk recovery cluster-wide — stopping early
+	// mirrors the canary's intent (§4.5). Only meaningful with UseShm.
+	MaxDiskFallback float64
+	// Obs, when non-nil, records abort decisions in the flight recorder so
+	// a post-mortem shows why the rollover stopped.
+	Obs *obs.Observer
 	// OnBatch, if set, is called with a dashboard snapshot after every
 	// batch (Figure 8).
 	OnBatch func(batch int, snap Snapshot)
@@ -56,10 +69,18 @@ type RolloverReport struct {
 	Timeline []TimelinePoint
 	// MinAvailability is the lowest data availability observed.
 	MinAvailability float64
-	// MemoryRecoveries and DiskRecoveries count recovery paths taken.
+	// MemoryRecoveries, MixedRecoveries, and DiskRecoveries count recovery
+	// paths taken (mixed = some tables quarantined to disk).
 	MemoryRecoveries int
+	MixedRecoveries  int
 	DiskRecoveries   int
+	// Aborted is set when the MaxDiskFallback guard stopped the rollover.
+	Aborted bool
 }
+
+// ErrRolloverAborted is returned (wrapped) when the MaxDiskFallback guard
+// stops a rollover.
+var ErrRolloverAborted = errors.New("cluster: rollover aborted")
 
 // Rollover upgrades every node, BatchFraction at a time, at most
 // MaxPerMachine per machine concurrently within a batch.
@@ -129,6 +150,11 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 					if cfg.Metrics != nil {
 						cfg.Metrics.Counter("rollover.recovery.memory").Add(1)
 					}
+				case "mixed":
+					report.MixedRecoveries++
+					if cfg.Metrics != nil {
+						cfg.Metrics.Counter("rollover.recovery.mixed").Add(1)
+					}
 				case "disk":
 					report.DiskRecoveries++
 					if cfg.Metrics != nil {
@@ -155,6 +181,23 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 			r.Timer("rollover.batch").Observe(time.Since(batchStart))
 			r.Counter("rollover.restarts").Add(int64(len(batch)))
 			r.Gauge("rollover.min_availability_bp").Set(int64(report.MinAvailability * 10000))
+		}
+		// The canary guard (§4.5): too many disk fallbacks means the new
+		// build cannot read the old segments — stop before the rest of the
+		// cluster pays hours of disk recovery.
+		if cfg.MaxDiskFallback > 0 && restarted > 0 {
+			frac := float64(report.DiskRecoveries) / float64(restarted)
+			if frac > cfg.MaxDiskFallback {
+				report.Aborted = true
+				report.Duration = time.Since(begin)
+				msg := fmt.Sprintf("%d of %d restarted leaves (%.0f%%) fell back to disk recovery, limit %.0f%%: stopping after batch %d with %d leaves pending",
+					report.DiskRecoveries, restarted, frac*100, cfg.MaxDiskFallback*100, batchNum, len(pending))
+				cfg.Obs.Event(obs.EventFail, "rollover.abort", msg)
+				if cfg.Metrics != nil {
+					cfg.Metrics.Counter("rollover.aborts").Add(1)
+				}
+				return report, fmt.Errorf("%w: %s", ErrRolloverAborted, msg)
+			}
 		}
 		_ = cfg.WaitForRecovery // Restart is synchronous: recovery completed
 	}

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"scuba/internal/column"
+	"scuba/internal/fault"
 	"scuba/internal/layout"
 	"scuba/internal/rowblock"
 )
@@ -240,6 +241,9 @@ func (s *Store) Tables() ([]string, error) {
 // (and for FormatRow, translating) each into an in-memory row block. The
 // per-block callback lets recovery interleave with other work.
 func (s *Store) LoadTable(table string, fn func(*rowblock.RowBlock) error) error {
+	if err := fault.Inject(fault.SiteDiskRead); err != nil {
+		return fmt.Errorf("disk: load %s: %w", table, err)
+	}
 	blocks, err := s.listBlocks(table)
 	if err != nil {
 		return err

@@ -211,8 +211,10 @@ func TestWorkerFailureDuringShutdown(t *testing.T) {
 	}
 }
 
-// TestWorkerFailureDuringRestore kills one restore worker; Start must fall
-// back to disk with no half-restored tables and no leftover shared memory.
+// TestWorkerFailureDuringRestore kills the restore of one table; the leaf
+// must quarantine exactly that table to the disk path, restore the other
+// five from shared memory, report a mixed recovery, and serve full results
+// for every table — including the quarantined one — with no leftover shm.
 func TestWorkerFailureDuringRestore(t *testing.T) {
 	e := newEnv(t)
 	cfg := e.config(0)
@@ -239,8 +241,20 @@ func TestWorkerFailureDuringRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := nu.Recovery()
-	if rec.Path != RecoveryDisk || !rec.FellBack {
-		t.Fatalf("recovery = %+v, want disk fallback", rec)
+	if rec.Path != RecoveryMixed || rec.FellBack {
+		t.Fatalf("recovery = %+v, want mixed (no whole-restore fallback)", rec)
+	}
+	if rec.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1: %+v", rec.Quarantined, rec.PerTablePath)
+	}
+	for _, tr := range rec.PerTablePath {
+		want := RecoveryMemory
+		if tr.Table == "t2" {
+			want = RecoveryDisk
+		}
+		if tr.Path != want {
+			t.Errorf("table %s path = %s (%s), want %s", tr.Table, tr.Path, tr.Reason, want)
+		}
 	}
 	for i := 0; i < 6; i++ {
 		name := fmt.Sprintf("t%d", i)
@@ -250,7 +264,7 @@ func TestWorkerFailureDuringRestore(t *testing.T) {
 	}
 	m := shm.NewManager(0, shm.Options{Dir: e.shmDir, Namespace: "test"})
 	if _, err := m.ReadMetadata(); !errors.Is(err, shm.ErrNoMetadata) {
-		t.Errorf("metadata survived failed restore: %v", err)
+		t.Errorf("metadata survived restore: %v", err)
 	}
 }
 

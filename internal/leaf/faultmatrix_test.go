@@ -1,0 +1,214 @@
+package leaf
+
+import (
+	"fmt"
+	"testing"
+
+	"scuba/internal/fault"
+	"scuba/internal/query"
+)
+
+// TestFaultMatrix is the keystone regression suite for DESIGN.md §8: for
+// every fault site × action combination on the restart path, the leaf must
+// converge to serving, query results must equal an unfaulted run, and the
+// recovery path must be exactly what the failure model predicts. Crash
+// actions need a real process and live in the e2e subprocess tests.
+//
+// CopyWorkers is pinned to 1 so hit ordering is deterministic: tables copy
+// in sorted name order (t0, t1, t2), and Shutdown's metadata writes are
+// initial(1) + one registration per table (2-4) + commit(5).
+func TestFaultMatrix(t *testing.T) {
+	const tables = 3
+	counts := [tables]int{120, 140, 160}
+
+	cases := []struct {
+		name string
+		// spec is armed before the faulted stage and disarmed after it.
+		spec  string
+		stage string // "shutdown" or "restore"
+		// wantShutdownErr: the faulted Shutdown must fail (the next start
+		// then disk-recovers with full data).
+		wantShutdownErr bool
+		wantPath        RecoveryPath
+		wantQuarantined int
+		wantFellBack    bool
+		// lostTables expect zero rows (quarantine reload also failed).
+		lostTables map[string]bool
+	}{
+		{
+			name: "copy_out error fails shutdown, disk recovers all",
+			spec: "shm.copy_out=error", stage: "shutdown",
+			wantShutdownErr: true, wantPath: RecoveryDisk,
+		},
+		{
+			name: "initial metadata write error fails shutdown, disk recovers all",
+			spec: "shm.commit=error;count=1", stage: "shutdown",
+			wantShutdownErr: true, wantPath: RecoveryDisk,
+		},
+		{
+			name: "valid-bit commit error fails shutdown, disk recovers all",
+			spec: "shm.commit=error;after=4", stage: "shutdown",
+			wantShutdownErr: true, wantPath: RecoveryDisk,
+		},
+		{
+			name: "copy_out delay only slows shutdown, memory restore",
+			spec: "shm.copy_out=delay:2ms;count=3", stage: "shutdown",
+			wantPath: RecoveryMemory,
+		},
+		{
+			name: "copy_out corruption detected at restore, one table quarantined",
+			spec: "shm.copy_out=corrupt;count=1", stage: "shutdown",
+			wantPath: RecoveryMixed, wantQuarantined: 1,
+		},
+		{
+			name: "metadata read error falls back whole restore to disk",
+			spec: "shm.map=error;count=1", stage: "restore",
+			wantPath: RecoveryDisk, wantFellBack: true,
+		},
+		{
+			name: "one segment map error quarantines only that table",
+			spec: "shm.map=error;after=1;count=1", stage: "restore",
+			wantPath: RecoveryMixed, wantQuarantined: 1,
+		},
+		{
+			name: "copy_in error quarantines only that table",
+			spec: "shm.copy_in=error;count=1", stage: "restore",
+			wantPath: RecoveryMixed, wantQuarantined: 1,
+		},
+		{
+			name: "copy_in corruption caught by block checksums, quarantined",
+			spec: "shm.copy_in=corrupt;count=1", stage: "restore",
+			wantPath: RecoveryMixed, wantQuarantined: 1,
+		},
+		{
+			name: "copy_in delay only slows restore, memory restore",
+			spec: "shm.copy_in=delay:2ms;count=3", stage: "restore",
+			wantPath: RecoveryMemory,
+		},
+		{
+			name: "quarantine reload hits disk error: table lost, leaf still serves",
+			spec: "shm.copy_in=error;count=1, disk.read=error;count=1", stage: "restore",
+			wantPath: RecoveryMixed, wantQuarantined: 1,
+			lostTables: map[string]bool{"t0": true},
+		},
+		{
+			name: "every table quarantined: per-table disk path, no fallback",
+			spec: "shm.copy_in=error;count=3", stage: "restore",
+			wantPath: RecoveryDisk, wantQuarantined: 3,
+		},
+	}
+
+	// Unfaulted baseline: per-table count and latency sum after a clean
+	// shutdown/restore cycle. Every faulted run must reproduce these
+	// exactly (minus tables deliberately lost).
+	baseCount := make(map[string]float64)
+	baseSum := make(map[string]float64)
+	{
+		e := newEnv(t)
+		cfg := e.config(0)
+		cfg.CopyWorkers = 1
+		l := startLeaf(t, cfg)
+		for i := 0; i < tables; i++ {
+			ingest(t, l, fmt.Sprintf("t%d", i), counts[i], int64(1000*i))
+		}
+		if _, err := l.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+		nu := startLeaf(t, cfg)
+		if nu.Recovery().Path != RecoveryMemory {
+			t.Fatalf("baseline recovery = %+v", nu.Recovery())
+		}
+		for i := 0; i < tables; i++ {
+			name := fmt.Sprintf("t%d", i)
+			baseCount[name], baseSum[name] = countAndSum(t, nu, name)
+		}
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Cleanup(fault.Reset)
+			fault.Reset()
+			e := newEnv(t)
+			cfg := e.config(0)
+			cfg.CopyWorkers = 1
+			l := startLeaf(t, cfg)
+			for i := 0; i < tables; i++ {
+				ingest(t, l, fmt.Sprintf("t%d", i), counts[i], int64(1000*i))
+			}
+
+			if tc.stage == "shutdown" {
+				if err := fault.ArmSpec(tc.spec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, err := l.Shutdown()
+			if tc.stage == "shutdown" {
+				fault.Reset()
+			}
+			if tc.wantShutdownErr != (err != nil) {
+				t.Fatalf("shutdown err = %v, want failure=%v", err, tc.wantShutdownErr)
+			}
+
+			if tc.stage == "restore" {
+				if err := fault.ArmSpec(tc.spec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			nu, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The acceptance bar: Start never fails outright — every
+			// injected fault converges to a serving leaf.
+			if err := nu.Start(); err != nil {
+				t.Fatalf("Start under fault %q = %v", tc.spec, err)
+			}
+			fault.Reset()
+
+			if st := nu.State(); st != StateAlive {
+				t.Fatalf("leaf state = %v, want alive", st)
+			}
+			rec := nu.Recovery()
+			if rec.Path != tc.wantPath {
+				t.Fatalf("recovery path = %s, want %s (%+v)", rec.Path, tc.wantPath, rec)
+			}
+			if rec.Quarantined != tc.wantQuarantined {
+				t.Fatalf("quarantined = %d, want %d (%+v)", rec.Quarantined, tc.wantQuarantined, rec.PerTablePath)
+			}
+			if rec.FellBack != tc.wantFellBack {
+				t.Fatalf("fellBack = %v, want %v", rec.FellBack, tc.wantFellBack)
+			}
+
+			for i := 0; i < tables; i++ {
+				name := fmt.Sprintf("t%d", i)
+				gotCount, gotSum := countAndSum(t, nu, name)
+				wantCount, wantSum := baseCount[name], baseSum[name]
+				if tc.lostTables[name] {
+					wantCount, wantSum = 0, 0
+				}
+				if gotCount != wantCount || gotSum != wantSum {
+					t.Errorf("%s: count/sum = %v/%v, want %v/%v",
+						name, gotCount, gotSum, wantCount, wantSum)
+				}
+			}
+		})
+	}
+}
+
+func countAndSum(t *testing.T, l *Leaf, tableName string) (count, sum float64) {
+	t.Helper()
+	q := &query.Query{Table: tableName, From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{
+			{Op: query.AggCount},
+			{Op: query.AggSum, Column: "latency"},
+		}}
+	res, err := l.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows(q)
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	return rows[0].Values[0], rows[0].Values[1]
+}

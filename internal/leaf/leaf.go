@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"scuba/internal/disk"
+	"scuba/internal/fault"
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
 	"scuba/internal/query"
@@ -81,7 +82,20 @@ const (
 	RecoveryNone   RecoveryPath = "none"   // nothing to recover
 	RecoveryMemory RecoveryPath = "memory" // restored from shared memory
 	RecoveryDisk   RecoveryPath = "disk"   // restored from disk backup
+	// RecoveryMixed means most tables restored from shared memory while the
+	// ones whose segments failed validation were quarantined to the disk
+	// path — only the damaged tables pay the translate cost.
+	RecoveryMixed RecoveryPath = "mixed"
 )
+
+// TableRecovery reports how one table came back during a mixed recovery.
+type TableRecovery struct {
+	Table string
+	Path  RecoveryPath
+	// Reason, for quarantined tables, says why the shm restore of this
+	// table was rejected.
+	Reason string `json:",omitempty"`
+}
 
 // RecoveryInfo reports what Start did, for dashboards and benchmarks.
 type RecoveryInfo struct {
@@ -98,6 +112,12 @@ type RecoveryInfo struct {
 	Workers int
 	// PerTable breaks the restore down by table, sorted by table name.
 	PerTable []TableCopyStat
+	// PerTablePath says which path each table took (all "memory" on a clean
+	// shm restore; a mix after quarantines), sorted by table name.
+	PerTablePath []TableRecovery `json:",omitempty"`
+	// Quarantined counts tables whose shm segments failed validation and
+	// were re-read from disk instead.
+	Quarantined int `json:",omitempty"`
 }
 
 // ShutdownInfo reports what a clean shutdown did.
@@ -225,7 +245,8 @@ func (l *Leaf) Start() error {
 			sp.End(nil)
 			info.Path = RecoveryDisk
 		} else if ok {
-			info.Path = RecoveryMemory
+			// Path was set by restoreFromShm: memory on a clean restore,
+			// mixed/disk when tables were quarantined.
 		} else {
 			// Valid bit unset: revert to disk recovery (Figure 7) and
 			// free any shared memory in use.
@@ -281,7 +302,10 @@ func (l *Leaf) Start() error {
 
 // restoreFromShm implements the happy path of Figure 7. It returns false
 // when the valid bit is unset (caller reverts to disk recovery) and an error
-// on any exception (caller falls back to disk recovery).
+// on metadata-level exceptions (caller falls back to full disk recovery).
+// Per-table segment failures do NOT fail the restore: the damaged tables are
+// quarantined to the disk path and info.Path reports mixed. On success it
+// sets info.Path itself.
 func (l *Leaf) restoreFromShm(info *RecoveryInfo) (bool, error) {
 	ms := l.cfg.Obs.Start(obs.PhaseMap)
 	md, err := l.shm.ReadMetadata()
@@ -318,32 +342,98 @@ func (l *Leaf) restoreFromShm(info *RecoveryInfo) (bool, error) {
 	}
 	ms.End(nil)
 	ci := l.cfg.Obs.Start(obs.PhaseCopyIn)
-	restored, stats, workers, err := l.copyInAll(md.Segments)
+	restored, stats, errs, workers := l.copyInAll(md.Segments)
 	info.Workers = workers
-	if err != nil {
-		ci.End(err)
-		return false, err
-	}
 	ci.End(nil)
-	info.PerTable = stats
-	for _, st := range stats {
-		info.Blocks += st.Blocks
-		info.BytesRestored += st.Bytes
-	}
-	// Install the restored tables only now that every worker has succeeded:
-	// an exception above leaves the leaf with no half-restored tables for
-	// the disk fall-back to collide with.
+	// Install every table that restored cleanly; a corrupt or unreadable
+	// segment quarantines only its own table to the disk path instead of
+	// throwing away the whole shm restore.
 	l.mu.Lock()
 	for i, si := range md.Segments {
-		l.tables[si.Table] = restored[i]
+		if errs[i] == nil {
+			l.tables[si.Table] = restored[i]
+		}
 	}
 	l.mu.Unlock()
-	info.Tables = len(restored)
-	// Figure 7: delete the metadata shared memory segment.
+	for i, st := range stats {
+		if errs[i] != nil {
+			continue
+		}
+		info.Tables++
+		info.Blocks += st.Blocks
+		info.BytesRestored += st.Bytes
+		info.PerTable = append(info.PerTable, st)
+		info.PerTablePath = append(info.PerTablePath, TableRecovery{Table: st.Table, Path: RecoveryMemory})
+	}
+	sort.Slice(info.PerTable, func(i, j int) bool { return info.PerTable[i].Table < info.PerTable[j].Table })
+	for i, si := range md.Segments {
+		if errs[i] == nil {
+			continue
+		}
+		info.Quarantined++
+		l.cfg.Obs.Event(obs.EventFail, "restart.quarantine",
+			fmt.Sprintf("table %q quarantined to disk: %v", si.Table, errs[i]))
+		tr := TableRecovery{Table: si.Table, Path: RecoveryDisk, Reason: errs[i].Error()}
+		sp := l.cfg.Obs.Start(obs.PhaseDiskRecovery)
+		derr := l.recoverTableFromDisk(si.Table, info)
+		sp.End(derr)
+		if derr != nil {
+			// Best effort: the table is lost, but the leaf still serves
+			// every other table (partial results, §1).
+			tr.Path = RecoveryNone
+			tr.Reason += "; disk reload failed: " + derr.Error()
+			l.cfg.Obs.Event(obs.EventFail, "restart.quarantine",
+				fmt.Sprintf("table %q lost: disk reload failed: %v", si.Table, derr))
+		} else {
+			info.Tables++
+		}
+		info.PerTablePath = append(info.PerTablePath, tr)
+	}
+	sort.Slice(info.PerTablePath, func(i, j int) bool { return info.PerTablePath[i].Table < info.PerTablePath[j].Table })
+	switch {
+	case info.Quarantined == 0:
+		info.Path = RecoveryMemory
+	case info.Quarantined < len(md.Segments):
+		info.Path = RecoveryMixed
+	default:
+		info.Path = RecoveryDisk
+	}
+	// Figure 7: delete the metadata shared memory segment (and the segments
+	// of quarantined tables along with it).
 	if err := l.shm.RemoveAll(); err != nil {
 		return false, err
 	}
 	return true, nil
+}
+
+// recoverTableFromDisk reloads a single quarantined table from the disk
+// backup. Shutdown synced every sealed block before its shm copy began, so
+// the backup is complete for any table that reached a finished segment.
+func (l *Leaf) recoverTableFromDisk(name string, info *RecoveryInfo) error {
+	if l.store == nil {
+		return errors.New("leaf: no disk backup configured")
+	}
+	tbl := table.NewRecovering(name, l.cfg.Table)
+	if err := tbl.Transition(table.StateDiskRecovery); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.tables[name] = tbl
+	l.mu.Unlock()
+	err := l.store.LoadTable(name, func(rb *rowblock.RowBlock) error {
+		info.Blocks++
+		info.BytesRestored += rb.Header().Size
+		return tbl.RestoreBlock(rb)
+	})
+	if err != nil {
+		// Drop the placeholder: an absent table answers queries with empty
+		// partial results, the same as a leaf that never held it.
+		l.mu.Lock()
+		delete(l.tables, name)
+		l.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // recoverFromDisk reads every table backup and translates it into memory.
@@ -405,6 +495,10 @@ func (l *Leaf) Shutdown() (ShutdownInfo, error) {
 	md := &shm.Metadata{Valid: false, Version: shm.LayoutVersion, Created: l.cfg.Clock()}
 	if err := l.shm.WriteMetadata(md); err != nil {
 		co.End(err)
+		// The next start disk-recovers; make sure sealed-but-unsynced
+		// blocks reach the backup and no stale shm survives.
+		l.flushBestEffort(l.tablesSorted())
+		l.shm.RemoveAll() //nolint:errcheck
 		return info, err
 	}
 
@@ -428,6 +522,11 @@ func (l *Leaf) Shutdown() (ShutdownInfo, error) {
 	md.Valid = true
 	if err := l.shm.WriteMetadata(md); err != nil {
 		cm.End(err)
+		// The valid bit never landed, so the segments are unreachable by
+		// the next start: free them and flush any disk stragglers (the
+		// per-table copies already synced, so this is belt and braces).
+		l.flushBestEffort(l.tablesSorted())
+		l.shm.RemoveAll() //nolint:errcheck
 		return info, err
 	}
 	cm.End(nil)
@@ -523,6 +622,14 @@ func (l *Leaf) AddRows(tableName string, rows []rowblock.Row) error {
 // without the table returns an empty (not error) result, matching partial
 // result semantics.
 func (l *Leaf) Query(q *query.Query) (*query.Result, error) {
+	if fault.Enabled() {
+		if err := fault.Inject(fault.SiteLeafQuery); err != nil {
+			return nil, err
+		}
+		if err := fault.Inject(fault.PerLeaf(fault.SiteLeafQuery, l.cfg.ID)); err != nil {
+			return nil, err
+		}
+	}
 	l.mu.Lock()
 	if !l.acceptingAdds() { // queries gate the same way as adds at leaf level
 		st := l.state

@@ -287,8 +287,14 @@ func TestCorruptSegmentFallsBackToDisk(t *testing.T) {
 
 	nu := startLeaf(t, e.config(0))
 	rec := nu.Recovery()
-	if rec.Path != RecoveryDisk || !rec.FellBack {
-		t.Fatalf("recovery = %+v, want disk with fallback", rec)
+	// The single table is the corrupt one, so the whole recovery is a
+	// quarantine: path disk, one quarantined table, no whole-restore
+	// fallback (the metadata itself was fine).
+	if rec.Path != RecoveryDisk || rec.Quarantined != 1 || rec.FellBack {
+		t.Fatalf("recovery = %+v, want disk with 1 quarantined table", rec)
+	}
+	if len(rec.PerTablePath) != 1 || rec.PerTablePath[0].Path != RecoveryDisk || rec.PerTablePath[0].Reason == "" {
+		t.Fatalf("per-table paths = %+v", rec.PerTablePath)
 	}
 	if got := countRows(t, nu, "events"); got != 400 {
 		t.Errorf("count = %v", got)

@@ -7,10 +7,11 @@ package leaf
 // and the only cross-worker state — segment registration in the leaf
 // metadata — is serialized under a mutex. The valid bit is still written
 // exactly once, by the caller, after every worker has succeeded, so the
-// commit point of Figure 6 is unchanged. Any worker error cancels the rest
-// through a context; a failed shutdown removes every segment it created
-// (no orphans), and a failed restore installs no tables at all, leaving the
-// existing fall-back-to-disk path a clean slate.
+// commit point of Figure 6 is unchanged. On the copy-out side any worker
+// error cancels the rest through a context and a failed shutdown removes
+// every segment it created (no orphans). The copy-in side degrades per
+// table instead: each table restores or fails on its own, and the caller
+// quarantines the failures to disk recovery while installing the rest.
 
 import (
 	"context"
@@ -264,32 +265,19 @@ func (l *Leaf) flushBestEffort(tables []*table.Table) {
 }
 
 // copyInAll restores every segment named by the leaf metadata concurrently,
-// symmetric to copyOutAll. Restored tables are NOT installed in the leaf
-// here: the caller installs them only after every worker succeeds, so a
-// failed parallel restore leaves no half-restored table behind when the
-// fall-back disk recovery takes over. The returned table slice is aligned
-// with segments; stats are sorted by table name.
-func (l *Leaf) copyInAll(segments []shm.SegmentInfo) ([]*table.Table, []TableCopyStat, int, error) {
-	workers := l.copyWorkers(len(segments))
+// symmetric to copyOutAll — except that one table's failure no longer
+// cancels the rest. Each table restores (or fails) independently; the
+// returned slices are index-aligned with segments, with errs[i] non-nil for
+// tables the caller must quarantine to disk recovery. Restored tables are
+// NOT installed in the leaf here: the caller decides table by table.
+func (l *Leaf) copyInAll(segments []shm.SegmentInfo) (restored []*table.Table, stats []TableCopyStat, errs []error, workers int) {
+	workers = l.copyWorkers(len(segments))
 	if len(segments) == 0 {
-		return nil, nil, workers, nil
+		return nil, nil, nil, workers
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	restored := make([]*table.Table, len(segments))
-	stats := make([]TableCopyStat, len(segments))
-	var (
-		errMu    sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			cancel()
-		}
-		errMu.Unlock()
-	}
+	restored = make([]*table.Table, len(segments))
+	stats = make([]TableCopyStat, len(segments))
+	errs = make([]error, len(segments))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -299,18 +287,15 @@ func (l *Leaf) copyInAll(segments []shm.SegmentInfo) ([]*table.Table, []TableCop
 			busy := time.Now()
 			var bytes int64
 			for idx := range jobs {
-				if ctx.Err() != nil {
-					continue
-				}
 				si := segments[idx]
 				l.cfg.Obs.Event(obs.EventBegin, obs.PerTablePhase("copy-in", si.Table),
 					fmt.Sprintf("worker %d", worker))
-				tbl, st, err := l.copyTableIn(ctx, si)
+				tbl, st, err := l.copyTableIn(si)
 				st.Worker = worker
 				stats[idx] = st // disjoint indices: no mutex needed
 				l.recordTableCopy("copy-in", st, err)
 				if err != nil {
-					fail(fmt.Errorf("leaf: restore %q: %w", si.Table, err))
+					errs[idx] = err
 					continue
 				}
 				restored[idx] = tbl
@@ -324,24 +309,27 @@ func (l *Leaf) copyInAll(segments []shm.SegmentInfo) ([]*table.Table, []TableCop
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, workers, firstErr
-	}
-	sorted := make([]TableCopyStat, len(stats))
-	copy(sorted, stats)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Table < sorted[j].Table })
-	return restored, sorted, workers, nil
+	return restored, stats, errs, workers
 }
 
 // copyTableIn restores one table from its segment (Figure 7's per-table
-// steps): open, drain blocks in reverse (truncating the segment as pages
-// release), rebuild the block vector in original order, delete the segment.
-func (l *Leaf) copyTableIn(ctx context.Context, si shm.SegmentInfo) (*table.Table, TableCopyStat, error) {
+// steps): open (which validates the payload CRC), drain blocks in reverse
+// (truncating the segment as pages release), rebuild the block vector in
+// original order, delete the segment. On failure the segment is left in
+// place; the caller's final RemoveAll sweeps it with everything else.
+func (l *Leaf) copyTableIn(si shm.SegmentInfo) (*table.Table, TableCopyStat, error) {
 	st := TableCopyStat{Table: si.Table}
 	start := time.Now()
 	r, err := shm.OpenTableSegment(l.shm, si.Segment)
 	if err != nil {
 		return nil, st, fmt.Errorf("open segment: %w", err)
+	}
+	if r.TableName() != si.Table {
+		// The name bytes sit outside the payload CRC; a mismatch against
+		// the (CRC-guarded) metadata means the header rotted.
+		r.Close(false) //nolint:errcheck
+		return nil, st, fmt.Errorf("%w: segment names table %q, metadata says %q",
+			shm.ErrSegCorrupt, r.TableName(), si.Table)
 	}
 	tbl := table.NewRecovering(si.Table, l.cfg.Table)
 	if err := tbl.Transition(table.StateMemoryRecovery); err != nil {
@@ -350,10 +338,6 @@ func (l *Leaf) copyTableIn(ctx context.Context, si shm.SegmentInfo) (*table.Tabl
 	}
 	blocks := make([]*rowblock.RowBlock, 0, r.NumBlocks())
 	for {
-		if err := ctx.Err(); err != nil { // another worker failed
-			r.Close(false) //nolint:errcheck
-			return nil, st, err
-		}
 		if h := l.restoreBlockHook; h != nil {
 			if err := h(si.Table, len(blocks)); err != nil {
 				r.Close(false) //nolint:errcheck

@@ -23,13 +23,20 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"scuba/internal/fault"
 )
 
 // LayoutVersion is stamped into leaf metadata. It indicates whether the
 // shared memory layout has changed; the heap layout can change independently
 // (§4.2). A restoring process that finds a different version must fall back
 // to disk recovery.
-const LayoutVersion uint32 = 1
+//
+// Version history:
+//
+//	1 — initial table segment layout
+//	2 — table segment header gained a payload CRC (see tableseg.go)
+const LayoutVersion uint32 = 2
 
 // DefaultDir is the default segment directory. /dev/shm is a tmpfs on
 // Linux, so segments live in physical memory, never on disk.
@@ -200,6 +207,9 @@ func decodeMetadata(b []byte) (*Metadata, error) {
 // a shared staging file; the last rename wins with a complete image either
 // way.
 func (m *Manager) WriteMetadata(md *Metadata) error {
+	if err := fault.Inject(fault.SiteShmCommit); err != nil {
+		return fmt.Errorf("shm: write metadata: %w", err)
+	}
 	path := m.metadataPath()
 	f, err := os.CreateTemp(m.dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -223,6 +233,9 @@ func (m *Manager) WriteMetadata(md *Metadata) error {
 
 // ReadMetadata loads and validates the leaf metadata.
 func (m *Manager) ReadMetadata() (*Metadata, error) {
+	if err := fault.Inject(fault.SiteShmMap); err != nil {
+		return nil, fmt.Errorf("shm: read metadata: %w", err)
+	}
 	b, err := os.ReadFile(m.metadataPath())
 	if err != nil {
 		if os.IsNotExist(err) {

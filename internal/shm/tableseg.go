@@ -3,7 +3,9 @@ package shm
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
+	"scuba/internal/fault"
 	"scuba/internal/rowblock"
 )
 
@@ -17,6 +19,7 @@ import (
 //	u64  payload start (offset of the first block image)
 //	u64  footer offset (end of payload, patched by Finish)
 //	u32  number of row blocks (patched by Finish)
+//	u32  payload CRC-32C over [payload start, footer end) (patched by Finish)
 //	u16  table name length
 //	...  table name bytes
 //	...  row block images, contiguous (see rowblock.AppendImage)
@@ -25,14 +28,23 @@ import (
 // The footer lets the restore path drain the segment in reverse, truncating
 // the tail after each block so tmpfs pages are released as the data moves
 // back to the heap, keeping the total footprint flat (§4.4, Figure 7).
+//
+// The payload CRC covers every block image and the footer. Row blocks carry
+// their own per-column checksums, but those are only verified as each block
+// is decoded — a flipped byte in table N's data would otherwise surface
+// mid-restore, after earlier tables were already installed. Verifying the
+// whole payload when the segment is opened turns data rot into an up-front
+// quarantine decision for exactly the damaged table.
 
 // SegMagic identifies a table segment.
 const SegMagic uint32 = 0x31544753 // "SGT1"
 
-const segHeaderFixed = 4 + 4 + 8 + 8 + 4 + 2
+const segHeaderFixed = 4 + 4 + 8 + 8 + 4 + 4 + 2
 
 // ErrSegCorrupt is returned for structurally invalid table segments.
 var ErrSegCorrupt = fmt.Errorf("shm: corrupt table segment")
+
+var segCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // TableSegmentWriter streams a table's row blocks into a segment, one row
 // block column at a time (Figure 6).
@@ -45,9 +57,10 @@ var ErrSegCorrupt = fmt.Errorf("shm: corrupt table segment")
 // and Abort is idempotent (Abort after Finish is a no-op, so error paths can
 // abort every writer unconditionally).
 type TableSegmentWriter struct {
-	seg     *Segment
-	pos     int64
-	offsets []int64
+	seg          *Segment
+	payloadStart int64
+	pos          int64
+	offsets      []int64
 	// BytesCopied counts payload bytes written, for bandwidth accounting.
 	BytesCopied int64
 
@@ -76,9 +89,10 @@ func CreateTableSegment(m *Manager, segName, tableName string, estimate int64) (
 	binary.LittleEndian.PutUint64(b[8:], uint64(headerSize))
 	binary.LittleEndian.PutUint64(b[16:], uint64(headerSize)) // patched by Finish
 	binary.LittleEndian.PutUint32(b[24:], 0)                  // patched by Finish
-	binary.LittleEndian.PutUint16(b[28:], uint16(len(tableName)))
+	binary.LittleEndian.PutUint32(b[28:], 0)                  // payload CRC, patched by Finish
+	binary.LittleEndian.PutUint16(b[32:], uint16(len(tableName)))
 	copy(b[segHeaderFixed:], tableName)
-	return &TableSegmentWriter{seg: seg, pos: headerSize}, nil
+	return &TableSegmentWriter{seg: seg, payloadStart: headerSize, pos: headerSize}, nil
 }
 
 // WriteBlock copies one row block into the segment column by column. When
@@ -87,6 +101,9 @@ func CreateTableSegment(m *Manager, segName, tableName string, estimate int64) (
 func (w *TableSegmentWriter) WriteBlock(rb *rowblock.RowBlock, release bool) error {
 	if w.finished || w.aborted {
 		return fmt.Errorf("%w: WriteBlock on %s segment writer", ErrClosed, w.stateName())
+	}
+	if err := fault.Inject(fault.SiteShmCopyOut); err != nil {
+		return fmt.Errorf("shm: copy out to %s: %w", w.seg.Name(), err)
 	}
 	imageSize := int64(rb.ImageSize()) // before columns are released
 	need := w.pos + imageSize
@@ -137,6 +154,11 @@ func (w *TableSegmentWriter) Finish() error {
 	}
 	binary.LittleEndian.PutUint64(b[16:], uint64(footerOff))
 	binary.LittleEndian.PutUint32(b[24:], uint32(len(w.offsets)))
+	binary.LittleEndian.PutUint32(b[28:], crc32.Checksum(b[w.payloadStart:need], segCRCTable))
+	// An armed copy_out corruption flips payload bytes after the CRC is
+	// stamped — the same damage as memory rot between commit and restore —
+	// so the restore side must detect it and quarantine the table.
+	fault.CorruptBytes(fault.SiteShmCopyOut, b[w.payloadStart:need])
 	if err := w.seg.Sync(); err != nil {
 		return err
 	}
@@ -177,8 +199,13 @@ type TableSegmentReader struct {
 	remaining int
 }
 
-// OpenTableSegment validates a segment's header and footer for restore.
+// OpenTableSegment validates a segment's header, footer, and payload CRC
+// for restore. A CRC mismatch means block data rotted while the segment sat
+// in shared memory; the caller quarantines the table to disk recovery.
 func OpenTableSegment(m *Manager, segName string) (*TableSegmentReader, error) {
+	if err := fault.Inject(fault.SiteShmMap); err != nil {
+		return nil, fmt.Errorf("shm: map segment %s: %w", segName, err)
+	}
 	seg, err := m.OpenSegment(segName)
 	if err != nil {
 		return nil, err
@@ -205,12 +232,17 @@ func (r *TableSegmentReader) parseHeader() error {
 	payloadStart := int64(binary.LittleEndian.Uint64(b[8:]))
 	footerOff := int64(binary.LittleEndian.Uint64(b[16:]))
 	nblocks := int(binary.LittleEndian.Uint32(b[24:]))
-	nameLen := int(binary.LittleEndian.Uint16(b[28:]))
+	payloadCRC := binary.LittleEndian.Uint32(b[28:])
+	nameLen := int(binary.LittleEndian.Uint16(b[32:]))
 	if payloadStart != int64(segHeaderFixed+nameLen) ||
 		footerOff < payloadStart ||
 		footerOff+int64(8*nblocks) > int64(len(b)) {
 		return fmt.Errorf("%w: payload=%d footer=%d blocks=%d len=%d",
 			ErrSegCorrupt, payloadStart, footerOff, nblocks, len(b))
+	}
+	if sum := crc32.Checksum(b[payloadStart:footerOff+int64(8*nblocks)], segCRCTable); sum != payloadCRC {
+		return fmt.Errorf("%w: payload checksum %08x, header says %08x",
+			ErrSegCorrupt, sum, payloadCRC)
 	}
 	r.tableName = string(b[segHeaderFixed : segHeaderFixed+nameLen])
 	r.offsets = make([]int64, nblocks)
@@ -243,8 +275,15 @@ func (r *TableSegmentReader) ReadBlock() (*rowblock.RowBlock, error) {
 	if r.remaining == 0 {
 		return nil, nil
 	}
+	if err := fault.Inject(fault.SiteShmCopyIn); err != nil {
+		return nil, fmt.Errorf("shm: copy in from %s: %w", r.seg.Name(), err)
+	}
 	idx := r.remaining - 1
 	off := r.offsets[idx]
+	// An armed copy_in corruption damages the mapped image after the
+	// open-time CRC check passed; the row block's own per-column checksums
+	// are the last line of defense.
+	fault.CorruptBytes(fault.SiteShmCopyIn, r.seg.Bytes()[off:])
 	rb, _, err := rowblock.DecodeImage(r.seg.Bytes()[off:], true)
 	if err != nil {
 		return nil, fmt.Errorf("shm: block %d of %s: %w", idx, r.tableName, err)

@@ -57,6 +57,10 @@ func NewAggServerOver(agg *aggregator.Aggregator, addr string) (*AggServer, erro
 // Addr returns the server's listen address.
 func (s *AggServer) Addr() string { return s.ln.Addr().String() }
 
+// Aggregator returns the underlying aggregator so callers can tune fan-out
+// behavior (e.g. LeafTimeout) before traffic arrives.
+func (s *AggServer) Aggregator() *aggregator.Aggregator { return s.agg }
+
 func (s *AggServer) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()

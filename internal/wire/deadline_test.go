@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scuba/internal/fault"
+	"scuba/internal/query"
+)
+
+// blackholeListener accepts connections and never responds — the TCP-level
+// equivalent of a SIGSTOP'd leaf. Before the deadline work, a Call against
+// it blocked forever.
+func blackholeListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			t.Cleanup(func() { conn.Close() })
+		}
+	}()
+	return ln
+}
+
+func TestRPCTimeoutUnwedgesHungServer(t *testing.T) {
+	ln := blackholeListener(t)
+	c := DialOptions(ln.Addr().String(), Options{
+		RPCTimeout: 100 * time.Millisecond,
+		MaxRetries: 1,
+		RetryBase:  time.Millisecond,
+		RetryMax:   2 * time.Millisecond,
+	})
+	defer c.Close()
+
+	start := time.Now()
+	err := c.Ping()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("ping against a hung server succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	// Two attempts (1 + 1 retry) at 100ms each plus slack.
+	if elapsed > 2*time.Second {
+		t.Fatalf("ping took %v; deadline did not bound the call", elapsed)
+	}
+}
+
+func TestDialTimeoutBoundsConnect(t *testing.T) {
+	// A port from TEST-NET that drops SYNs on most setups; even when it
+	// RSTs instead, the call must come back quickly either way.
+	c := DialOptions("192.0.2.1:9", Options{
+		DialTimeout: 100 * time.Millisecond,
+		MaxRetries:  1,
+		RetryBase:   time.Millisecond,
+	})
+	defer c.Close()
+	start := time.Now()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping to a blackhole address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dial took %v, want bounded by DialTimeout", elapsed)
+	}
+}
+
+// TestSlowRPCDoesNotStarveConcurrentCallers pins the satellite fix: the old
+// client held c.mu across encode/decode, so one slow query serialized every
+// other caller of the same client. Now each in-flight call owns its own
+// pooled connection.
+func TestSlowRPCDoesNotStarveConcurrentCallers(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+	_, c, _ := newServer(t, 80)
+
+	// Queries stall 300ms server-side; pings are instant.
+	fault.Arm(fault.Point{Site: fault.SiteLeafQuery, Action: fault.ActDelay, Delay: 300 * time.Millisecond})
+
+	q := &query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}}}
+	queryDone := make(chan error, 1)
+	go func() {
+		_, err := c.Query(q)
+		queryDone <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the slow query occupy its conn
+
+	start := time.Now()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("ping waited %v behind a slow query on the same client", elapsed)
+	}
+	if err := <-queryDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdempotentRetryWithBackoff(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+	_, c, _ := newServer(t, 81)
+
+	// First two reads fail at the transport; the third succeeds. Default
+	// MaxRetries(3) must absorb both failures.
+	fault.Arm(fault.Point{Site: fault.SiteWireRead, Action: fault.ActError, Count: 2})
+	c.opts.RetryBase = time.Millisecond
+	c.opts.RetryMax = 4 * time.Millisecond
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping with 2 injected transport errors = %v", err)
+	}
+	if got := fault.Hits(fault.SiteWireRead); got != 3 {
+		t.Fatalf("wire.read hits = %d, want 3 (two failures + success)", got)
+	}
+}
+
+func TestMutatingRequestsNeverRetry(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+	_, c, _ := newServer(t, 82)
+
+	fault.Arm(fault.Point{Site: fault.SiteWireWrite, Action: fault.ActError, Count: 1})
+	if err := c.AddRows("events", mkRows(1, 0)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("AddRows = %v, want the injected error surfaced (no retry)", err)
+	}
+	if got := fault.Hits(fault.SiteWireWrite); got != 1 {
+		t.Fatalf("wire.write hits = %d, want exactly 1 (no retry of a mutation)", got)
+	}
+}
+
+func TestBackoffIsCappedAndJittered(t *testing.T) {
+	o := Options{RetryBase: 25 * time.Millisecond, RetryMax: 100 * time.Millisecond}.withDefaults()
+	for attempt := 0; attempt < 8; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := backoff(o, attempt)
+			if d > o.RetryMax {
+				t.Fatalf("attempt %d: backoff %v exceeds cap %v", attempt, d, o.RetryMax)
+			}
+			if d < o.RetryBase/2 {
+				t.Fatalf("attempt %d: backoff %v below base/2", attempt, d)
+			}
+		}
+	}
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	_, c, _ := newServer(t, 83)
+
+	// Count dials with the fault registry's hit counter on wire.dial (After
+	// is huge, so the point never actually fires).
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+	fault.Arm(fault.Point{Site: fault.SiteWireDial, Action: fault.ActError, After: 1 << 30})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if err := c.Ping(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 4 concurrent goroutines, 40 calls total: at most a handful of dials,
+	// nowhere near one per call.
+	if d := fault.Hits(fault.SiteWireDial); d > 8 {
+		t.Fatalf("40 calls used %d dials; pooling is not reusing connections", d)
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"scuba/internal/fault"
 	"scuba/internal/leaf"
 	"scuba/internal/metrics"
 	"scuba/internal/query"
@@ -222,53 +224,136 @@ func (s *Server) Close() error {
 	return s.ln.Close()
 }
 
-// Client talks to one leaf server. Safe for concurrent use; requests are
-// serialized over a single connection and the connection is re-dialed on
-// error (leaves come and go across restarts).
-type Client struct {
-	addr string
+// Options bound how long a client waits on the network. The zero value
+// means "use the defaults" — every field has a production-safe default, so
+// plain Dial never hangs forever on a SIGSTOP'd or partitioned leaf.
+type Options struct {
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds each attempt's encode+decode via a connection
+	// deadline (default 60s). Negative disables deadlines (tests that
+	// deliberately park a call use this).
+	RPCTimeout time.Duration
+	// MaxRetries is how many times an idempotent request is retried after
+	// the first attempt fails on a transport error (default 3).
+	MaxRetries int
+	// RetryBase is the first backoff delay; each retry doubles it
+	// (default 25ms).
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay (default 1s).
+	RetryMax time.Duration
+	// MaxIdle is how many healthy connections the client keeps pooled for
+	// reuse (default 2). Concurrent callers beyond the pool dial extra
+	// connections rather than queueing behind a slow RPC.
+	MaxIdle int
+}
 
-	mu   sync.Mutex
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.RPCTimeout == 0 {
+		o.RPCTimeout = 60 * time.Second
+	}
+	if o.RPCTimeout < 0 {
+		o.RPCTimeout = 0
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = time.Second
+	}
+	if o.MaxIdle <= 0 {
+		o.MaxIdle = 2
+	}
+	return o
+}
+
+// clientConn is one gob session. Encoders and decoders are stateful, so a
+// connection is owned by exactly one in-flight call at a time.
+type clientConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 }
 
-// Dial creates a client; the connection is established lazily.
-func Dial(addr string) *Client { return &Client{addr: addr} }
+// Client talks to one leaf server. Safe for concurrent use: each in-flight
+// call owns a pooled connection, so a slow RPC on one goroutine no longer
+// serializes and starves concurrent callers. Every attempt runs under a
+// deadline, and idempotent requests retry with capped exponential backoff
+// plus jitter (leaves come and go across restarts).
+type Client struct {
+	addr string
+	opts Options
 
-func (c *Client) ensureLocked() error {
-	if c.conn != nil {
-		return nil
-	}
-	conn, err := net.Dial("tcp", c.addr)
-	if err != nil {
-		return err
-	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
-	return nil
+	mu   sync.Mutex
+	idle []*clientConn
 }
 
-func (c *Client) dropLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
+// Dial creates a client with default Options; connections are established
+// lazily.
+func Dial(addr string) *Client { return DialOptions(addr, Options{}) }
+
+// DialOptions is Dial with explicit deadline/retry configuration.
+func DialOptions(addr string, opts Options) *Client {
+	return &Client{addr: addr, opts: opts.withDefaults()}
 }
 
-// Call performs one RPC. Read-only requests (ping, query, stats) are
-// retried once on a transport error: a stale connection to a leaf that
-// restarted since the last call fails exactly once, and the retry lands on
-// the replacement process. Mutating requests are never retried — a timed-out
-// AddRows may have been applied.
-func (c *Client) Call(req *Request) (*Response, error) {
+// acquire pops a pooled connection or dials a new one under DialTimeout.
+func (c *Client) acquire() (*clientConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	resp, err := c.callLocked(req)
-	if err != nil && idempotent(req.Kind) {
-		resp, err = c.callLocked(req)
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	if err := fault.Inject(fault.SiteWireDial); err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// release returns a healthy connection to the pool (or closes it when the
+// pool is full).
+func (c *Client) release(cc *clientConn) {
+	c.mu.Lock()
+	if len(c.idle) < c.opts.MaxIdle {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+// Call performs one RPC. Idempotent requests (ping, query, stats) are
+// retried on transport errors with capped exponential backoff plus jitter —
+// a stale connection to a leaf that restarted fails fast and the retry
+// lands on the replacement process. Mutating requests are never retried: a
+// timed-out AddRows may have been applied.
+func (c *Client) Call(req *Request) (*Response, error) {
+	retries := 0
+	if idempotent(req.Kind) {
+		retries = c.opts.MaxRetries
+	}
+	var resp *Response
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = c.callOnce(req)
+		if err == nil || attempt >= retries {
+			break
+		}
+		time.Sleep(backoff(c.opts, attempt))
 	}
 	if err != nil {
 		return nil, err
@@ -279,31 +364,75 @@ func (c *Client) Call(req *Request) (*Response, error) {
 	return resp, nil
 }
 
+// backoff is the delay before retry attempt+1: RetryBase doubled per
+// attempt, capped at RetryMax, with the upper half jittered so a thundering
+// herd of clients retrying against one restarting leaf spreads out.
+func backoff(o Options, attempt int) time.Duration {
+	d := o.RetryBase
+	for i := 0; i < attempt && d < o.RetryMax; i++ {
+		d *= 2
+	}
+	if d > o.RetryMax {
+		d = o.RetryMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
 func idempotent(k Kind) bool {
 	return k == KindPing || k == KindQuery || k == KindStats
 }
 
-func (c *Client) callLocked(req *Request) (*Response, error) {
-	if err := c.ensureLocked(); err != nil {
+// callOnce runs one attempt on its own connection under RPCTimeout. A
+// transport error closes the connection; an application error (Response.Err)
+// leaves it healthy and pooled.
+func (c *Client) callOnce(req *Request) (*Response, error) {
+	cc, err := c.acquire()
+	if err != nil {
 		return nil, err
 	}
-	if err := c.enc.Encode(req); err != nil {
-		c.dropLocked()
+	if c.opts.RPCTimeout > 0 {
+		if err := cc.conn.SetDeadline(time.Now().Add(c.opts.RPCTimeout)); err != nil {
+			cc.conn.Close()
+			return nil, err
+		}
+	}
+	if err := fault.Inject(fault.SiteWireWrite); err != nil {
+		cc.conn.Close()
+		return nil, fmt.Errorf("wire: write to %s: %w", c.addr, err)
+	}
+	if err := cc.enc.Encode(req); err != nil {
+		cc.conn.Close()
 		return nil, err
+	}
+	if err := fault.Inject(fault.SiteWireRead); err != nil {
+		cc.conn.Close()
+		return nil, fmt.Errorf("wire: read from %s: %w", c.addr, err)
 	}
 	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.dropLocked()
+	if err := cc.dec.Decode(&resp); err != nil {
+		cc.conn.Close()
 		return nil, err
 	}
+	if c.opts.RPCTimeout > 0 {
+		if err := cc.conn.SetDeadline(time.Time{}); err != nil {
+			cc.conn.Close()
+			return nil, err
+		}
+	}
+	c.release(cc)
 	return &resp, nil
 }
 
-// Close drops the connection.
+// Close drops all pooled connections. The client stays usable; the next
+// call re-dials.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.dropLocked()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.conn.Close()
+	}
 	return nil
 }
 

@@ -41,6 +41,7 @@ import (
 	"scuba/internal/aggregator"
 	"scuba/internal/cluster"
 	"scuba/internal/disk"
+	"scuba/internal/fault"
 	"scuba/internal/leaf"
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
@@ -91,6 +92,8 @@ type (
 	ShutdownInfo = leaf.ShutdownInfo
 	// TableCopyStat is one table's share of a restart-path copy.
 	TableCopyStat = leaf.TableCopyStat
+	// TableRecovery is one table's recovery path within a mixed restore.
+	TableRecovery = leaf.TableRecovery
 	// ShmOptions configures the shared memory directory and namespace.
 	ShmOptions = shm.Options
 	// TableOptions sets per-table retention.
@@ -117,6 +120,9 @@ const (
 	RecoveryNone   = leaf.RecoveryNone
 	RecoveryMemory = leaf.RecoveryMemory
 	RecoveryDisk   = leaf.RecoveryDisk
+	// RecoveryMixed: the shm restore succeeded for most tables but one or
+	// more corrupt segments were quarantined and reloaded from disk.
+	RecoveryMixed = leaf.RecoveryMixed
 )
 
 // Queries.
@@ -188,6 +194,26 @@ type (
 
 // NewCluster creates and starts a cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ErrRolloverAborted is returned (wrapped) when RolloverConfig.MaxDiskFallback
+// stops a rollover because too many restarted leaves fell back to disk.
+var ErrRolloverAborted = cluster.ErrRolloverAborted
+
+// Fault injection (chaos testing): deterministic fault points threaded
+// through the restart, disk, wire, and query paths, zero-cost when disarmed.
+// Arm them per-test or with the daemons' -fault flag; see internal/fault for
+// the site list and the DESIGN.md §8 failure model they exercise.
+var (
+	// ArmFaults arms one or more points from a spec string, e.g.
+	// "shm.copy_in=corrupt;count=1,disk.read=delay:50ms".
+	ArmFaults = fault.ArmSpec
+	// ResetFaults disarms every fault point.
+	ResetFaults = fault.Reset
+	// FaultSites lists the registered injection sites.
+	FaultSites = fault.Sites
+	// DescribeFaults renders the currently armed points.
+	DescribeFaults = fault.String
+)
 
 // Ingestion pipeline.
 type (
