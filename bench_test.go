@@ -473,3 +473,133 @@ func BenchmarkTimeSeriesQuery(b *testing.B) {
 		Aggregations:      []scuba.Aggregation{{Op: scuba.AggCount}},
 	})
 }
+
+// ---- E17: in-leaf scan path (parallel workers, zone maps, decode cache) ----
+
+const scanBenchBlocks = 16
+
+// scanBenchLeaf loads one table as scanBenchBlocks sealed blocks whose "seq"
+// column increases monotonically, so every block's zone map covers a disjoint
+// range and a point filter can prune all but one block.
+func scanBenchLeaf(b *testing.B, workers int, cacheBytes int64) *scuba.Leaf {
+	b.Helper()
+	e := newBenchEnv(b)
+	cfg := e.config(0, scuba.FormatRow)
+	cfg.ScanWorkers = workers
+	cfg.DecodeCacheBytes = cacheBytes
+	l, err := scuba.NewLeaf(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Start(); err != nil {
+		b.Fatal(err)
+	}
+	per := benchRows / scanBenchBlocks
+	seq := int64(0)
+	services := []string{"web", "api", "ads", "search"}
+	for blk := 0; blk < scanBenchBlocks; blk++ {
+		rows := make([]scuba.Row, per)
+		for i := range rows {
+			rows[i] = scuba.Row{
+				Time: 1700000000 + seq,
+				Cols: map[string]scuba.Value{
+					"seq":        scuba.Int64(seq),
+					"service":    scuba.String(services[seq%4]),
+					"latency_ms": scuba.Float64(float64(seq%500) / 2),
+				},
+			}
+			seq++
+		}
+		if err := l.AddRows("events", rows); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.SealAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(benchRows))
+	return l
+}
+
+func scanQueryFull() *scuba.Query {
+	return &scuba.Query{
+		Table: "events", From: 0, To: 1 << 40,
+		GroupBy:      []string{"service"},
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggAvg, Column: "latency_ms"}},
+	}
+}
+
+func scanQueryPoint() *scuba.Query {
+	return &scuba.Query{
+		Table: "events", From: 0, To: 1 << 40,
+		Filters:      []scuba.Filter{{Column: "seq", Op: scuba.OpEq, Int: benchRows / 2}},
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggAvg, Column: "latency_ms"}},
+	}
+}
+
+// BenchmarkScanSerialCold is the pre-feature baseline shape: one worker, no
+// decode cache, full-table group-by.
+func BenchmarkScanSerialCold(b *testing.B) {
+	l := scanBenchLeaf(b, 1, 0)
+	q := scanQueryFull()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanParallel sweeps the scan worker pool over the same
+// full-table query (speedup needs >1 core; on one core it should only
+// add bounded overhead).
+func BenchmarkScanParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			l := scanBenchLeaf(b, workers, 0)
+			q := scanQueryFull()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanWarmCache repeats the full-table query against a warm
+// decoded-column cache — the repeated-dashboard case the cache exists for.
+func BenchmarkScanWarmCache(b *testing.B) {
+	l := scanBenchLeaf(b, 1, 256<<20)
+	q := scanQueryFull()
+	if _, err := l.Query(q); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanZonePruned runs a point filter whose zone maps prove all but
+// one block can't match; the decode skip is the win being measured.
+func BenchmarkScanZonePruned(b *testing.B) {
+	l := scanBenchLeaf(b, 1, 0)
+	q := scanQueryPoint()
+	res, err := l.Query(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.BlocksPruned != scanBenchBlocks-1 {
+		b.Fatalf("pruned %d of %d blocks", res.BlocksPruned, scanBenchBlocks)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,8 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"strings"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"

@@ -26,8 +26,8 @@ import (
 )
 
 var (
-	phase = flag.String("phase", "", "internal: old | new")
-	dir   = flag.String("dir", "", "shared working directory")
+	phase   = flag.String("phase", "", "internal: old | new")
+	dir     = flag.String("dir", "", "shared working directory")
 	rows    = flag.Int("rows", 200000, "rows to ingest")
 	crash   = flag.Bool("crash", false, "crash the old process instead of a clean shutdown")
 	workers = flag.Int("copy-workers", 0, "restart-path copy pool size (0 = NumCPU, 1 = serial)")

@@ -59,6 +59,14 @@ type Config struct {
 	// runtime.NumCPU(), 1 preserves the serial one-table-at-a-time
 	// behavior.
 	CopyWorkers int
+	// ScanWorkers bounds the per-query worker pool that fans a table's
+	// sealed blocks out during execution. 0 means runtime.GOMAXPROCS, 1
+	// preserves the serial block-at-a-time scan.
+	ScanWorkers int
+	// DecodeCacheBytes budgets the per-table LRU of decoded columns that
+	// lets repeated queries (dashboards) skip LZ4/dictionary decode. 0
+	// disables the cache.
+	DecodeCacheBytes int64
 	// Metrics, when non-nil, receives per-worker copy gauges from Shutdown
 	// and Start (leaf<ID>.shutdown.worker<k>.bytes / .busy_us and the
 	// restore equivalents).
@@ -149,6 +157,11 @@ type Leaf struct {
 	mu     sync.Mutex
 	state  State
 	tables map[string]*table.Table
+	// caches holds each table's decoded-column cache (nil entries/absent
+	// when Config.DecodeCacheBytes is 0). A table's cache is created when
+	// the table is installed and its evict hook invalidates cache entries
+	// as blocks expire or leave during shutdown copy-out.
+	caches map[string]*query.DecodeCache
 
 	recovery RecoveryInfo
 
@@ -170,6 +183,7 @@ func New(cfg Config) (*Leaf, error) {
 		shm:    shm.NewManager(cfg.ID, cfg.Shm),
 		state:  StateInit,
 		tables: make(map[string]*table.Table),
+		caches: make(map[string]*query.DecodeCache),
 	}
 	if cfg.DiskRoot != "" {
 		store, err := disk.NewStore(cfg.DiskRoot, cfg.ID, cfg.DiskFormat)
@@ -355,6 +369,11 @@ func (l *Leaf) restoreFromShm(info *RecoveryInfo) (bool, error) {
 		}
 	}
 	l.mu.Unlock()
+	for i, si := range md.Segments {
+		if errs[i] == nil {
+			l.attachCache(si.Table, restored[i])
+		}
+	}
 	for i, st := range stats {
 		if errs[i] != nil {
 			continue
@@ -420,6 +439,7 @@ func (l *Leaf) recoverTableFromDisk(name string, info *RecoveryInfo) error {
 	l.mu.Lock()
 	l.tables[name] = tbl
 	l.mu.Unlock()
+	l.attachCache(name, tbl)
 	err := l.store.LoadTable(name, func(rb *rowblock.RowBlock) error {
 		info.Blocks++
 		info.BytesRestored += rb.Header().Size
@@ -455,6 +475,7 @@ func (l *Leaf) recoverFromDisk(info *RecoveryInfo) error {
 		l.mu.Lock()
 		l.tables[name] = tbl
 		l.mu.Unlock()
+		l.attachCache(name, tbl)
 		err := l.store.LoadTable(name, func(rb *rowblock.RowBlock) error {
 			info.Blocks++
 			info.BytesRestored += rb.Header().Size
@@ -468,10 +489,29 @@ func (l *Leaf) recoverFromDisk(info *RecoveryInfo) error {
 	return nil
 }
 
+// attachCache creates (or reuses) the table's decoded-column cache and wires
+// the table's evict hook to it, so blocks leaving the table (expiration,
+// shutdown copy-out) drop their cached columns. No-op when the cache is
+// disabled. Caller must not hold l.mu.
+func (l *Leaf) attachCache(name string, tbl *table.Table) {
+	if l.cfg.DecodeCacheBytes <= 0 {
+		return
+	}
+	l.mu.Lock()
+	c, ok := l.caches[name]
+	if !ok {
+		c = query.NewDecodeCache(l.cfg.DecodeCacheBytes, l.queryRegistry())
+		l.caches[name] = c
+	}
+	l.mu.Unlock()
+	tbl.SetEvictHook(c.InvalidateBlocks)
+}
+
 func (l *Leaf) dropAllTables() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.tables = make(map[string]*table.Table)
+	l.caches = make(map[string]*query.DecodeCache)
 }
 
 // ---- Backup path (Figure 6) ----
@@ -615,6 +655,9 @@ func (l *Leaf) AddRows(tableName string, rows []rowblock.Row) error {
 		l.tables[tableName] = tbl
 	}
 	l.mu.Unlock()
+	if !ok {
+		l.attachCache(tableName, tbl)
+	}
 	return tbl.AddRows(rows, l.cfg.Clock())
 }
 
@@ -637,6 +680,7 @@ func (l *Leaf) Query(q *query.Query) (*query.Result, error) {
 		return nil, fmt.Errorf("%w: %v", ErrNotAlive, st)
 	}
 	tbl, ok := l.tables[q.Table]
+	dc := l.caches[q.Table]
 	l.mu.Unlock()
 	if !ok {
 		if err := q.Validate(); err != nil {
@@ -644,7 +688,8 @@ func (l *Leaf) Query(q *query.Query) (*query.Result, error) {
 		}
 		return query.NewResult(), nil
 	}
-	return query.ExecuteTableObserved(tbl, q, l.queryRegistry())
+	opts := query.ExecOptions{Workers: l.cfg.ScanWorkers, Cache: dc}
+	return query.ExecuteTableObservedOpts(tbl, q, l.queryRegistry(), opts)
 }
 
 // queryRegistry picks the registry query latencies land in: Config.Metrics

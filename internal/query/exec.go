@@ -2,7 +2,10 @@ package query
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"scuba/internal/column"
 	"scuba/internal/rowblock"
@@ -23,37 +26,129 @@ var (
 	_ Block = (*rowblock.UnsealedView)(nil)
 )
 
-// ExecuteTable runs a query over one leaf's copy of a table, producing a
-// partial result. Sealed blocks outside the time range are skipped via their
-// min/max headers without decoding anything (§2.1); unsealed rows are
-// scanned through a snapshot so data is queryable the moment it arrives.
+// ExecOptions tune one execution. The zero value scans serially with no
+// cross-query cache — the pre-parallelism behavior.
+type ExecOptions struct {
+	// Workers bounds the sealed-block scan pool. 0 or negative means
+	// GOMAXPROCS; 1 scans serially on the calling goroutine.
+	Workers int
+	// Cache, when non-nil, holds decoded columns across queries (shared by
+	// every query against the same table; safe for concurrent use).
+	Cache *DecodeCache
+}
+
+// ExecuteTable runs a query over one leaf's copy of a table with default
+// options (worker pool sized to GOMAXPROCS, no cross-query cache).
 func ExecuteTable(tbl *table.Table, q *Query) (*Result, error) {
+	return ExecuteTableOpts(tbl, q, ExecOptions{})
+}
+
+// ExecuteTableOpts runs a query over one leaf's copy of a table, producing a
+// partial result. Sealed blocks outside the time range are skipped via their
+// min/max headers without decoding anything (§2.1), blocks whose zone maps
+// exclude a filter are pruned without decode, and the survivors are fanned
+// over a bounded worker pool, each worker folding into a private Result that
+// is merged at the end (the cross-leaf merge is associative and commutative,
+// so block order doesn't matter). Unsealed rows are scanned in-line through
+// a snapshot so data is queryable the moment it arrives.
+func ExecuteTableOpts(tbl *table.Table, q *Query, opts ExecOptions) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	res := NewResult()
-	err := tbl.Scan(q.From, q.To, func(rb *rowblock.RowBlock) error {
-		return ScanBlock(rb, q, res)
+	// The whole sealed scan runs inside the table's query gate: shutdown
+	// waits for in-flight queries before releasing block columns, so workers
+	// must not outlive the gate.
+	err := tbl.ScanBlocks(q.From, q.To, func(blocks []*rowblock.RowBlock) error {
+		return scanSealed(blocks, q, res, opts)
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.BlocksSkipped = int64(tbl.Stats().NumBlocks) - res.BlocksScanned
+	res.BlocksSkipped = int64(tbl.Stats().NumBlocks) - res.BlocksScanned - res.BlocksPruned
 	view, err := tbl.ActiveSnapshot()
 	if err != nil {
 		return nil, err
 	}
 	if view != nil && view.Overlaps(q.From, q.To) {
 		res.BlocksScanned-- // the unsealed tail is not a sealed block
-		if err := ScanBlock(view, q, res); err != nil {
+		if err := scanBlock(view, q, res, nil); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
 }
 
-// ScanBlock folds one block into a result.
+// scanSealed folds the sealed-block snapshot into res, in parallel when the
+// pool and the block count warrant it.
+func scanSealed(blocks []*rowblock.RowBlock, q *Query, res *Result, opts ExecOptions) error {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	if workers <= 1 {
+		for _, rb := range blocks {
+			if err := scanBlock(rb, q, res, opts.Cache); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		partial = make([]*Result, workers)
+		errs    = make([]error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := NewResult()
+			partial[w] = part
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(blocks) {
+					return
+				}
+				if err := scanBlock(blocks[i], q, part, opts.Cache); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, part := range partial {
+		res.Merge(part)
+	}
+	return nil
+}
+
+// ScanBlock folds one block into a result (serial, uncached). Kept as the
+// single-block entry point for tests and tools.
 func ScanBlock(rb Block, q *Query, res *Result) error {
+	return scanBlock(rb, q, res, nil)
+}
+
+// scanBlock folds one block into a result, consulting zone maps to skip the
+// block outright and the decode cache for column reuse across queries.
+func scanBlock(rb Block, q *Query, res *Result, dc *DecodeCache) error {
+	if blockPruned(rb, q) {
+		res.BlocksPruned++
+		return nil
+	}
 	res.BlocksScanned++
 	n := rb.Rows()
 	res.RowsScanned += int64(n)
@@ -67,11 +162,16 @@ func ScanBlock(rb Block, q *Query, res *Result) error {
 			cache[name] = nil // column absent from this block: zero values
 			return nil, nil
 		}
+		if c, ok := dc.Get(rb, name); ok {
+			cache[name] = c
+			return c, nil
+		}
 		c, err := rb.DecodeColumn(name)
 		if err != nil {
 			return nil, err
 		}
 		cache[name] = c
+		dc.Put(rb, name, c)
 		return c, nil
 	}
 

@@ -1,0 +1,66 @@
+package query
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scuba/internal/rowblock"
+)
+
+// readGoldenV1 loads the v1 (pre-zone-map) block image fixture shared with
+// the rowblock package.
+func readGoldenV1(t *testing.T) []byte {
+	t.Helper()
+	img, err := os.ReadFile(filepath.Join("..", "rowblock", "testdata", "image-v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// sealGoldenRows rebuilds the fixture's rows with today's sealer (v2 image,
+// zone maps present). Must stay in lockstep with the generator that produced
+// image-v1.golden: columns are introduced one per row for deterministic
+// schema order.
+func sealGoldenRows(t *testing.T) *rowblock.RowBlock {
+	t.Helper()
+	b := rowblock.NewBuilder(1700000000)
+	add := func(r rowblock.Row) {
+		t.Helper()
+		if err := b.AddRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(rowblock.Row{Time: 1700000001, Cols: map[string]rowblock.Value{
+		"status": rowblock.Int64Value(200),
+	}})
+	add(rowblock.Row{Time: 1700000002, Cols: map[string]rowblock.Value{
+		"status": rowblock.Int64Value(500), "latency_ms": rowblock.Float64Value(12.5),
+	}})
+	add(rowblock.Row{Time: 1700000003, Cols: map[string]rowblock.Value{
+		"status": rowblock.Int64Value(404), "latency_ms": rowblock.Float64Value(3.25), "service": rowblock.StringValue("web"),
+	}})
+	add(rowblock.Row{Time: 1700000004, Cols: map[string]rowblock.Value{
+		"status": rowblock.Int64Value(200), "latency_ms": rowblock.Float64Value(7), "service": rowblock.StringValue("api"),
+		"tags": rowblock.SetValue("canary", "us-east"),
+	}})
+	for i := 0; i < 60; i++ {
+		svc := "web"
+		if i%3 == 0 {
+			svc = "api"
+		}
+		add(rowblock.Row{Time: 1700000005 + int64(i), Cols: map[string]rowblock.Value{
+			"status":     rowblock.Int64Value(int64(200 + (i%4)*100)),
+			"latency_ms": rowblock.Float64Value(float64(i) * 1.5),
+			"service":    rowblock.StringValue(svc),
+			"tags":       rowblock.SetValue("t" + fmt.Sprint(i%5)),
+		}})
+	}
+	rb, err := b.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rb
+}

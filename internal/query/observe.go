@@ -15,11 +15,19 @@ import (
 // (which times whole RPCs as query.latency) and its leaf never
 // double-counts. A nil registry degrades to plain ExecuteTable.
 func ExecuteTableObserved(tbl *table.Table, q *Query, reg *metrics.Registry) (*Result, error) {
+	return ExecuteTableObservedOpts(tbl, q, reg, ExecOptions{})
+}
+
+// ExecuteTableObservedOpts is ExecuteTableObserved with execution options
+// (worker pool size, decode cache). It additionally publishes the
+// query.blocks_pruned counter — sealed blocks skipped wholesale because a
+// zone map excluded a filter.
+func ExecuteTableObservedOpts(tbl *table.Table, q *Query, reg *metrics.Registry, opts ExecOptions) (*Result, error) {
 	if reg == nil {
-		return ExecuteTable(tbl, q)
+		return ExecuteTableOpts(tbl, q, opts)
 	}
 	start := time.Now()
-	res, err := ExecuteTable(tbl, q)
+	res, err := ExecuteTableOpts(tbl, q, opts)
 	reg.Counter("query.exec.count").Add(1)
 	if err != nil {
 		reg.Counter("query.exec.errors").Add(1)
@@ -28,5 +36,6 @@ func ExecuteTableObserved(tbl *table.Table, q *Query, reg *metrics.Registry) (*R
 	d := time.Since(start)
 	reg.Timer("query.exec.latency").Observe(d)
 	reg.Histogram("query.exec.latency_hist").ObserveDuration(d)
+	reg.Counter("query.blocks_pruned").Add(res.BlocksPruned)
 	return res, nil
 }

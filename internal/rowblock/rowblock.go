@@ -85,6 +85,10 @@ type RowBlock struct {
 	hdr    Header
 	schema Schema
 	cols   []*layout.RBC // parallel to schema; nil after ReleaseColumn
+	// zones holds per-column zone maps parallel to schema. Empty for blocks
+	// restored from v1 images or the row-format disk backup: such blocks are
+	// always scanned.
+	zones []ZoneMap
 }
 
 // Header returns the block header.
@@ -278,6 +282,9 @@ func (b *Builder) Seal() (*RowBlock, error) {
 	}
 	schema := Schema{{Name: TimeColumn, Type: layout.TypeTime}}
 	blobs := [][]byte{column.EncodeInt64(layout.TypeTime, b.times)}
+	// Zone maps are stamped from the raw values before encoding, so the
+	// query path can disprove predicates without decompressing anything.
+	zones := []ZoneMap{zoneOfInts(b.times)}
 	for _, name := range b.names {
 		cb := b.builders[name]
 		var blob []byte
@@ -298,6 +305,7 @@ func (b *Builder) Seal() (*RowBlock, error) {
 		}
 		schema = append(schema, Field{Name: name, Type: vt})
 		blobs = append(blobs, blob)
+		zones = append(zones, cb.sealZoneMap())
 	}
 	var size int64
 	cols := make([]*layout.RBC, len(blobs))
@@ -319,6 +327,7 @@ func (b *Builder) Seal() (*RowBlock, error) {
 		},
 		schema: schema,
 		cols:   cols,
+		zones:  zones,
 	}, nil
 }
 
@@ -349,21 +358,31 @@ func FromColumns(hdr Header, schema Schema, cols []*layout.RBC) (*RowBlock, erro
 // ---- Block image: the position-independent serialized form (Figure 4) ----
 //
 // Because the number and sizes of the RBCs are known when the image is
-// allocated, the image lays out header, schema, a column offset table, and
-// then the RBC blobs contiguously — one less level of indirection than the
-// heap layout.
+// allocated, the image lays out header, schema, zone maps, a column offset
+// table, and then the RBC blobs contiguously — one less level of
+// indirection than the heap layout.
 //
-//	u32  magic "RBK1"
+//	u32  magic "RBK2" ("RBK1" for version-1 images, which have no zone maps)
 //	u64  image size in bytes
 //	u64  row count
 //	i64  min time, max time, created
 //	u32  number of columns
 //	per column: u16 name length, name bytes, u8 type
+//	per column: zone map (v2 only; u8 kind + kind-dependent payload)
 //	per column: u64 offset of the RBC blob from the image base
 //	RBC blobs, contiguous
+//
+// New images are always written in v2. v1 images (written before zone maps
+// existed) still decode; their blocks simply carry no zone maps and are
+// never pruned.
 
-// ImageMagic identifies a serialized row block image.
+// ImageMagic identifies a version-1 serialized row block image (no zone
+// maps). Readers accept it forever; writers no longer produce it.
 const ImageMagic uint32 = 0x314b4252 // "RBK1"
+
+// ImageMagicV2 identifies a version-2 image: v1 plus a per-column zone-map
+// section between the schema and the offset table.
+const ImageMagicV2 uint32 = 0x324b4252 // "RBK2"
 
 // ErrImageCorrupt is returned for structurally invalid block images.
 var ErrImageCorrupt = errors.New("rowblock: corrupt block image")
@@ -371,7 +390,7 @@ var ErrImageCorrupt = errors.New("rowblock: corrupt block image")
 // imagePrefix serializes everything before the RBC blobs.
 func (b *RowBlock) imagePrefix() []byte {
 	var p []byte
-	p = binary.LittleEndian.AppendUint32(p, ImageMagic)
+	p = binary.LittleEndian.AppendUint32(p, ImageMagicV2)
 	p = binary.LittleEndian.AppendUint64(p, 0) // image size, patched below
 	p = binary.LittleEndian.AppendUint64(p, uint64(b.hdr.RowCount))
 	p = binary.LittleEndian.AppendUint64(p, uint64(b.hdr.MinTime))
@@ -383,6 +402,9 @@ func (b *RowBlock) imagePrefix() []byte {
 		p = append(p, f.Name...)
 		p = append(p, byte(f.Type))
 	}
+	for i := range b.schema {
+		p = appendZoneMap(p, b.zoneAt(i))
+	}
 	offsetTable := len(p)
 	off := uint64(offsetTable + 8*len(b.cols))
 	for _, c := range b.cols {
@@ -393,11 +415,23 @@ func (b *RowBlock) imagePrefix() []byte {
 	return p
 }
 
+// zoneAt returns the i'th column's zone map (ZoneNone when the block
+// carries no summaries, e.g. after a v1 or row-format restore).
+func (b *RowBlock) zoneAt(i int) ZoneMap {
+	if i >= len(b.zones) {
+		return ZoneMap{Kind: ZoneNone}
+	}
+	return b.zones[i]
+}
+
 // ImageSize returns the serialized image size in bytes.
 func (b *RowBlock) ImageSize() int {
 	n := 4 + 8 + 8 + 8*3 + 4
 	for _, f := range b.schema {
 		n += 2 + len(f.Name) + 1
+	}
+	for i := range b.schema {
+		n += zoneMapSize(b.zoneAt(i))
 	}
 	n += 8 * len(b.cols)
 	for _, c := range b.cols {
@@ -459,8 +493,9 @@ func DecodeImage(img []byte, copyBlobs bool) (*RowBlock, int, error) {
 	if len(img) < 48 {
 		return nil, 0, fmt.Errorf("%w: %d bytes", ErrImageCorrupt, len(img))
 	}
-	if m := binary.LittleEndian.Uint32(img); m != ImageMagic {
-		return nil, 0, fmt.Errorf("%w: magic %08x", ErrImageCorrupt, m)
+	magic := binary.LittleEndian.Uint32(img)
+	if magic != ImageMagic && magic != ImageMagicV2 {
+		return nil, 0, fmt.Errorf("%w: magic %08x", ErrImageCorrupt, magic)
 	}
 	size := binary.LittleEndian.Uint64(img[4:])
 	if size > uint64(len(img)) || size < 48 {
@@ -497,6 +532,18 @@ func DecodeImage(img []byte, copyBlobs bool) (*RowBlock, int, error) {
 		pos++
 		schema = append(schema, Field{Name: name, Type: vt})
 	}
+	var zones []ZoneMap
+	if magic == ImageMagicV2 {
+		zones = make([]ZoneMap, 0, ncols)
+		for i := 0; i < ncols; i++ {
+			z, used, err := parseZoneMap(img[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			zones = append(zones, z)
+			pos += used
+		}
+	}
 	if pos+8*ncols > len(img) {
 		return nil, 0, fmt.Errorf("%w: truncated offset table", ErrImageCorrupt)
 	}
@@ -531,5 +578,6 @@ func DecodeImage(img []byte, copyBlobs bool) (*RowBlock, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	rb.zones = zones
 	return rb, int(size), nil
 }

@@ -1,0 +1,215 @@
+package rowblock
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scuba/internal/layout"
+)
+
+func TestSealStampsZoneMaps(t *testing.T) {
+	rb := buildBlock(t, 100)
+	zones := rb.ZoneMaps()
+	if len(zones) != len(rb.Schema()) {
+		t.Fatalf("zones = %d, schema = %d", len(zones), len(rb.Schema()))
+	}
+
+	tz := rb.ColumnZone(TimeColumn)
+	if tz == nil || tz.Kind != ZoneInt {
+		t.Fatalf("time zone = %+v", tz)
+	}
+	if tz.MinI != 1700000000 || tz.MaxI != 1700000099 {
+		t.Errorf("time zone range [%d, %d]", tz.MinI, tz.MaxI)
+	}
+
+	lz := rb.ColumnZone("latency_ms")
+	if lz == nil || lz.Kind != ZoneInt || lz.MinI != 10 || lz.MaxI != 59 {
+		t.Errorf("latency zone = %+v", lz)
+	}
+
+	cz := rb.ColumnZone("cpu")
+	if cz == nil || cz.Kind != ZoneFloat || cz.MinF != 0 || cz.MaxF != 49.5 {
+		t.Errorf("cpu zone = %+v", cz)
+	}
+
+	sz := rb.ColumnZone("service")
+	if sz == nil || sz.Kind != ZoneDict {
+		t.Fatalf("service zone = %+v", sz)
+	}
+	for _, want := range []string{"svc-0", "svc-1", "svc-2"} {
+		if !sz.MayContain(want) {
+			t.Errorf("service zone excludes present value %q", want)
+		}
+	}
+	if sz.MayContain("svc-7") && sz.MayContain("absent-value") && sz.MayContain("zzz") {
+		t.Errorf("service zone admits every absent probe: filter is saturated or broken")
+	}
+
+	gz := rb.ColumnZone("tags")
+	if gz == nil || gz.Kind != ZoneSetDict {
+		t.Fatalf("tags zone = %+v", gz)
+	}
+	if !gz.MayContain("prod") || !gz.MayContain("tier0") || !gz.MayContain("tier1") {
+		t.Errorf("tags zone excludes present members")
+	}
+
+	if rb.ColumnZone("no-such-column") != nil {
+		t.Errorf("zone for absent column")
+	}
+}
+
+func TestZoneMapNaNDisablesSummary(t *testing.T) {
+	z := zoneOfFloats([]float64{1, nan(), 3})
+	if z.Kind != ZoneNone {
+		t.Errorf("NaN column zone = %+v", z)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestZoneMapRoundTrip(t *testing.T) {
+	zones := []ZoneMap{
+		{Kind: ZoneNone},
+		{Kind: ZoneInt, MinI: -5, MaxI: 1 << 40},
+		{Kind: ZoneFloat, MinF: -1.5, MaxF: 2.25},
+		zoneOfStrings([]string{"a", "b", "c"}),
+		zoneOfStringSets([][]string{{"x", "y"}, {"z"}}),
+	}
+	var buf []byte
+	for _, z := range zones {
+		before := len(buf)
+		buf = appendZoneMap(buf, z)
+		if got := len(buf) - before; got != zoneMapSize(z) {
+			t.Errorf("kind %d: wrote %d bytes, zoneMapSize says %d", z.Kind, got, zoneMapSize(z))
+		}
+	}
+	pos := 0
+	for i, want := range zones {
+		got, n, err := parseZoneMap(buf[pos:])
+		if err != nil {
+			t.Fatalf("parse zone %d: %v", i, err)
+		}
+		pos += n
+		if got != want {
+			t.Errorf("zone %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if pos != len(buf) {
+		t.Errorf("parsed %d of %d bytes", pos, len(buf))
+	}
+}
+
+func TestZoneMapParseCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{byte(ZoneInt)},              // truncated min/max
+		{byte(ZoneDict), 1, 2},       // truncated bloom
+		{99},                         // unknown kind
+		{byte(ZoneSetDict), 0, 0, 0}, // truncated bloom
+	}
+	for i, b := range cases {
+		if _, _, err := parseZoneMap(b); err == nil {
+			t.Errorf("case %d: corrupt zone map accepted", i)
+		}
+	}
+}
+
+// TestImageV2RoundTripZones checks zone maps survive the image round trip.
+func TestImageV2RoundTripZones(t *testing.T) {
+	rb := buildBlock(t, 64)
+	img := rb.AppendImage(nil)
+	back, _, err := DecodeImage(img, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := rb.ZoneMaps(), back.ZoneMaps()
+	if len(want) != len(got) {
+		t.Fatalf("zones: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("zone %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGoldenV1Image pins backward compatibility: an image written by the v1
+// code (before zone maps existed) must decode with identical contents and no
+// zone summaries, and the decoded rows must re-encode as a valid v2 image.
+func TestGoldenV1Image(t *testing.T) {
+	img, err := os.ReadFile(filepath.Join("testdata", "image-v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _, err := DecodeImage(img, true)
+	if err != nil {
+		t.Fatalf("decode v1 golden: %v", err)
+	}
+	if rb.Rows() != 64 {
+		t.Fatalf("rows = %d", rb.Rows())
+	}
+	if len(rb.ZoneMaps()) != 0 {
+		t.Errorf("v1 image decoded with %d zone maps", len(rb.ZoneMaps()))
+	}
+	for _, f := range rb.Schema() {
+		if rb.ColumnZone(f.Name) != nil {
+			t.Errorf("v1 image has a zone for %q", f.Name)
+		}
+	}
+
+	// Contents must match the generator: times 1700000001+i, status
+	// 200+(i%4)*100, latency i*1.5, service web/api by i%3, tags t<i%5>.
+	times, err := rb.Times()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ts := range times {
+		if ts != 1700000001+int64(i) {
+			t.Fatalf("time[%d] = %d", i, ts)
+		}
+	}
+	status, err := rb.DecodeColumn("status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := status.(interface{ Len() int })
+	if !ok || sc.Len() != 64 {
+		t.Fatalf("status column: %T", status)
+	}
+
+	// The same rows re-sealed today produce a v2 image with zones; the v2
+	// image must itself round-trip.
+	img2 := rb.AppendImage(nil)
+	if bytes.Equal(img, img2) {
+		t.Fatalf("re-encoded image is still v1")
+	}
+	rb2, _, err := DecodeImage(img2, true)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if rb2.Rows() != rb.Rows() || rb2.Header().Size != rb.Header().Size {
+		t.Errorf("re-encoded image changed contents")
+	}
+}
+
+// TestZoneKindsCoverAllTypes pins that every column type seals a summary.
+func TestZoneKindsCoverAllTypes(t *testing.T) {
+	rb := buildBlock(t, 16)
+	wantKinds := map[layout.ValueType]ZoneKind{
+		layout.TypeTime:      ZoneInt,
+		layout.TypeInt64:     ZoneInt,
+		layout.TypeFloat64:   ZoneFloat,
+		layout.TypeString:    ZoneDict,
+		layout.TypeStringSet: ZoneSetDict,
+	}
+	for i, f := range rb.Schema() {
+		if got := rb.ZoneMaps()[i].Kind; got != wantKinds[f.Type] {
+			t.Errorf("column %q (%v): zone kind %d, want %d", f.Name, f.Type, got, wantKinds[f.Type])
+		}
+	}
+}

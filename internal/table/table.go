@@ -55,6 +55,12 @@ type Table struct {
 
 	rowsTotal  int64
 	bytesTotal int64
+
+	// evictHook, when set, observes blocks leaving the block vector
+	// (expiration, shutdown copy-out) so the owner can drop derived state —
+	// the leaf's decoded-column cache. Called without the table lock held;
+	// the hook must tolerate concurrent calls.
+	evictHook func([]*rowblock.RowBlock)
 }
 
 // New creates an empty table in the ALIVE state (a table created by its
@@ -189,9 +195,46 @@ func (t *Table) Blocks() []*rowblock.RowBlock {
 	return out
 }
 
+// SetEvictHook registers fn to observe blocks leaving the block vector
+// (expiration, shutdown copy-out). At most one hook; nil clears it.
+func (t *Table) SetEvictHook(fn func([]*rowblock.RowBlock)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictHook = fn
+}
+
+func (t *Table) notifyEvict(blocks []*rowblock.RowBlock) {
+	if len(blocks) == 0 {
+		return
+	}
+	t.mu.Lock()
+	hook := t.evictHook
+	t.mu.Unlock()
+	if hook != nil {
+		hook(blocks)
+	}
+}
+
 // Scan calls fn for every sealed block overlapping [from, to], under query
 // gating. Blocks are pruned by their min/max time header fields (§2.1).
 func (t *Table) Scan(from, to int64, fn func(*rowblock.RowBlock) error) error {
+	return t.ScanBlocks(from, to, func(blocks []*rowblock.RowBlock) error {
+		for _, rb := range blocks {
+			if err := fn(rb); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ScanBlocks calls fn once with the full snapshot of sealed blocks
+// overlapping [from, to] (time-header prune, §2.1), under query gating: the
+// in-flight query count is held for fn's whole duration, so shutdown —
+// which waits for queries before releasing block columns — cannot begin
+// while fn still reads the blocks. The parallel executor fans the snapshot
+// across its worker pool inside fn.
+func (t *Table) ScanBlocks(from, to int64, fn func([]*rowblock.RowBlock) error) error {
 	t.mu.Lock()
 	if !t.acceptingQueries() {
 		st := t.state
@@ -199,8 +242,12 @@ func (t *Table) Scan(from, to int64, fn func(*rowblock.RowBlock) error) error {
 		return fmt.Errorf("%w: %v", ErrNotAccepting, st)
 	}
 	t.inflightQry++
-	snapshot := make([]*rowblock.RowBlock, len(t.blocks))
-	copy(snapshot, t.blocks)
+	snapshot := make([]*rowblock.RowBlock, 0, len(t.blocks))
+	for _, rb := range t.blocks {
+		if rb.Overlaps(from, to) {
+			snapshot = append(snapshot, rb)
+		}
+	}
 	t.mu.Unlock()
 	defer func() {
 		t.mu.Lock()
@@ -209,15 +256,7 @@ func (t *Table) Scan(from, to int64, fn func(*rowblock.RowBlock) error) error {
 		t.mu.Unlock()
 	}()
 
-	for _, rb := range snapshot {
-		if !rb.Overlaps(from, to) {
-			continue
-		}
-		if err := fn(rb); err != nil {
-			return err
-		}
-	}
-	return nil
+	return fn(snapshot)
 }
 
 // ActiveSnapshot returns a queryable view of the unsealed in-progress rows
@@ -254,23 +293,24 @@ func (t *Table) Expire(now int64) (int, error) {
 		t.mu.Unlock()
 	}()
 
-	dropped := 0
+	var droppedBlocks []*rowblock.RowBlock
+	defer func() { t.notifyEvict(droppedBlocks) }()
 	for {
 		t.mu.Lock()
 		if t.killDeletes {
 			t.mu.Unlock()
-			return dropped, ErrDeletesKilled
+			return len(droppedBlocks), ErrDeletesKilled
 		}
 		if len(t.blocks) == 0 {
 			t.mu.Unlock()
-			return dropped, nil
+			return len(droppedBlocks), nil
 		}
 		oldest := t.blocks[0]
 		expired := t.opts.MaxAgeSeconds > 0 && oldest.Header().MaxTime < now-t.opts.MaxAgeSeconds
 		overBudget := t.opts.MaxBytes > 0 && t.bytesTotal > t.opts.MaxBytes
 		if !expired && !overBudget {
 			t.mu.Unlock()
-			return dropped, nil
+			return len(droppedBlocks), nil
 		}
 		t.blocks = t.blocks[1:]
 		t.rowsTotal -= int64(oldest.Rows())
@@ -278,7 +318,7 @@ func (t *Table) Expire(now int64) (int, error) {
 		if t.synced > 0 {
 			t.synced--
 		}
-		dropped++
+		droppedBlocks = append(droppedBlocks, oldest)
 		t.mu.Unlock()
 	}
 }
@@ -402,8 +442,8 @@ func (t *Table) Rows() int64 {
 // instead of a watermark past the end of the vector.
 func (t *Table) DropBlocksForShutdown(n int) ([]*rowblock.RowBlock, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.state != StateCopyToShm {
+		t.mu.Unlock()
 		return nil, fmt.Errorf("%w: DropBlocksForShutdown in %v", ErrNotAccepting, t.state)
 	}
 	if n > len(t.blocks) {
@@ -415,5 +455,7 @@ func (t *Table) DropBlocksForShutdown(n int) ([]*rowblock.RowBlock, error) {
 	if t.synced < 0 {
 		t.synced = 0
 	}
+	t.mu.Unlock()
+	t.notifyEvict(out)
 	return out, nil
 }
