@@ -584,6 +584,23 @@ func BenchmarkScanWarmCache(b *testing.B) {
 	}
 }
 
+// BenchmarkScanTraced runs the full-table query through the traced entry
+// point — phase timing, ExecStats assembly and span echo included. Compare
+// against BenchmarkScanSerialCold: the delta is the tracing overhead on the
+// hot path, and it must stay in the noise (the ~2% acceptance bar in
+// EXPERIMENTS.md E18).
+func BenchmarkScanTraced(b *testing.B) {
+	l := scanBenchLeaf(b, 1, 0)
+	q := scanQueryFull()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := scuba.TraceContext{TraceID: uint64(i + 1), SpanID: uint64(i + 1)}
+		if _, _, err := l.QueryTraced(q, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScanZonePruned runs a point filter whose zone maps prove all but
 // one block can't match; the decode skip is the win being measured.
 func BenchmarkScanZonePruned(b *testing.B) {

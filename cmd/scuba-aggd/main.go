@@ -31,7 +31,9 @@ func main() {
 		leaves      = flag.String("leaves", "", "comma-separated leaf addresses")
 		leafTimeout = flag.Duration("leaf-timeout", 10*time.Second, "abandon leaves slower than this per query; their data is reported missing from coverage (0 = wait forever)")
 		faultSpec   = flag.String("fault", "", "arm fault-injection points for chaos testing, e.g. 'wire.read=delay:500ms;count=10' (see internal/fault)")
-		httpAddr    = flag.String("http", "", "observability listen address serving /metrics and /debug/pprof ('' disables)")
+		httpAddr    = flag.String("http", "", "observability listen address serving /metrics, /debug/traces, /debug/slow and /debug/pprof ('' disables)")
+		slowQuery   = flag.Duration("slow-query", 0, "queries at or above this duration land in the /debug/slow ring (0 = adaptive: slower than the running p99)")
+		traceRing   = flag.Int("trace-ring", 64, "how many recent traces /debug/traces retains")
 	)
 	flag.Parse()
 	if *leaves == "" {
@@ -48,6 +50,12 @@ func main() {
 		addrs = append(addrs, strings.TrimSpace(a))
 	}
 	reg := metrics.NewRegistry()
+	reg.EnableRuntimeMetrics()
+	tracer := obs.NewTracer(obs.TracerOptions{
+		Capacity:      *traceRing,
+		SlowThreshold: *slowQuery,
+		Metrics:       reg,
+	})
 	targets := make([]aggregator.LeafTarget, len(addrs))
 	for i, a := range addrs {
 		targets[i] = wire.Dial(a)
@@ -55,18 +63,20 @@ func main() {
 	agg := aggregator.New(targets)
 	agg.Metrics = reg
 	agg.LeafTimeout = *leafTimeout
+	agg.Tracer = tracer
+	agg.Labels = addrs
 	srv, err := wire.NewAggServerOver(agg, *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("scuba-aggd serving %d leaves on %s (leaf timeout %v)", len(addrs), srv.Addr(), *leafTimeout)
 	if *httpAddr != "" {
-		hs, err := obs.StartHTTP(*httpAddr, obs.Handler(obs.HandlerConfig{Registry: reg}))
+		hs, err := obs.StartHTTP(*httpAddr, obs.Handler(obs.HandlerConfig{Registry: reg, Tracer: tracer}))
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer hs.Close()
-		log.Printf("observability on http://%s (/metrics /debug/pprof)", hs.Addr())
+		log.Printf("observability on http://%s (/metrics /debug/traces /debug/slow /debug/pprof)", hs.Addr())
 	}
 
 	sigs := make(chan os.Signal, 1)

@@ -1,7 +1,7 @@
 // Command scuba-bench regenerates every quantitative claim in "Fast
 // Database Restarts at Facebook" (the paper has no numbered tables; its
 // evaluation is the set of numbers in §1, §4 and §6 plus the Figure 8
-// dashboard). Each experiment E1-E17 measures the real implementation at
+// dashboard). Each experiment E1-E18 measures the real implementation at
 // laptop scale and, where the claim is about production scale, extrapolates
 // with the calibrated simulator. EXPERIMENTS.md records paper-vs-measured.
 //
@@ -29,7 +29,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e17) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e18) or 'all'")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -50,6 +50,7 @@ func main() {
 		{"e15", "restart-phase breakdown: where the cycle time goes", runE15},
 		{"e16", "query p99 during a 5%-hung-leaf brownout (per-leaf deadline)", runE16},
 		{"e17", "in-leaf query latency: ScanWorkers x decode cache x selectivity (BENCH_e17.json)", runE17},
+		{"e18", "tracing overhead on the hot query path (BENCH_e18.json)", runE18},
 	}
 
 	ran := 0

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"scuba"
+)
+
+// runTrace fetches traces from a scuba-aggd -http listener and renders one
+// as a per-leaf waterfall: each span's round trip as a bar against the
+// query's end-to-end duration, annotated with the leaf's dominant execution
+// phase, recovery source, and work counters, with the slowest leaf called
+// out at the bottom — the "why was this query slow" answer in one screen.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	httpAddr := fs.String("http", "127.0.0.1:9091", "scuba-aggd observability (-http) address")
+	id := fs.Uint64("id", 0, "show the trace with this ID (0 = the most recent)")
+	slow := fs.Bool("slow", false, "read the slow-query ring instead of recent traces")
+	list := fs.Bool("list", false, "one line per retained trace instead of a waterfall")
+	fs.Parse(args) //nolint:errcheck
+
+	base := *httpAddr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := base + "/debug/traces"
+	if *slow {
+		url = base + "/debug/slow"
+	}
+	if *id != 0 {
+		url = fmt.Sprintf("%s/debug/traces?id=%d", base, *id)
+	}
+	body, err := httpGet(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dump scuba.TraceDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		log.Fatalf("bad trace JSON from %s: %v", url, err)
+	}
+	if len(dump.Traces) == 0 {
+		fmt.Println("no traces retained (has a query run through this aggregator?)")
+		return
+	}
+	if *list {
+		for _, tr := range dump.Traces {
+			flag := " "
+			if tr.Slow {
+				flag = "S"
+			}
+			fmt.Printf("%s %20d  %s  %9v  %d/%d leaves  %s\n",
+				flag, tr.TraceID, tr.Start.Format("15:04:05.000"),
+				time.Duration(tr.DurationNanos).Round(time.Microsecond),
+				tr.LeavesAnswered, tr.LeavesTotal, tr.Query)
+		}
+		return
+	}
+	printWaterfall(dump.Traces[0])
+}
+
+func printWaterfall(tr scuba.Trace) {
+	head := fmt.Sprintf("trace %d", tr.TraceID)
+	if tr.Slow {
+		head += "  (slow)"
+	}
+	fmt.Println(head)
+	fmt.Printf("  query:    %s\n", tr.Query)
+	fmt.Printf("  start:    %s   duration: %v   leaves: %d/%d answered\n",
+		tr.Start.Format("15:04:05.000"),
+		time.Duration(tr.DurationNanos).Round(time.Microsecond),
+		tr.LeavesAnswered, tr.LeavesTotal)
+
+	width := 0
+	for _, sp := range tr.Spans {
+		if len(sp.Leaf) > width {
+			width = len(sp.Leaf)
+		}
+	}
+	const barWidth = 32
+	for _, sp := range tr.Spans {
+		bar := renderBar(sp.RTTNanos, tr.DurationNanos, barWidth)
+		line := fmt.Sprintf("  %-*s [%s] %9v",
+			width, sp.Leaf, bar, time.Duration(sp.RTTNanos).Round(time.Microsecond))
+		switch {
+		case !sp.Answered:
+			line += "  UNANSWERED"
+			if sp.Err != "" {
+				line += ": " + sp.Err
+			}
+		case sp.Exec != nil:
+			line += "  " + execSummary(sp.Exec)
+		}
+		fmt.Println(line)
+	}
+
+	if slowest := tr.SlowestSpan(); slowest != nil {
+		callout := fmt.Sprintf("  slowest leaf: %s (%v)",
+			slowest.Leaf, time.Duration(slowest.RTTNanos).Round(time.Microsecond))
+		if slowest.Exec != nil {
+			if phase, v := slowest.Exec.DominantPhase(); phase != "" {
+				callout += fmt.Sprintf(", dominant phase %s (%v)",
+					phase, time.Duration(v).Round(time.Microsecond))
+			}
+		}
+		fmt.Println(callout)
+	}
+}
+
+// execSummary condenses one leaf's ExecStats to a single annotation:
+// dominant phase with its share of the leaf's phase time, recovery source,
+// and the work counters.
+func execSummary(e *scuba.ExecStats) string {
+	var parts []string
+	if phase, v := e.DominantPhase(); phase != "" {
+		total := e.DecodeNanos + e.PruneNanos + e.ScanNanos + e.MergeNanos
+		parts = append(parts, fmt.Sprintf("%s %d%%", phase, 100*v/total))
+	}
+	if e.Recovery != "" {
+		parts = append(parts, e.Recovery)
+	}
+	parts = append(parts, fmt.Sprintf("%d rows", e.RowsScanned))
+	if e.BlocksPruned > 0 {
+		parts = append(parts, fmt.Sprintf("%d/%d blocks pruned",
+			e.BlocksPruned, e.BlocksPruned+e.BlocksScanned))
+	}
+	if e.CacheHits+e.CacheMisses > 0 {
+		parts = append(parts, fmt.Sprintf("cache %d/%d", e.CacheHits, e.CacheHits+e.CacheMisses))
+	}
+	return strings.Join(parts, " · ")
+}
+
+func renderBar(rtt, total int64, width int) string {
+	if total <= 0 {
+		total = 1
+	}
+	n := int(rtt * int64(width) / total)
+	if n > width {
+		n = width
+	}
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

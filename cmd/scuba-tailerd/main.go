@@ -46,6 +46,7 @@ func main() {
 	}
 
 	reg := metrics.NewRegistry()
+	reg.EnableRuntimeMetrics()
 	if *httpAddr != "" {
 		hs, err := obs.StartHTTP(*httpAddr, obs.Handler(obs.HandlerConfig{Registry: reg}))
 		if err != nil {

@@ -58,6 +58,7 @@ func main() {
 	// query latency, RPC counters) and one flight recorder in its own shm
 	// segment, which survives crashes and the leaf's own segment sweep.
 	reg := scuba.NewMetricsRegistry()
+	reg.EnableRuntimeMetrics()
 	fr, err := scuba.OpenFlightRecorder(*id, scuba.FlightRecorderOptions{
 		Dir: *shmDir, Namespace: *namespace,
 	})

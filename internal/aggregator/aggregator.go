@@ -7,22 +7,35 @@ package aggregator
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"scuba/internal/metrics"
+	"scuba/internal/obs"
 	"scuba/internal/query"
 )
 
 // leafAnswer is one leaf's reply during fan-out (res nil on error).
 type leafAnswer struct {
-	i   int
-	res *query.Result
+	i    int
+	res  *query.Result
+	exec *obs.ExecStats
+	err  error
+	rtt  time.Duration
 }
 
 // LeafTarget is a leaf as seen by the aggregator. In-process clusters adapt
 // *leaf.Leaf; distributed deployments adapt a wire client.
 type LeafTarget interface {
 	Query(q *query.Query) (*query.Result, error)
+}
+
+// TracedTarget is a LeafTarget that accepts trace context and reports
+// structured execution stats. *leaf.Leaf and *wire.Client both implement it;
+// targets that don't are queried untraced and appear in the trace as a span
+// without an exec report.
+type TracedTarget interface {
+	QueryTraced(q *query.Query, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error)
 }
 
 // Aggregator fans queries out to a fixed set of leaves.
@@ -41,8 +54,17 @@ type Aggregator struct {
 	// fan-out + merge), query.count / query.errors counters, the
 	// query.leaves_total / query.leaves_answered coverage counters, a
 	// query.leaves_abandoned counter of stragglers dropped at LeafTimeout,
-	// and a query.fanout histogram of leaves answered per query.
+	// and a query.fanout histogram of leaves answered per query. With a
+	// Tracer set, a query.slow counter tracks slow-log admissions.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, turns on per-query tracing: every query is
+	// stamped with a trace ID and per-leaf span IDs, targets that implement
+	// TracedTarget return ExecStats, and the assembled cross-leaf trace
+	// lands in the tracer's rings (/debug/traces, /debug/slow).
+	Tracer *obs.Tracer
+	// Labels names each leaf in traces (index-parallel to the targets);
+	// missing entries render as "leaf<i>". Daemons set the leaf addresses.
+	Labels []string
 }
 
 // New creates an aggregator over the given leaves.
@@ -57,6 +79,14 @@ var ErrNoLeaves = errors.New("aggregator: no leaves configured")
 // error (restarting, unreachable) are skipped; the merged result's
 // LeavesTotal/LeavesAnswered report the coverage users see on dashboards.
 func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
+	return a.QueryTraced(q, obs.TraceContext{})
+}
+
+// QueryTraced runs a query with trace context. A nonzero parent trace ID is
+// adopted (aggregator trees keep one trace ID end to end); otherwise the
+// aggregator's tracer mints one, and with no tracer the query runs untraced
+// exactly as before the trace protocol existed.
+func (a *Aggregator) QueryTraced(q *query.Query, parent obs.TraceContext) (*query.Result, error) {
 	start := time.Now()
 	if err := q.Validate(); err != nil {
 		if a.Metrics != nil {
@@ -70,6 +100,19 @@ func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
 		}
 		return nil, ErrNoLeaves
 	}
+	traceID := parent.TraceID
+	if traceID == 0 {
+		traceID = a.Tracer.NewTraceID()
+	}
+	// Span contexts are stamped before fan-out so each goroutine only reads
+	// its own slot: one span ID per target, reused across wire-client
+	// retries, so the assembled trace has exactly one span per leaf.
+	ctxs := make([]obs.TraceContext, len(a.leaves))
+	if traceID != 0 {
+		for i := range ctxs {
+			ctxs[i] = obs.TraceContext{TraceID: traceID, SpanID: obs.RandomID()}
+		}
+	}
 	sem := make(chan struct{}, a.parallelism())
 	// The channel is buffered for the full fan-out, so a leaf answering
 	// after its deadline completes its send and exits instead of leaking.
@@ -78,11 +121,12 @@ func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
 		go func(i int, l LeafTarget) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := l.Query(q)
+			t0 := time.Now()
+			res, exec, err := queryTarget(l, q, ctxs[i])
 			if err != nil {
-				res = nil
+				res, exec = nil, nil
 			}
-			answers <- leafAnswer{i: i, res: res}
+			answers <- leafAnswer{i: i, res: res, exec: exec, err: err, rtt: time.Since(t0)}
 		}(i, l)
 	}
 
@@ -92,15 +136,27 @@ func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
 		defer tm.Stop()
 		deadline = tm.C
 	}
-	// Only the collector writes results, so an abandoned straggler can
-	// never race the merge below.
+	// Only the collector writes results and spans, so an abandoned straggler
+	// can never race the merge below.
 	results := make([]*query.Result, len(a.leaves))
+	spans := make([]obs.LeafSpan, len(a.leaves))
+	for i := range spans {
+		spans[i] = obs.LeafSpan{SpanID: ctxs[i].SpanID, Leaf: a.leafLabel(i)}
+	}
 	abandoned := 0
 collect:
 	for received := 0; received < len(a.leaves); received++ {
 		select {
 		case ans := <-answers:
 			results[ans.i] = ans.res
+			sp := &spans[ans.i]
+			sp.RTTNanos = ans.rtt.Nanoseconds()
+			if ans.err != nil {
+				sp.Err = ans.err.Error()
+			} else {
+				sp.Answered = true
+				sp.Exec = ans.exec
+			}
 		case <-deadline:
 			abandoned = len(a.leaves) - received
 			break collect
@@ -137,7 +193,47 @@ collect:
 		r.Counter("query.leaves_abandoned").Add(int64(abandoned))
 		r.Histogram("query.fanout").Observe(int64(merged.LeavesAnswered))
 	}
+	if a.Tracer != nil && traceID != 0 {
+		d := time.Since(start)
+		for i := range spans {
+			// Stragglers abandoned at the deadline never reached the
+			// collector: record the elapsed time at abandonment.
+			if sp := &spans[i]; !sp.Answered && sp.Err == "" && sp.RTTNanos == 0 {
+				sp.RTTNanos = d.Nanoseconds()
+				sp.Err = "abandoned at leaf deadline"
+			}
+		}
+		slow := a.Tracer.Record(obs.Trace{
+			TraceID:        traceID,
+			Query:          q.String(),
+			Start:          start,
+			DurationNanos:  d.Nanoseconds(),
+			LeavesTotal:    merged.LeavesTotal,
+			LeavesAnswered: merged.LeavesAnswered,
+			Spans:          spans,
+		})
+		if slow && a.Metrics != nil {
+			a.Metrics.Counter("query.slow").Add(1)
+		}
+	}
 	return merged, nil
+}
+
+// queryTarget invokes one target, through the traced interface when the
+// query is traced and the target supports it.
+func queryTarget(l LeafTarget, q *query.Query, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error) {
+	if tt, ok := l.(TracedTarget); ok && tc.TraceID != 0 {
+		return tt.QueryTraced(q, tc)
+	}
+	res, err := l.Query(q)
+	return res, nil, err
+}
+
+func (a *Aggregator) leafLabel(i int) string {
+	if i < len(a.Labels) && a.Labels[i] != "" {
+		return a.Labels[i]
+	}
+	return fmt.Sprintf("leaf%d", i)
 }
 
 func (a *Aggregator) parallelism() int {

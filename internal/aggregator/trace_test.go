@@ -1,0 +1,188 @@
+package aggregator
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scuba/internal/fault"
+	"scuba/internal/metrics"
+	"scuba/internal/obs"
+	"scuba/internal/query"
+)
+
+// TestTraceAssembly runs a traced query over in-process leaves and checks
+// the assembled trace top to bottom.
+func TestTraceAssembly(t *testing.T) {
+	leaves := make([]LeafTarget, 3)
+	for i := range leaves {
+		l := newLeaf(t, i)
+		ingest(t, l, 100, int64(i*1000))
+		leaves[i] = l
+	}
+	reg := metrics.NewRegistry()
+	a := New(leaves)
+	a.Metrics = reg
+	a.Tracer = obs.NewTracer(obs.TracerOptions{})
+	a.Labels = []string{"alpha", "", "gamma"} // middle one falls back
+
+	res, err := a.Query(countQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsScanned != 300 {
+		t.Fatalf("rows = %d, want 300", res.RowsScanned)
+	}
+
+	traces := a.Tracer.Recent()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID == 0 || tr.Query == "" || tr.DurationNanos <= 0 {
+		t.Fatalf("trace header incomplete: %+v", tr)
+	}
+	if tr.LeavesTotal != 3 || tr.LeavesAnswered != 3 {
+		t.Fatalf("coverage = %d/%d, want 3/3", tr.LeavesAnswered, tr.LeavesTotal)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(tr.Spans))
+	}
+	if tr.Spans[0].Leaf != "alpha" || tr.Spans[1].Leaf != "leaf1" || tr.Spans[2].Leaf != "gamma" {
+		t.Fatalf("labels = %q/%q/%q", tr.Spans[0].Leaf, tr.Spans[1].Leaf, tr.Spans[2].Leaf)
+	}
+	seen := map[uint64]bool{}
+	var rows int64
+	for _, sp := range tr.Spans {
+		if sp.SpanID == 0 || seen[sp.SpanID] {
+			t.Fatalf("span IDs not unique nonzero: %+v", tr.Spans)
+		}
+		seen[sp.SpanID] = true
+		if !sp.Answered || sp.Exec == nil {
+			t.Fatalf("span unanswered: %+v", sp)
+		}
+		if sp.Exec.SpanID != sp.SpanID || sp.Exec.Table != "events" || sp.Exec.Recovery == "" {
+			t.Fatalf("exec stats wrong: %+v", sp.Exec)
+		}
+		rows += sp.Exec.RowsScanned
+	}
+	if rows != 300 {
+		t.Fatalf("per-span rows sum = %d, want 300", rows)
+	}
+}
+
+// TestUntracedWithoutTracer pins that a tracerless aggregator behaves
+// exactly as before: no trace, no slow counter, leaves queried untraced.
+func TestUntracedWithoutTracer(t *testing.T) {
+	l := newLeaf(t, 7)
+	ingest(t, l, 50, 0)
+	a := New([]LeafTarget{l})
+	if _, err := a.Query(countQuery()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Tracer.Recent(); got != nil {
+		t.Fatalf("nil tracer retained traces: %+v", got)
+	}
+}
+
+// TestParentTraceIDAdopted checks the aggregator-tree contract: a nonzero
+// parent trace ID flows through instead of a fresh one.
+func TestParentTraceIDAdopted(t *testing.T) {
+	l := newLeaf(t, 8)
+	ingest(t, l, 10, 0)
+	a := New([]LeafTarget{l})
+	a.Tracer = obs.NewTracer(obs.TracerOptions{})
+
+	parent := obs.TraceContext{TraceID: 12345, SpanID: 999}
+	if _, err := a.QueryTraced(countQuery(), parent); err != nil {
+		t.Fatal(err)
+	}
+	tr := a.Tracer.Get(12345)
+	if tr == nil {
+		t.Fatalf("parent trace ID not adopted; recent = %+v", a.Tracer.Recent())
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].SpanID == 999 {
+		t.Fatalf("child must stamp its own span IDs: %+v", tr.Spans)
+	}
+}
+
+// TestErrorSpanRecorded checks that a failing leaf shows up as an
+// unanswered span carrying the error while healthy leaves still answer.
+func TestErrorSpanRecorded(t *testing.T) {
+	good := newLeaf(t, 9)
+	ingest(t, good, 20, 0)
+	bad := erroring{}
+	a := New([]LeafTarget{good, bad})
+	a.Tracer = obs.NewTracer(obs.TracerOptions{})
+
+	res, err := a.Query(countQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesAnswered != 1 || res.LeavesTotal != 2 {
+		t.Fatalf("coverage = %d/%d, want 1/2", res.LeavesAnswered, res.LeavesTotal)
+	}
+	tr := a.Tracer.Recent()[0]
+	if tr.LeavesAnswered != 1 || tr.LeavesTotal != 2 {
+		t.Fatalf("trace coverage = %d/%d, want 1/2", tr.LeavesAnswered, tr.LeavesTotal)
+	}
+	sp := tr.Spans[1]
+	if sp.Answered || sp.Err == "" || sp.Exec != nil {
+		t.Fatalf("error span wrong: %+v", sp)
+	}
+}
+
+type erroring struct{}
+
+func (erroring) Query(*query.Query) (*query.Result, error) {
+	return nil, errors.New("leaf restarting")
+}
+
+// TestAbandonedSpanMarked checks that a leaf dropped at the fan-out
+// deadline appears in the trace as unanswered with the abandonment reason —
+// the trace explains exactly whose data a partial result is missing.
+func TestAbandonedSpanMarked(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+	fast := newLeaf(t, 10)
+	ingest(t, fast, 20, 0)
+	slow := newLeaf(t, 11)
+	ingest(t, slow, 20, 0)
+	// Delay only the second leaf far past the fan-out deadline.
+	fault.Arm(fault.Point{Site: fault.PerLeaf(fault.SiteLeafQuery, 11), Action: fault.ActDelay, Delay: 2 * time.Second})
+
+	reg := metrics.NewRegistry()
+	a := New([]LeafTarget{fast, slow})
+	a.Metrics = reg
+	a.LeafTimeout = 100 * time.Millisecond
+	a.Tracer = obs.NewTracer(obs.TracerOptions{SlowThreshold: time.Millisecond})
+
+	res, err := a.Query(countQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesAnswered != 1 {
+		t.Fatalf("answered = %d, want 1", res.LeavesAnswered)
+	}
+	tr := a.Tracer.Recent()[0]
+	var abandonedSpan *obs.LeafSpan
+	for i := range tr.Spans {
+		if !tr.Spans[i].Answered {
+			abandonedSpan = &tr.Spans[i]
+		}
+	}
+	if abandonedSpan == nil {
+		t.Fatalf("no abandoned span in %+v", tr.Spans)
+	}
+	if abandonedSpan.Err == "" || abandonedSpan.RTTNanos <= 0 {
+		t.Fatalf("abandoned span not annotated: %+v", abandonedSpan)
+	}
+	// The 100ms deadline also makes this query slow under the 1ms
+	// threshold, which must tick the query.slow counter.
+	if !tr.Slow {
+		t.Fatal("deadline-bound query not marked slow")
+	}
+	if got := reg.Snapshot().Counters["query.slow"]; got != 1 {
+		t.Fatalf("query.slow = %d, want 1", got)
+	}
+}

@@ -692,6 +692,57 @@ func (l *Leaf) Query(q *query.Query) (*query.Result, error) {
 	return query.ExecuteTableObservedOpts(tbl, q, l.queryRegistry(), opts)
 }
 
+// RecoveryQuarantined is the recovery source QueryTraced reports for a
+// table whose shm segment failed validation and was re-read from disk.
+const RecoveryQuarantined = "quarantined"
+
+// QueryTraced executes a query and additionally builds the structured
+// execution report (per-phase timings, work accounting, recovery source)
+// that the wire protocol ships back for the trace's leaf span. The span ID
+// in tc is echoed so the aggregator can slot the report into its trace.
+func (l *Leaf) QueryTraced(q *query.Query, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error) {
+	start := time.Now()
+	res, err := l.Query(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &obs.ExecStats{
+		SpanID:        tc.SpanID,
+		Table:         q.Table,
+		Recovery:      l.tableRecoverySource(q.Table),
+		LatencyNanos:  time.Since(start).Nanoseconds(),
+		DecodeNanos:   res.Phases.DecodeNanos,
+		PruneNanos:    res.Phases.PruneNanos,
+		ScanNanos:     res.Phases.ScanNanos,
+		MergeNanos:    res.Phases.MergeNanos,
+		RowsScanned:   res.RowsScanned,
+		BlocksScanned: res.BlocksScanned,
+		BlocksPruned:  res.BlocksPruned,
+		BlocksSkipped: res.BlocksSkipped,
+		CacheHits:     res.CacheHits,
+		CacheMisses:   res.CacheMisses,
+	}
+	return res, stats, nil
+}
+
+// tableRecoverySource reports where a table's data came from on the last
+// Start: the per-table path when a mixed recovery recorded one (with
+// quarantined tables called out), else the leaf-wide path.
+func (l *Leaf) tableRecoverySource(tableName string) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, tr := range l.recovery.PerTablePath {
+		if tr.Table != tableName {
+			continue
+		}
+		if tr.Reason != "" {
+			return RecoveryQuarantined
+		}
+		return string(tr.Path)
+	}
+	return string(l.recovery.Path)
+}
+
 // queryRegistry picks the registry query latencies land in: Config.Metrics
 // when set, else the observer's (nil disables query metrics).
 func (l *Leaf) queryRegistry() *metrics.Registry {

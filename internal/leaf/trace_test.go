@@ -1,0 +1,90 @@
+package leaf
+
+import (
+	"testing"
+
+	"scuba/internal/obs"
+	"scuba/internal/query"
+)
+
+// TestQueryTracedReportsExecStats checks the leaf's per-query execution
+// report: span echo, recovery source, phase timings and work counters all
+// filled from one traced query.
+func TestQueryTracedReportsExecStats(t *testing.T) {
+	e := newEnv(t)
+	l := startLeaf(t, e.config(0))
+	ingest(t, l, "events", 300, 1000)
+
+	tc := obs.TraceContext{TraceID: 11, SpanID: 22}
+	q := &query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}}}
+	res, exec, err := l.QueryTraced(q, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsScanned != 300 {
+		t.Fatalf("rows = %d, want 300", res.RowsScanned)
+	}
+	if exec.SpanID != 22 || exec.Table != "events" {
+		t.Fatalf("exec identity wrong: %+v", exec)
+	}
+	if exec.Recovery != string(RecoveryNone) {
+		t.Fatalf("fresh leaf recovery = %q, want %q", exec.Recovery, RecoveryNone)
+	}
+	if exec.LatencyNanos <= 0 || exec.ScanNanos <= 0 {
+		t.Fatalf("timings missing: %+v", exec)
+	}
+	if exec.RowsScanned != 300 {
+		t.Fatalf("exec rows = %d, want 300", exec.RowsScanned)
+	}
+}
+
+// TestQueryTracedRecoverySources checks the recovery source across a
+// restart: memory after a shm shutdown cycle, disk after a disk-only one.
+func TestQueryTracedRecoverySources(t *testing.T) {
+	q := &query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}}}
+
+	e := newEnv(t)
+	old := startLeaf(t, e.config(0))
+	ingest(t, old, "events", 100, 1000)
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	nu := startLeaf(t, e.config(0))
+	_, exec, err := nu.QueryTraced(q, obs.TraceContext{TraceID: 1, SpanID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Recovery != string(RecoveryMemory) {
+		t.Fatalf("after shm cycle recovery = %q, want %q", exec.Recovery, RecoveryMemory)
+	}
+
+	e2 := newEnv(t)
+	old2 := startLeaf(t, e2.config(1))
+	ingest(t, old2, "events", 100, 1000)
+	if _, err := old2.ShutdownToDisk(); err != nil {
+		t.Fatal(err)
+	}
+	nu2 := startLeaf(t, e2.config(1))
+	_, exec2, err := nu2.QueryTraced(q, obs.TraceContext{TraceID: 3, SpanID: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec2.Recovery != string(RecoveryDisk) {
+		t.Fatalf("after disk cycle recovery = %q, want %q", exec2.Recovery, RecoveryDisk)
+	}
+
+	// A table the per-table list knows nothing about falls back to the
+	// leaf-wide path; a quarantine reason maps to "quarantined".
+	nu2.mu.Lock()
+	nu2.recovery.PerTablePath = append(nu2.recovery.PerTablePath,
+		TableRecovery{Table: "damaged", Path: RecoveryDisk, Reason: "segment crc mismatch"})
+	nu2.mu.Unlock()
+	if got := nu2.tableRecoverySource("damaged"); got != RecoveryQuarantined {
+		t.Fatalf("quarantined table source = %q, want %q", got, RecoveryQuarantined)
+	}
+	if got := nu2.tableRecoverySource("never-seen"); got != string(RecoveryDisk) {
+		t.Fatalf("unknown table source = %q, want leaf-wide %q", got, RecoveryDisk)
+	}
+}

@@ -105,6 +105,9 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	timers     map[string]*Timer
 	histograms map[string]*Histogram
+	// runtime is non-nil once EnableRuntimeMetrics has been called; every
+	// Snapshot then refreshes the runtime.* self-metrics first.
+	runtime *runtimeSampler
 }
 
 // NewRegistry returns an empty registry.
@@ -185,6 +188,7 @@ type Snapshot struct {
 // Snapshot captures every metric. Each value is internally consistent; the
 // set as a whole is a best-effort snapshot under concurrent writers.
 func (r *Registry) Snapshot() Snapshot {
+	r.sampleRuntime()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampler holds the GC-pause cursor for a registry with runtime
+// self-metrics enabled.
+type runtimeSampler struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+// EnableRuntimeMetrics turns on Go runtime self-metrics: every Snapshot
+// (and therefore every /metrics scrape and String render) first samples the
+// runtime into
+//
+//	runtime.goroutines     gauge, current goroutine count
+//	runtime.heap_bytes     gauge, live heap (MemStats.HeapAlloc)
+//	runtime.gc_pause_hist  histogram of individual GC stop-the-world pauses
+//
+// Sampling on scrape rather than on a timer means an idle daemon costs
+// nothing and a scraped one is always current. Idempotent.
+func (r *Registry) EnableRuntimeMetrics() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.runtime == nil {
+		r.runtime = &runtimeSampler{}
+	}
+}
+
+// sampleRuntime refreshes the runtime metrics. It must run outside r.mu
+// (it reaches the registry through Gauge/Histogram, which lock).
+func (r *Registry) sampleRuntime() {
+	r.mu.Lock()
+	rs := r.runtime
+	r.mu.Unlock()
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("runtime.heap_bytes").Set(int64(ms.HeapAlloc))
+	// PauseNs is a circular buffer of the last 256 pause durations; fold in
+	// only the GCs that happened since the previous sample, and if more than
+	// 256 did, take the 256 the runtime still remembers.
+	h := r.Histogram("runtime.gc_pause_hist")
+	start := rs.lastNumGC + 1
+	if ms.NumGC > 255 && start < ms.NumGC-255 {
+		start = ms.NumGC - 255
+	}
+	for i := start; i <= ms.NumGC && i > 0; i++ {
+		h.ObserveDuration(time.Duration(ms.PauseNs[(i+255)%256]))
+	}
+	rs.lastNumGC = ms.NumGC
+}

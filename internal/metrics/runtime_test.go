@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsDisabledByDefault(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Snapshot().Gauges["runtime.goroutines"]; ok {
+		t.Fatal("runtime metrics present without EnableRuntimeMetrics")
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.EnableRuntimeMetrics()
+	r.EnableRuntimeMetrics() // idempotent
+
+	runtime.GC()
+	runtime.GC()
+	snap := r.Snapshot()
+
+	if g := snap.Gauges["runtime.goroutines"]; g.Value < 1 {
+		t.Fatalf("runtime.goroutines = %d, want >= 1", g.Value)
+	}
+	if g := snap.Gauges["runtime.heap_bytes"]; g.Value <= 0 {
+		t.Fatalf("runtime.heap_bytes = %d, want > 0", g.Value)
+	}
+	h := snap.Histograms["runtime.gc_pause_hist"]
+	if h.Count < 2 {
+		t.Fatalf("gc_pause_hist count = %d, want >= 2 after two forced GCs", h.Count)
+	}
+
+	// A second snapshot must not re-observe the same pauses.
+	before := h.Count
+	after := r.Snapshot().Histograms["runtime.gc_pause_hist"]
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	// Concurrent GCs can legitimately add pauses between snapshots; what is
+	// forbidden is double counting: total observed never exceeds NumGC.
+	if after.Count < before || after.Count > int64(ms.NumGC) {
+		t.Fatalf("gc_pause_hist count went %d -> %d with NumGC=%d", before, after.Count, ms.NumGC)
+	}
+
+	out := r.String()
+	for _, want := range []string{"gauge runtime.goroutines", "gauge runtime.heap_bytes", "histogram runtime.gc_pause_hist"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in rendering:\n%s", want, out)
+		}
+	}
+}

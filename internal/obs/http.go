@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -35,6 +36,16 @@ type HandlerConfig struct {
 	// Recovery supplies the daemon-specific half of /debug/recovery (nil
 	// omits it). Called per request, so it can return live state.
 	Recovery func() any
+	// Tracer backs /debug/traces and /debug/slow (nil omits both — only the
+	// aggregator daemon assembles traces).
+	Tracer *Tracer
+}
+
+// TraceDump is the /debug/traces and /debug/slow response body.
+type TraceDump struct {
+	// SlowThresholdNanos is the fixed slow threshold (0 = adaptive p99).
+	SlowThresholdNanos int64   `json:"slow_threshold_nanos"`
+	Traces             []Trace `json:"traces"`
 }
 
 // Handler builds the daemon observability mux:
@@ -79,6 +90,38 @@ func Handler(cfg HandlerConfig) http.Handler {
 		enc.Encode(dump) //nolint:errcheck // best effort over HTTP
 	})
 
+	if cfg.Tracer != nil {
+		writeTraces := func(w http.ResponseWriter, traces []Trace) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(TraceDump{ //nolint:errcheck // best effort over HTTP
+				SlowThresholdNanos: cfg.Tracer.SlowThreshold().Nanoseconds(),
+				Traces:             traces,
+			})
+		}
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			if idStr := r.URL.Query().Get("id"); idStr != "" {
+				id, err := strconv.ParseUint(idStr, 10, 64)
+				if err != nil {
+					http.Error(w, "bad trace id", http.StatusBadRequest)
+					return
+				}
+				tr := cfg.Tracer.Get(id)
+				if tr == nil {
+					http.Error(w, "trace not found (rotated out?)", http.StatusNotFound)
+					return
+				}
+				writeTraces(w, []Trace{*tr})
+				return
+			}
+			writeTraces(w, cfg.Tracer.Recent())
+		})
+		mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+			writeTraces(w, cfg.Tracer.Slow())
+		})
+	}
+
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -93,6 +136,9 @@ func Handler(cfg HandlerConfig) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "scuba observability (up %v)\n\n/metrics\n/debug/recovery\n/debug/pprof/\n",
 			time.Since(started).Round(time.Second))
+		if cfg.Tracer != nil {
+			fmt.Fprintf(w, "/debug/traces\n/debug/slow\n")
+		}
 	})
 	return mux
 }

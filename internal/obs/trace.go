@@ -1,0 +1,342 @@
+package obs
+
+// Distributed per-query tracing, Dapper-style: the aggregator that receives
+// a query stamps it with a trace ID and one span ID per leaf RPC; the wire
+// protocol carries the context in the request envelope, each leaf answers
+// with an ExecStats block, and the aggregator assembles the spans into a
+// Trace. Traces land in two bounded in-memory rings — the last N queries and
+// a tail-sampled slow-query log — served at /debug/traces and /debug/slow on
+// the aggregator daemon, so any single slow query can be explained end to
+// end while leaves restart and roll over.
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"scuba/internal/metrics"
+)
+
+// TraceContext is the trace identity carried in every traced request
+// envelope. The zero value means "untraced" — leaves skip ExecStats
+// collection entirely — and gob omits zero fields, so untraced and pre-trace
+// peers pay nothing.
+type TraceContext struct {
+	// TraceID identifies the whole query across every leaf it touches.
+	TraceID uint64
+	// SpanID identifies one leaf's share of the query. It is stamped once by
+	// the aggregator before the first attempt, so wire-client retries reuse
+	// it and the assembled trace can deduplicate retried RPCs.
+	SpanID uint64
+}
+
+// ExecStats is one leaf's structured execution report, returned in the query
+// response next to the result. All durations are nanoseconds.
+type ExecStats struct {
+	// SpanID echoes the request's span, tying the report to its trace slot.
+	SpanID uint64 `json:"span_id"`
+	// Table is the queried table.
+	Table string `json:"table"`
+	// Recovery says where this table's data came from on the leaf's last
+	// start: "memory" (shared memory), "disk", "quarantined" (shm segment
+	// rejected, re-read from disk), "mixed", or "none" (fresh ingest).
+	Recovery string `json:"recovery"`
+	// LatencyNanos is the leaf-side execution wall time.
+	LatencyNanos int64 `json:"latency_nanos"`
+	// Per-phase breakdown (cumulative across blocks and scan workers).
+	DecodeNanos int64 `json:"decode_nanos"`
+	PruneNanos  int64 `json:"prune_nanos"`
+	ScanNanos   int64 `json:"scan_nanos"`
+	MergeNanos  int64 `json:"merge_nanos"`
+	// Work accounting.
+	RowsScanned   int64 `json:"rows_scanned"`
+	BlocksScanned int64 `json:"blocks_scanned"`
+	BlocksPruned  int64 `json:"blocks_pruned"`
+	BlocksSkipped int64 `json:"blocks_skipped"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+}
+
+// DominantPhase names the largest phase of the breakdown and its share of
+// the summed phase time (0 when nothing was recorded).
+func (e *ExecStats) DominantPhase() (string, int64) {
+	name, v := "decode", e.DecodeNanos
+	if e.PruneNanos > v {
+		name, v = "prune", e.PruneNanos
+	}
+	if e.ScanNanos > v {
+		name, v = "scan", e.ScanNanos
+	}
+	if e.MergeNanos > v {
+		name, v = "merge", e.MergeNanos
+	}
+	if v == 0 {
+		return "", 0
+	}
+	return name, v
+}
+
+// LeafSpan is one leaf's slot in an assembled trace.
+type LeafSpan struct {
+	SpanID uint64 `json:"span_id"`
+	// Leaf labels the target (its address in a distributed deployment).
+	Leaf string `json:"leaf"`
+	// Answered is false for leaves that errored or were abandoned at the
+	// aggregator's per-leaf deadline — the trace shows exactly which leaf's
+	// data is missing from a partial result.
+	Answered bool `json:"answered"`
+	// RTTNanos is the aggregator-observed round trip (dial + RPC + decode);
+	// RTT minus the leaf's own LatencyNanos is time lost to the network and
+	// retries. Abandoned leaves record the elapsed time at abandonment.
+	RTTNanos int64 `json:"rtt_nanos"`
+	// Err is the transport or leaf error for unanswered spans.
+	Err string `json:"err,omitempty"`
+	// Exec is the leaf's execution report (nil when the leaf predates the
+	// trace protocol, errored, or was abandoned).
+	Exec *ExecStats `json:"exec,omitempty"`
+}
+
+// Trace is one query's assembled cross-leaf trace.
+type Trace struct {
+	TraceID uint64 `json:"trace_id"`
+	// Query is the query's rendered form (SELECT ... FROM ...).
+	Query string    `json:"query"`
+	Start time.Time `json:"start"`
+	// DurationNanos is end-to-end aggregator time: fan-out, merge, finalize.
+	DurationNanos  int64      `json:"duration_nanos"`
+	LeavesTotal    int        `json:"leaves_total"`
+	LeavesAnswered int        `json:"leaves_answered"`
+	Slow           bool       `json:"slow"`
+	Spans          []LeafSpan `json:"spans"`
+}
+
+// SlowestSpan returns the answered span with the largest RTT (nil when none
+// answered).
+func (t *Trace) SlowestSpan() *LeafSpan {
+	var slow *LeafSpan
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		if !sp.Answered {
+			continue
+		}
+		if slow == nil || sp.RTTNanos > slow.RTTNanos {
+			slow = sp
+		}
+	}
+	return slow
+}
+
+// TracerOptions configure the trace rings.
+type TracerOptions struct {
+	// Capacity bounds the recent-trace ring (default 64).
+	Capacity int
+	// SlowCapacity bounds the slow-query ring (default 32).
+	SlowCapacity int
+	// SlowThreshold marks queries at or above this duration as slow. Zero
+	// selects adaptive tail sampling: once MinSamples latencies have been
+	// observed, anything at or above the running p99 is kept — "the slowest
+	// ~1% of whatever the workload currently is" without hand-tuning.
+	SlowThreshold time.Duration
+	// MinSamples is how many latencies adaptive sampling needs before it
+	// starts flagging (default 32; ignored with a fixed threshold).
+	MinSamples int64
+	// Metrics, when non-nil, receives trace.count and trace.slow counters.
+	Metrics *metrics.Registry
+}
+
+// idRand feeds the trace/span ID generators. math/rand suffices: IDs only
+// need to be unique within one aggregator's retained rings, not secret.
+var idRand = struct {
+	sync.Mutex
+	*rand.Rand
+}{Rand: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+// RandomID returns a fresh nonzero 64-bit ID for traces and spans.
+func RandomID() uint64 {
+	idRand.Lock()
+	defer idRand.Unlock()
+	for {
+		if id := idRand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// Tracer assembles and retains traces on behalf of one aggregator. All
+// methods are safe for concurrent use; a nil *Tracer is a valid no-op for
+// the ID generators, so callers can stamp unconditionally.
+type Tracer struct {
+	opts TracerOptions
+
+	mu     sync.Mutex
+	recent []Trace // ring, oldest first once full
+	slow   []Trace
+	lat    *metrics.Histogram // latency distribution for adaptive sampling
+
+	traceCount *metrics.Counter
+	slowCount  *metrics.Counter
+}
+
+// NewTracer creates a tracer. The zero options give a 64-trace ring, a
+// 32-trace slow log, and adaptive (p99) slow sampling.
+func NewTracer(opts TracerOptions) *Tracer {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 64
+	}
+	if opts.SlowCapacity <= 0 {
+		opts.SlowCapacity = 32
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = 32
+	}
+	t := &Tracer{
+		opts: opts,
+		lat:  &metrics.Histogram{},
+	}
+	if reg := opts.Metrics; reg != nil {
+		t.traceCount = reg.Counter("trace.count")
+		t.slowCount = reg.Counter("trace.slow")
+	}
+	return t
+}
+
+// SlowThreshold reports the configured fixed threshold (0 = adaptive).
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.opts.SlowThreshold
+}
+
+// NewTraceID returns a fresh nonzero trace ID — 0 on a nil tracer, which
+// callers read as "this query is untraced".
+func (t *Tracer) NewTraceID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return RandomID()
+}
+
+// Record files a completed trace: spans are deduplicated by span ID (a
+// retried RPC must not produce duplicate leaf spans — the attempt that
+// answered wins), the trace is classified slow or not, and it is inserted
+// into the bounded rings. It reports whether the trace was kept as slow.
+func (t *Tracer) Record(tr Trace) bool {
+	if t == nil {
+		return false
+	}
+	tr.Spans = dedupeSpans(tr.Spans)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr.Slow = t.isSlowLocked(time.Duration(tr.DurationNanos))
+	t.lat.ObserveDuration(time.Duration(tr.DurationNanos))
+	t.recent = appendBounded(t.recent, tr, t.opts.Capacity)
+	if tr.Slow {
+		t.slow = appendBounded(t.slow, tr, t.opts.SlowCapacity)
+		if t.slowCount != nil {
+			t.slowCount.Add(1)
+		}
+	}
+	if t.traceCount != nil {
+		t.traceCount.Add(1)
+	}
+	return tr.Slow
+}
+
+// isSlowLocked applies the fixed threshold, or the adaptive p99 rule once
+// enough samples exist. The current query's latency is judged against the
+// distribution *before* it is folded in.
+func (t *Tracer) isSlowLocked(d time.Duration) bool {
+	if th := t.opts.SlowThreshold; th > 0 {
+		return d >= th
+	}
+	st := t.lat.Stats()
+	if st.Count < t.opts.MinSamples {
+		return false
+	}
+	// Strictly above p99: in a tight uniform workload the typical latency
+	// IS the p99 estimate, and the slow log should stay empty until a real
+	// outlier shows up.
+	return d.Microseconds() > st.P99
+}
+
+// dedupeSpans keeps one span per span ID, preferring the one that answered
+// (and among answered duplicates, the first — the attempt whose response the
+// client returned). Spans without IDs (untraced targets) pass through.
+func dedupeSpans(spans []LeafSpan) []LeafSpan {
+	seen := make(map[uint64]int, len(spans))
+	out := spans[:0]
+	for _, sp := range spans {
+		if sp.SpanID == 0 {
+			out = append(out, sp)
+			continue
+		}
+		if j, ok := seen[sp.SpanID]; ok {
+			if !out[j].Answered && sp.Answered {
+				out[j] = sp
+			}
+			continue
+		}
+		seen[sp.SpanID] = len(out)
+		out = append(out, sp)
+	}
+	return out
+}
+
+// appendBounded appends to a ring slice, dropping the oldest entry once the
+// capacity is reached.
+func appendBounded(ring []Trace, tr Trace, capacity int) []Trace {
+	ring = append(ring, tr)
+	if len(ring) > capacity {
+		copy(ring, ring[1:])
+		ring = ring[:len(ring)-1]
+	}
+	return ring
+}
+
+// Recent returns the retained traces, newest first.
+func (t *Tracer) Recent() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return reversed(t.recent)
+}
+
+// Slow returns the slow-query log, newest first.
+func (t *Tracer) Slow() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return reversed(t.slow)
+}
+
+// Get returns the trace with the given ID from either ring (nil if it has
+// rotated out).
+func (t *Tracer) Get(id uint64) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ring := range [][]Trace{t.recent, t.slow} {
+		for i := range ring {
+			if ring[i].TraceID == id {
+				tr := ring[i]
+				return &tr
+			}
+		}
+	}
+	return nil
+}
+
+func reversed(ring []Trace) []Trace {
+	out := make([]Trace, len(ring))
+	for i, tr := range ring {
+		out[len(ring)-1-i] = tr
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"scuba/internal/metrics"
+)
+
+func mkTrace(id uint64, d time.Duration, spans ...LeafSpan) Trace {
+	return Trace{TraceID: id, Query: "SELECT count() FROM events", Start: time.Unix(1000, 0),
+		DurationNanos: d.Nanoseconds(), LeavesTotal: len(spans), LeavesAnswered: len(spans),
+		Spans: spans}
+}
+
+func TestRandomIDNonzero(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := RandomID()
+		if id == 0 {
+			t.Fatal("RandomID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("RandomID repeated %d within 1000 draws", id)
+		}
+		seen[id] = true
+	}
+	var nilTracer *Tracer
+	if got := nilTracer.NewTraceID(); got != 0 {
+		t.Fatalf("nil tracer NewTraceID = %d, want 0 (untraced)", got)
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(TracerOptions{Capacity: 4, SlowCapacity: 2, SlowThreshold: time.Millisecond})
+	for i := 1; i <= 10; i++ {
+		tr.Record(mkTrace(uint64(i), 2*time.Millisecond)) // all slow
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d, want capacity 4", len(recent))
+	}
+	// Newest first: 10, 9, 8, 7.
+	if recent[0].TraceID != 10 || recent[3].TraceID != 7 {
+		t.Fatalf("recent order wrong: %d..%d", recent[0].TraceID, recent[3].TraceID)
+	}
+	slow := tr.Slow()
+	if len(slow) != 2 || slow[0].TraceID != 10 || slow[1].TraceID != 9 {
+		t.Fatalf("slow ring wrong: %+v", slow)
+	}
+	if got := tr.Get(9); got == nil || got.TraceID != 9 {
+		t.Fatalf("Get(9) = %+v (still in recent ring)", got)
+	}
+	if got := tr.Get(1); got != nil {
+		t.Fatalf("Get(1) = %+v, want nil (rotated out of both rings)", got)
+	}
+}
+
+func TestFixedSlowThreshold(t *testing.T) {
+	tr := NewTracer(TracerOptions{SlowThreshold: 100 * time.Millisecond})
+	if tr.Record(mkTrace(1, 50*time.Millisecond)) {
+		t.Fatal("50ms marked slow under a 100ms threshold")
+	}
+	if !tr.Record(mkTrace(2, 150*time.Millisecond)) {
+		t.Fatal("150ms not marked slow under a 100ms threshold")
+	}
+	slow := tr.Slow()
+	if len(slow) != 1 || slow[0].TraceID != 2 || !slow[0].Slow {
+		t.Fatalf("slow ring = %+v", slow)
+	}
+}
+
+func TestAdaptiveSlowThreshold(t *testing.T) {
+	tr := NewTracer(TracerOptions{MinSamples: 32})
+	// Below MinSamples nothing is slow, however extreme.
+	if tr.Record(mkTrace(1, time.Hour)) {
+		t.Fatal("flagged slow before MinSamples latencies observed")
+	}
+	// Feed a tight 1ms workload, then an outlier: the outlier must land in
+	// the slow ring, and a typical query must not.
+	for i := 0; i < 64; i++ {
+		tr.Record(mkTrace(uint64(100+i), time.Millisecond))
+	}
+	if tr.Record(mkTrace(2, time.Millisecond)) {
+		t.Fatal("typical latency flagged slow by adaptive threshold")
+	}
+	if !tr.Record(mkTrace(3, 500*time.Millisecond)) {
+		t.Fatal("500x-p99 outlier not flagged slow")
+	}
+}
+
+func TestSpanDedupe(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	// Three records of span 7 (a retried RPC observed three ways) plus an
+	// unrelated span: the answered attempt must win, order preserved.
+	tr.Record(mkTrace(1, time.Millisecond,
+		LeafSpan{SpanID: 7, Leaf: "a", Answered: false, Err: "conn reset"},
+		LeafSpan{SpanID: 9, Leaf: "b", Answered: true},
+		LeafSpan{SpanID: 7, Leaf: "a", Answered: true, Exec: &ExecStats{SpanID: 7, RowsScanned: 42}},
+		LeafSpan{SpanID: 7, Leaf: "a", Answered: true, Exec: &ExecStats{SpanID: 7, RowsScanned: 1}},
+	))
+	got := tr.Recent()[0].Spans
+	if len(got) != 2 {
+		t.Fatalf("spans after dedupe = %d, want 2: %+v", len(got), got)
+	}
+	if got[0].SpanID != 7 || !got[0].Answered || got[0].Exec == nil || got[0].Exec.RowsScanned != 42 {
+		t.Fatalf("dedupe kept wrong attempt: %+v", got[0])
+	}
+	if got[1].SpanID != 9 {
+		t.Fatalf("unrelated span displaced: %+v", got[1])
+	}
+}
+
+func TestTracerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := NewTracer(TracerOptions{SlowThreshold: 10 * time.Millisecond, Metrics: reg})
+	tr.Record(mkTrace(1, time.Millisecond))
+	tr.Record(mkTrace(2, 20*time.Millisecond))
+	snap := reg.Snapshot()
+	if snap.Counters["trace.count"] != 2 || snap.Counters["trace.slow"] != 1 {
+		t.Fatalf("trace counters = %v", snap.Counters)
+	}
+}
+
+func TestDominantPhase(t *testing.T) {
+	e := &ExecStats{DecodeNanos: 10, PruneNanos: 5, ScanNanos: 80, MergeNanos: 5}
+	if phase, v := e.DominantPhase(); phase != "scan" || v != 80 {
+		t.Fatalf("DominantPhase = %s/%d, want scan/80", phase, v)
+	}
+	if phase, v := new(ExecStats).DominantPhase(); phase != "" || v != 0 {
+		t.Fatalf("empty DominantPhase = %s/%d, want empty", phase, v)
+	}
+}
+
+func TestSlowestSpan(t *testing.T) {
+	tr := mkTrace(1, time.Second,
+		LeafSpan{SpanID: 1, Leaf: "a", Answered: true, RTTNanos: 100},
+		LeafSpan{SpanID: 2, Leaf: "b", Answered: false, RTTNanos: 999}, // unanswered never wins
+		LeafSpan{SpanID: 3, Leaf: "c", Answered: true, RTTNanos: 300},
+	)
+	if sp := tr.SlowestSpan(); sp == nil || sp.Leaf != "c" {
+		t.Fatalf("SlowestSpan = %+v, want leaf c", sp)
+	}
+	empty := mkTrace(2, time.Second)
+	if sp := empty.SlowestSpan(); sp != nil {
+		t.Fatalf("SlowestSpan on empty trace = %+v", sp)
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(TracerOptions{Capacity: 8})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			tr.Record(mkTrace(RandomID(), time.Millisecond,
+				LeafSpan{SpanID: RandomID(), Answered: true}))
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		tr.Recent()
+		tr.Slow()
+		tr.Get(uint64(i))
+	}
+	<-done
+}

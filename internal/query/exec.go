@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"scuba/internal/column"
 	"scuba/internal/rowblock"
@@ -130,9 +131,11 @@ func scanSealed(blocks []*rowblock.RowBlock, q *Query, res *Result, opts ExecOpt
 			return err
 		}
 	}
+	mergeStart := time.Now()
 	for _, part := range partial {
 		res.Merge(part)
 	}
+	res.Phases.MergeNanos += time.Since(mergeStart).Nanoseconds()
 	return nil
 }
 
@@ -143,16 +146,39 @@ func ScanBlock(rb Block, q *Query, res *Result) error {
 }
 
 // scanBlock folds one block into a result, consulting zone maps to skip the
-// block outright and the decode cache for column reuse across queries.
+// block outright and the decode cache for column reuse across queries. Each
+// phase's time lands in res.Phases: the zone-map test as prune, column
+// materialization as decode, and the remaining per-row work as scan. The
+// accounting costs a handful of clock reads per block (and two per decoded
+// column), which is noise against even a pruned block's work.
 func scanBlock(rb Block, q *Query, res *Result, dc *DecodeCache) error {
-	if blockPruned(rb, q) {
+	pruneStart := time.Now()
+	pruned := blockPruned(rb, q)
+	scanStart := time.Now()
+	res.Phases.PruneNanos += scanStart.Sub(pruneStart).Nanoseconds()
+	if pruned {
 		res.BlocksPruned++
 		return nil
 	}
+	decodeBefore := res.Phases.DecodeNanos
+	err := scanBlockRows(rb, q, res, dc)
+	// Scan time is the block's wall time minus what the decode closure
+	// already attributed to decode.
+	res.Phases.ScanNanos += time.Since(scanStart).Nanoseconds() - (res.Phases.DecodeNanos - decodeBefore)
+	return err
+}
+
+// scanBlockRows is scanBlock after the prune decision: decode what the query
+// needs and fold every live row in.
+func scanBlockRows(rb Block, q *Query, res *Result, dc *DecodeCache) error {
 	res.BlocksScanned++
 	n := rb.Rows()
 	res.RowsScanned += int64(n)
 
+	// trackCache mirrors the registry accounting inside dc.Get: only sealed
+	// blocks are cacheable, so per-result hit/miss counts stay comparable to
+	// the leaf's query.decode_cache.* counters.
+	trackCache := dc != nil && cacheable(rb)
 	cache := make(map[string]column.Column)
 	decode := func(name string) (column.Column, error) {
 		if c, ok := cache[name]; ok {
@@ -162,16 +188,26 @@ func scanBlock(rb Block, q *Query, res *Result, dc *DecodeCache) error {
 			cache[name] = nil // column absent from this block: zero values
 			return nil, nil
 		}
+		start := time.Now()
 		if c, ok := dc.Get(rb, name); ok {
+			res.Phases.DecodeNanos += time.Since(start).Nanoseconds()
+			if trackCache {
+				res.CacheHits++
+			}
 			cache[name] = c
 			return c, nil
 		}
+		if trackCache {
+			res.CacheMisses++
+		}
 		c, err := rb.DecodeColumn(name)
 		if err != nil {
+			res.Phases.DecodeNanos += time.Since(start).Nanoseconds()
 			return nil, err
 		}
 		cache[name] = c
 		dc.Put(rb, name, c)
+		res.Phases.DecodeNanos += time.Since(start).Nanoseconds()
 		return c, nil
 	}
 

@@ -134,6 +134,33 @@ const keySep = "\x00"
 
 func keyString(key []string) string { return strings.Join(key, keySep) }
 
+// PhaseTimes breaks one execution down by phase, in cumulative nanoseconds.
+// Parallel scan workers each contribute their own time, so on a multi-core
+// scan the phases sum to CPU time, not wall time. Merging results sums the
+// phases — a merged aggregate answers "where did the work go" across every
+// block (and, after the aggregator's merge, every leaf) that contributed.
+type PhaseTimes struct {
+	// DecodeNanos is time spent materializing columns: decode-cache lookups
+	// plus LZ4/dictionary decode on misses.
+	DecodeNanos int64
+	// PruneNanos is time spent testing zone maps (both outcomes: blocks
+	// pruned and blocks that had to be scanned anyway).
+	PruneNanos int64
+	// ScanNanos is time spent in per-row work: time masks, filters, group
+	// keys, and aggregation folds (decode time excluded).
+	ScanNanos int64
+	// MergeNanos is time spent merging scan-worker partial results.
+	MergeNanos int64
+}
+
+// Add folds another breakdown in.
+func (p *PhaseTimes) Add(o PhaseTimes) {
+	p.DecodeNanos += o.DecodeNanos
+	p.PruneNanos += o.PruneNanos
+	p.ScanNanos += o.ScanNanos
+	p.MergeNanos += o.MergeNanos
+}
+
 // Result is a (possibly partial) query result. Merging partial results from
 // many leaves is associative and commutative.
 type Result struct {
@@ -148,6 +175,13 @@ type Result struct {
 	BlocksPruned   int64
 	LeavesTotal    int // filled by the aggregator
 	LeavesAnswered int
+	// Phases is the per-phase execution time breakdown, kept per leaf by the
+	// tracing path (ExecStats) and summed across leaves on merge.
+	Phases PhaseTimes
+	// CacheHits/CacheMisses count this execution's decode-cache outcomes —
+	// the per-query view of the query.decode_cache.{hits,misses} counters.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // NewResult returns an empty result.
@@ -195,6 +229,9 @@ func (r *Result) Merge(o *Result) {
 	r.BlocksPruned += o.BlocksPruned
 	r.LeavesTotal += o.LeavesTotal
 	r.LeavesAnswered += o.LeavesAnswered
+	r.Phases.Add(o.Phases)
+	r.CacheHits += o.CacheHits
+	r.CacheMisses += o.CacheMisses
 }
 
 // Coverage returns the fraction of leaves that answered (1.0 when the
@@ -218,6 +255,12 @@ type WireResult struct {
 	BlocksPruned   int64
 	LeavesTotal    int
 	LeavesAnswered int
+	// Phase timings and cache counters travel with the result so the
+	// aggregator can build a per-leaf trace span without a second RPC. Gob
+	// omits zero values, so pre-trace peers interoperate transparently.
+	Phases      PhaseTimes
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // WireGroup is one serialized group.
@@ -235,6 +278,9 @@ func (r *Result) Export() *WireResult {
 		BlocksPruned:   r.BlocksPruned,
 		LeavesTotal:    r.LeavesTotal,
 		LeavesAnswered: r.LeavesAnswered,
+		Phases:         r.Phases,
+		CacheHits:      r.CacheHits,
+		CacheMisses:    r.CacheMisses,
 	}
 	for _, g := range r.groups {
 		w.Groups = append(w.Groups, WireGroup{Key: g.Key, Aggs: g.Aggs})
@@ -251,6 +297,9 @@ func Import(w *WireResult) *Result {
 	r.BlocksPruned = w.BlocksPruned
 	r.LeavesTotal = w.LeavesTotal
 	r.LeavesAnswered = w.LeavesAnswered
+	r.Phases = w.Phases
+	r.CacheHits = w.CacheHits
+	r.CacheMisses = w.CacheMisses
 	for _, g := range w.Groups {
 		r.groups[keyString(g.Key)] = &Group{Key: g.Key, Aggs: g.Aggs}
 	}

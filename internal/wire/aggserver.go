@@ -8,6 +8,7 @@ import (
 
 	"scuba/internal/aggregator"
 	"scuba/internal/metrics"
+	"scuba/internal/obs"
 	"scuba/internal/query"
 )
 
@@ -39,6 +40,7 @@ func NewAggServerOn(leafAddrs []string, addr string, reg *metrics.Registry) (*Ag
 	}
 	agg := aggregator.New(targets)
 	agg.Metrics = reg
+	agg.Labels = append([]string(nil), leafAddrs...)
 	return NewAggServerOver(agg, addr)
 }
 
@@ -97,11 +99,30 @@ func (s *AggServer) serveConn(conn net.Conn) {
 		switch req.Kind {
 		case KindPing:
 		case KindQuery:
-			res, err := s.agg.Query(req.Query)
+			res, err := s.agg.QueryTraced(req.Query, req.Trace)
 			if err != nil {
 				resp.Err = err.Error()
 			} else {
 				resp.Result = res.Export()
+				if req.Trace.TraceID != 0 {
+					// In an aggregator tree the upstream's span for this
+					// server covers the whole subtree: report the summed
+					// phases of every leaf below (no single recovery source).
+					resp.Exec = &obs.ExecStats{
+						SpanID:        req.Trace.SpanID,
+						Table:         req.Query.Table,
+						DecodeNanos:   res.Phases.DecodeNanos,
+						PruneNanos:    res.Phases.PruneNanos,
+						ScanNanos:     res.Phases.ScanNanos,
+						MergeNanos:    res.Phases.MergeNanos,
+						RowsScanned:   res.RowsScanned,
+						BlocksScanned: res.BlocksScanned,
+						BlocksPruned:  res.BlocksPruned,
+						BlocksSkipped: res.BlocksSkipped,
+						CacheHits:     res.CacheHits,
+						CacheMisses:   res.CacheMisses,
+					}
+				}
 			}
 		default:
 			resp.Err = fmt.Sprintf("wire: aggregator does not handle request kind %d", req.Kind)

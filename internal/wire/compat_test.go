@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"scuba/internal/query"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata")
+
+// v1Request and v1Response are the pre-trace (protocol version 1) envelope
+// shapes, reconstructed as local types. Gob matches struct fields by name,
+// so these stand in exactly for frames produced by a v1 binary: no Version,
+// no Trace, no Exec.
+type v1Request struct {
+	Kind   Kind
+	Table  string
+	Query  *query.Query
+	UseShm bool
+}
+
+type v1Response struct {
+	Err    string
+	Result *query.WireResult
+}
+
+// v1QueryRequest is the canonical v1 frame pinned by the golden fixture. It
+// deliberately avoids maps (row columns, distinct sets) so the gob encoding
+// is byte-deterministic.
+func v1QueryRequest() *v1Request {
+	return &v1Request{
+		Kind:  KindQuery,
+		Table: "events",
+		Query: &query.Query{
+			Table: "events",
+			From:  1000,
+			To:    2000,
+			Aggregations: []query.Aggregation{
+				{Op: query.AggCount},
+				{Op: query.AggSum, Column: "lat"},
+			},
+			GroupBy: []string{"service"},
+		},
+	}
+}
+
+func v1QueryResponse() *v1Response {
+	return &v1Response{
+		Result: &query.WireResult{
+			Groups: []query.WireGroup{{
+				Key:  []string{"web"},
+				Aggs: []*query.AggState{{Count: 500, Sum: 12345, Min: 1, Max: 99}},
+			}},
+			RowsScanned:   500,
+			BlocksScanned: 2,
+		},
+	}
+}
+
+func gobBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// golden returns the pinned v1 frame bytes, regenerating them under
+// -update. The comparison is decode-level, not byte-level: gob assigns type
+// IDs from a process-global counter, so the same value encodes to different
+// (equally valid, self-describing) bytes depending on what was encoded
+// earlier in the process. What old binaries guarantee — and what the
+// fixture pins — is that these exact captured bytes keep decoding.
+func golden(t *testing.T, name string, canonical any) []byte {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, gobBytes(t, canonical), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestGoldenV1Frames proves a current binary still decodes pre-trace
+// envelope bytes: the request's trace fields come back zero (the query runs
+// untraced) and the response's Exec comes back nil — no error in either
+// direction.
+func TestGoldenV1Frames(t *testing.T) {
+	reqRaw := golden(t, "frame-v1-request.golden", v1QueryRequest())
+	respRaw := golden(t, "frame-v1-response.golden", v1QueryResponse())
+
+	var req Request
+	if err := gob.NewDecoder(bytes.NewReader(reqRaw)).Decode(&req); err != nil {
+		t.Fatalf("decoding v1 request with current code: %v", err)
+	}
+	if req.Version != 0 || req.Trace.TraceID != 0 || req.Trace.SpanID != 0 {
+		t.Fatalf("v1 request decoded with nonzero trace fields: %+v", req)
+	}
+	if req.Kind != KindQuery || req.Query == nil || req.Query.Table != "events" {
+		t.Fatalf("v1 request payload mangled: %+v", req)
+	}
+
+	var resp Response
+	if err := gob.NewDecoder(bytes.NewReader(respRaw)).Decode(&resp); err != nil {
+		t.Fatalf("decoding v1 response with current code: %v", err)
+	}
+	if resp.Exec != nil {
+		t.Fatalf("v1 response decoded with Exec = %+v, want nil", resp.Exec)
+	}
+	if resp.Result == nil || resp.Result.RowsScanned != 500 {
+		t.Fatalf("v1 response payload mangled: %+v", resp)
+	}
+
+	// The fixture itself must round-trip through the v1 shapes unchanged —
+	// a corrupted or regenerated-with-drift fixture fails here.
+	var oldReq v1Request
+	if err := gob.NewDecoder(bytes.NewReader(reqRaw)).Decode(&oldReq); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&oldReq, v1QueryRequest()) {
+		t.Fatalf("fixture request = %+v, want %+v", &oldReq, v1QueryRequest())
+	}
+	var oldResp v1Response
+	if err := gob.NewDecoder(bytes.NewReader(respRaw)).Decode(&oldResp); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&oldResp, v1QueryResponse()) {
+		t.Fatalf("fixture response = %+v, want %+v", &oldResp, v1QueryResponse())
+	}
+}
+
+// TestV2FramesDecodeAsV1 proves the reverse direction: a v2 frame carrying
+// trace context still decodes under the v1 struct shapes (gob skips unknown
+// fields), so an old server simply ignores a new client's trace — the bump
+// is additive, not a fork.
+func TestV2FramesDecodeAsV1(t *testing.T) {
+	req := &Request{Kind: KindQuery, Table: "events", Query: v1QueryRequest().Query}
+	req.Version = ProtocolVersion
+	req.Trace.TraceID, req.Trace.SpanID = 7, 8
+	var old v1Request
+	if err := gob.NewDecoder(bytes.NewReader(gobBytes(t, req))).Decode(&old); err != nil {
+		t.Fatalf("v1 shape rejecting v2 request: %v", err)
+	}
+	if old.Kind != KindQuery || old.Query == nil {
+		t.Fatalf("v2 request lost payload under v1 shape: %+v", old)
+	}
+}
+
+// TestOldClientAgainstNewServer drives a live server with raw v1 frames
+// over TCP — exactly what a not-yet-upgraded aggregator does during a
+// rolling restart — and expects a correct answer, untraced.
+func TestOldClientAgainstNewServer(t *testing.T) {
+	s, c, _ := newServer(t, 0)
+	if err := c.AddRows("events", mkRows(500, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(v1QueryRequest()); err != nil {
+		t.Fatal(err)
+	}
+	var resp v1Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("new server errored on v1 client: %s", resp.Err)
+	}
+	res := query.Import(resp.Result)
+	q := v1QueryRequest().Query
+	rows := res.Rows(q)
+	if len(rows) != 1 || rows[0].Values[0] != 500 {
+		t.Fatalf("v1 client got wrong result: %v", rows)
+	}
+}
+
+// FuzzEnvelopeDecode throws arbitrary bytes at the request decoder — the
+// server's first contact with the network — expecting errors, never panics.
+func FuzzEnvelopeDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(gobBytesF(f, v1QueryRequest()))
+	f.Add(gobBytesF(f, &Request{Kind: KindPing, Version: ProtocolVersion}))
+	traced := &Request{Kind: KindQuery, Query: v1QueryRequest().Query, Version: ProtocolVersion}
+	traced.Trace.TraceID, traced.Trace.SpanID = 1, 2
+	f.Add(gobBytesF(f, traced))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&req); err != nil {
+			return
+		}
+		_ = req.Kind.String()
+	})
+}
+
+func gobBytesF(f *testing.F, v any) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}

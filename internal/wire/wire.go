@@ -21,9 +21,19 @@ import (
 	"scuba/internal/fault"
 	"scuba/internal/leaf"
 	"scuba/internal/metrics"
+	"scuba/internal/obs"
 	"scuba/internal/query"
 	"scuba/internal/rowblock"
 )
+
+// ProtocolVersion is the envelope version this build speaks. Version 2
+// added trace context to Request and ExecStats to Response. The encoding is
+// gob, which matches struct fields by name and omits zero values, so the
+// version number is informational rather than a gate: a v2 server answers a
+// v1 client (trace fields decode as zero — the query runs untraced) and a
+// v1 server ignores a v2 client's trace fields. Golden-frame tests pin both
+// directions.
+const ProtocolVersion = 2
 
 // Kind tags a request.
 type Kind uint8
@@ -62,6 +72,10 @@ type Request struct {
 	Query *query.Query
 	// UseShm selects the shared memory shutdown path (vs disk-only).
 	UseShm bool
+	// Version is the sender's ProtocolVersion (0 = pre-versioning client).
+	Version uint8
+	// Trace carries the query's trace context (v2+; zero = untraced).
+	Trace obs.TraceContext
 }
 
 // Response is one RPC response.
@@ -70,6 +84,9 @@ type Response struct {
 	Stats    *leaf.Stats
 	Result   *query.WireResult
 	Shutdown *leaf.ShutdownInfo
+	// Exec is the leaf's execution report for a traced query (v2+; nil for
+	// untraced queries and pre-trace servers).
+	Exec *obs.ExecStats
 }
 
 // Server exposes one leaf over TCP.
@@ -184,7 +201,14 @@ func (s *Server) handle(req *Request) *Response {
 		return &Response{}
 	case KindQuery:
 		start := time.Now()
-		res, err := s.leaf.Query(req.Query)
+		var res *query.Result
+		var exec *obs.ExecStats
+		var err error
+		if req.Trace.TraceID != 0 {
+			res, exec, err = s.leaf.QueryTraced(req.Query, req.Trace)
+		} else {
+			res, err = s.leaf.Query(req.Query)
+		}
 		if err != nil {
 			s.reg.Counter("rpc.errors").Add(1)
 			return &Response{Err: err.Error()}
@@ -192,7 +216,7 @@ func (s *Server) handle(req *Request) *Response {
 		d := time.Since(start)
 		s.reg.Timer("query.latency").Observe(d)
 		s.reg.Histogram("query.latency_hist").ObserveDuration(d)
-		return &Response{Result: res.Export()}
+		return &Response{Result: res.Export(), Exec: exec}
 	case KindStats:
 		st := s.leaf.Stats()
 		return &Response{Stats: &st}
@@ -342,6 +366,9 @@ func (c *Client) release(cc *clientConn) {
 // lands on the replacement process. Mutating requests are never retried: a
 // timed-out AddRows may have been applied.
 func (c *Client) Call(req *Request) (*Response, error) {
+	if req.Version == 0 {
+		req.Version = ProtocolVersion
+	}
 	retries := 0
 	if idempotent(req.Kind) {
 		retries = c.opts.MaxRetries
@@ -464,6 +491,18 @@ func (c *Client) Query(q *query.Query) (*query.Result, error) {
 		return nil, err
 	}
 	return query.Import(resp.Result), nil
+}
+
+// QueryTraced implements aggregator.TracedTarget: the trace context rides
+// the request envelope and the leaf's ExecStats ride the response. The span
+// ID was stamped by the aggregator before the first attempt, so a retried
+// RPC re-sends the same context and the trace never grows duplicate spans.
+func (c *Client) QueryTraced(q *query.Query, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error) {
+	resp, err := c.Call(&Request{Kind: KindQuery, Query: q, Trace: tc})
+	if err != nil {
+		return nil, nil, err
+	}
+	return query.Import(resp.Result), resp.Exec, nil
 }
 
 // Shutdown asks the leaf to exit cleanly (through shared memory when

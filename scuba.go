@@ -361,6 +361,43 @@ type (
 	RecoveryDump = obs.RecoveryDump
 )
 
+// Tracing: the aggregator stamps every query with a trace ID and per-leaf
+// span IDs, the wire envelope (protocol v2) carries the context, each leaf
+// answers with an ExecStats report, and the assembled cross-leaf traces are
+// served from bounded rings at /debug/traces and /debug/slow on scuba-aggd.
+type (
+	// TraceContext is the (trace ID, span ID) pair carried in request
+	// envelopes; the zero value means untraced.
+	TraceContext = obs.TraceContext
+	// ExecStats is one leaf's per-query execution report.
+	ExecStats = obs.ExecStats
+	// LeafSpan is one leaf's slot in an assembled trace.
+	LeafSpan = obs.LeafSpan
+	// Trace is one query's assembled cross-leaf trace.
+	Trace = obs.Trace
+	// Tracer assembles traces and retains the recent and slow rings.
+	Tracer = obs.Tracer
+	// TracerOptions configure ring sizes and the slow threshold.
+	TracerOptions = obs.TracerOptions
+	// TraceDump is the /debug/traces and /debug/slow JSON shape.
+	TraceDump = obs.TraceDump
+	// PhaseTimes is a query execution's per-phase time breakdown.
+	PhaseTimes = query.PhaseTimes
+)
+
+// Tracing constructors.
+var (
+	// NewTracer creates a tracer (zero options: 64-trace ring, 32-slow
+	// ring, adaptive p99 slow threshold).
+	NewTracer = obs.NewTracer
+	// NewTraceSpanID mints a random nonzero trace or span ID.
+	NewTraceSpanID = obs.RandomID
+)
+
+// WireProtocolVersion is the RPC envelope version this build speaks
+// (version 2 added trace context; old frames still decode).
+const WireProtocolVersion = wire.ProtocolVersion
+
 // Flight-recorder event kinds.
 const (
 	FlightBegin = obs.EventBegin
