@@ -7,10 +7,12 @@ package scuba_test
 // process must come up from the disk backup with the full dataset.
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -119,4 +121,173 @@ func TestDaemonCrashDuringShutdownRecoversFromDisk(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestRolloverKillNineMidBatch is the sharded-rollover chaos drill: a leaf
+// is kill -9'd after its batch was flipped to DRAINING but before its
+// shutdown RPC lands. The orchestrator must not hang — the crashed leaf's
+// shm backup is invalid, so its replacement takes the disk path while
+// replicas keep its shards serving — and the rollover either completes
+// (MaxDiskFallback disabled) or aborts at the canary guard.
+func TestRolloverKillNineMidBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess chaos drill")
+	}
+	bin, err := scuba.BuildScubad(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := func(t *testing.T) (*scuba.ProcCluster, *scuba.Query, []scuba.ResultRow) {
+		t.Helper()
+		pc, err := scuba.StartProcCluster(scuba.ProcConfig{
+			BinPath:          bin,
+			Machines:         2,
+			LeavesPerMachine: 2,
+			Replication:      2,
+			WorkDir:          t.TempDir(),
+			Namespace:        "chaos-roll",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(pc.Close)
+		placer := pc.NewShardedPlacer()
+		gen := scuba.ServiceLogs(31, 1700000000)
+		for sent := 0; sent < 5000; sent += 1000 {
+			if _, err := placer.Place("service_logs", gen.NextBatch(1000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A kill -9 victim recovers only what disk holds: raise the
+		// durability barrier (seal + sync every leaf) before any violence,
+		// like a production orchestrator does before maintenance.
+		if err := pc.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		q := &scuba.Query{Table: "service_logs", From: 0, To: 1 << 62,
+			Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggSum, Column: "latency_ms"}},
+			GroupBy:      []string{"service"}}
+		baseline, err := pc.AggClient().Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline.ShardCoverage() != 1 {
+			t.Fatalf("baseline coverage %d/%d", baseline.ShardsAnswered, baseline.ShardsTotal)
+		}
+		return pc, q, baseline.Rows(q)
+	}
+	killDraining := func(t *testing.T, pc *scuba.ProcCluster, addr string) {
+		t.Helper()
+		for _, l := range pc.Leaves() {
+			if l.Addr == addr {
+				if err := l.Kill(); err != nil {
+					t.Errorf("kill -9 %s: %v", addr, err)
+				}
+				return
+			}
+		}
+		t.Errorf("no leaf at %s", addr)
+	}
+
+	t.Run("completes", func(t *testing.T) {
+		pc, q, baseRows := start(t)
+		var victim string
+		probe := scuba.StartAvailabilityProbe(pc.AggClient(), scuba.ProbeConfig{
+			Query: q,
+			Check: func(res *scuba.Result) error {
+				if !reflect.DeepEqual(res.Rows(q), baseRows) {
+					return errors.New("result drifted from baseline")
+				}
+				return nil
+			},
+		})
+		rep, err := pc.ProcRollover(scuba.ProcRolloverConfig{
+			BatchFraction: 0.25,
+			UseShm:        true,
+			KillTimeout:   time.Minute,
+			Tables:        []string{"service_logs"},
+			OnBatch: func(b int, draining []string) {
+				// kill -9 the second batch's leaf right after its DRAINING
+				// flip: the shutdown RPC finds a corpse.
+				if b == 1 {
+					victim = draining[0]
+					killDraining(t, pc, victim)
+				}
+			},
+		})
+		avail := probe.Stop()
+		if err != nil {
+			t.Fatalf("rollover did not complete: %v", err)
+		}
+		if len(rep.Quarantined) != 0 {
+			t.Errorf("quarantined leaves: %v", rep.Quarantined)
+		}
+		if rep.DiskRecoveries != 1 || rep.MemoryRecoveries != len(pc.Leaves())-1 {
+			t.Errorf("recoveries = %d memory / %d disk, want %d / 1",
+				rep.MemoryRecoveries, rep.DiskRecoveries, len(pc.Leaves())-1)
+		}
+		foundVictim := false
+		for _, r := range rep.Restarts {
+			if r.Addr == victim {
+				foundVictim = true
+				if !r.Crashed || r.RecoveryPath != "disk" {
+					t.Errorf("victim restart = %+v, want Crashed via disk", r)
+				}
+			} else if r.Crashed || r.RecoveryPath != "memory" {
+				t.Errorf("bystander restart = %+v, want clean shm recovery", r)
+			}
+		}
+		if !foundVictim {
+			t.Error("victim's restart missing from the report")
+		}
+		// Replicas kept the victim's shards serving the §5 invariant.
+		if avail.Wrong != 0 {
+			t.Errorf("%d queries returned non-baseline results", avail.Wrong)
+		}
+		if avail.MinShardCoverage < 0.75 {
+			t.Errorf("min shard coverage %.3f below the 1-BatchFraction floor", avail.MinShardCoverage)
+		}
+		after, err := pc.AggClient().Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.ShardCoverage() != 1 || !reflect.DeepEqual(after.Rows(q), baseRows) {
+			t.Errorf("post-chaos coverage %d/%d or drifted result",
+				after.ShardsAnswered, after.ShardsTotal)
+		}
+	})
+
+	t.Run("aborts at MaxDiskFallback", func(t *testing.T) {
+		pc, q, baseRows := start(t)
+		rep, err := pc.ProcRollover(scuba.ProcRolloverConfig{
+			BatchFraction: 0.25,
+			UseShm:        true,
+			KillTimeout:   time.Minute,
+			// A single disk fallback among the first batch's restarts trips
+			// the canary guard immediately.
+			MaxDiskFallback: 0.1,
+			Tables:          []string{"service_logs"},
+			OnBatch: func(b int, draining []string) {
+				if b == 0 {
+					killDraining(t, pc, draining[0])
+				}
+			},
+		})
+		if !errors.Is(err, scuba.ErrRolloverAborted) {
+			t.Fatalf("err = %v, want ErrRolloverAborted", err)
+		}
+		if !rep.Aborted || rep.Batches != 1 || rep.DiskRecoveries != 1 {
+			t.Errorf("report = %+v, want aborted after 1 batch with 1 disk recovery", rep)
+		}
+		// The aborted rollover is still a healthy cluster: the victim came
+		// back from disk, everyone else never restarted.
+		after, err := pc.AggClient().Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.ShardCoverage() != 1 || !reflect.DeepEqual(after.Rows(q), baseRows) {
+			t.Errorf("post-abort coverage %d/%d or drifted result",
+				after.ShardsAnswered, after.ShardsTotal)
+		}
+	})
 }

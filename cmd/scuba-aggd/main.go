@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -34,6 +35,9 @@ func main() {
 		httpAddr    = flag.String("http", "", "observability listen address serving /metrics, /debug/traces, /debug/slow and /debug/pprof ('' disables)")
 		slowQuery   = flag.Duration("slow-query", 0, "queries at or above this duration land in the /debug/slow ring (0 = adaptive: slower than the running p99)")
 		traceRing   = flag.Int("trace-ring", 64, "how many recent traces /debug/traces retains")
+		replication = flag.Int("replication", 0, "shard replication factor R: each shard lives on R leaves and queries fail over to a replica while the primary restarts (0 = unsharded full fan-out)")
+		numShards   = flag.Int("num-shards", 0, "shards per table under -replication (0 = 2x leaf count)")
+		machineSpec = flag.String("machines", "", "comma-separated machine index per leaf (parallel to -leaves) so shard replicas land on distinct machines; '' = every leaf its own machine")
 	)
 	flag.Parse()
 	if *leaves == "" {
@@ -65,6 +69,23 @@ func main() {
 	agg.LeafTimeout = *leafTimeout
 	agg.Tracer = tracer
 	agg.Labels = addrs
+	if *replication > 0 {
+		var machines []int
+		if *machineSpec != "" {
+			for _, f := range strings.Split(*machineSpec, ",") {
+				m, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					log.Fatalf("scuba-aggd: -machines: %v", err)
+				}
+				machines = append(machines, m)
+			}
+			if len(machines) != len(addrs) {
+				log.Fatalf("scuba-aggd: -machines lists %d entries for %d leaves", len(machines), len(addrs))
+			}
+		}
+		r := wire.ShardRouting(agg, addrs, machines, *replication, *numShards)
+		log.Printf("shard routing on: %s", r.Map())
+	}
 	srv, err := wire.NewAggServerOver(agg, *addr)
 	if err != nil {
 		log.Fatal(err)

@@ -1,20 +1,25 @@
-// Command scuba-rollover drives a system-wide software upgrade (§4.5),
-// either against an in-process mini-cluster (-mode live, measuring the real
-// implementation) or with the calibrated production-scale model (-mode sim,
-// reproducing the paper's hour-scale numbers). Both render the Figure 8
-// dashboard: old version / rolling over / new version.
+// Command scuba-rollover drives a system-wide software upgrade (§4.5):
+// against real scubad subprocesses with replica-backed shard routing
+// (-mode real, the production procedure end to end with a live availability
+// timeline), against an in-process mini-cluster (-mode live, measuring the
+// restart path itself), or with the calibrated production-scale model
+// (-mode sim, reproducing the paper's hour-scale numbers). All render the
+// Figure 8 dashboard: old version / rolling over / new version.
 //
 // Usage:
 //
+//	scuba-rollover -mode real -machines 4 -leaves 4 -rows 100000 -replication 2
 //	scuba-rollover -mode live -machines 4 -leaves 8 -rows 400000 -path shm
 //	scuba-rollover -mode sim  -path both
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"reflect"
 	"strings"
 	"time"
 
@@ -24,16 +29,30 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "live", "live (real mini-cluster) or sim (paper-scale model)")
-		machines = flag.Int("machines", 4, "machines (live mode)")
-		leaves   = flag.Int("leaves", 8, "leaves per machine (live mode)")
-		rows     = flag.Int("rows", 200000, "rows to preload (live mode)")
-		path     = flag.String("path", "both", "shm, disk, or both")
-		batch    = flag.Float64("batch", 0.02, "fraction of leaves per batch")
+		mode        = flag.String("mode", "live", "real (scubad subprocesses), live (in-process mini-cluster), sim (paper-scale model), or canary")
+		machines    = flag.Int("machines", 4, "machines (real/live modes)")
+		leaves      = flag.Int("leaves", 8, "leaves per machine (real/live modes)")
+		rows        = flag.Int("rows", 200000, "rows to preload (real/live modes)")
+		path        = flag.String("path", "both", "shm, disk, or both (real mode uses shm unless -path disk)")
+		batch       = flag.Float64("batch", 0.02, "fraction of leaves per batch")
+		replication = flag.Int("replication", 2, "owners per shard (real mode)")
+		numShards   = flag.Int("shards", 0, "shards per table (real mode; 0 = default)")
+		bin         = flag.String("bin", "", "scubad binary (real mode; '' builds it)")
+		killAfter   = flag.Duration("kill-timeout", 3*time.Minute, "per-leaf drain deadline before kill -9 (real mode)")
+		maxDisk     = flag.Float64("max-disk-fallback", 0, "abort when this fraction of restarts disk-recover (real mode; 0 disables)")
+		verbose     = flag.Bool("v", false, "forward subprocess logs to stderr (real mode)")
 	)
 	flag.Parse()
 
 	switch *mode {
+	case "real":
+		runReal(realConfig{
+			machines: *machines, leaves: *leaves, rows: *rows,
+			batch: *batch, useShm: *path != "disk",
+			replication: *replication, numShards: *numShards,
+			bin: *bin, killTimeout: *killAfter, maxDiskFallback: *maxDisk,
+			verbose: *verbose,
+		})
 	case "live":
 		runLive(*machines, *leaves, *rows, *batch, *path)
 	case "sim":
@@ -42,6 +61,138 @@ func main() {
 		runCanary(*machines, *leaves, *rows)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+type realConfig struct {
+	machines, leaves, rows int
+	batch                  float64
+	useShm                 bool
+	replication, numShards int
+	bin                    string
+	killTimeout            time.Duration
+	maxDiskFallback        float64
+	verbose                bool
+}
+
+// runReal is the production rollover procedure end to end: real scubad
+// processes, dual-written shards, drain-to-shm RPCs, kill timeouts,
+// /debug/recovery polling, and shard-map flips through the aggregator's
+// admin RPCs — with a probe measuring live availability the whole way.
+func runReal(cfg realConfig) {
+	workDir, err := os.MkdirTemp("", "scuba-real-rollover-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workDir)
+
+	binPath := cfg.bin
+	if binPath == "" {
+		fmt.Println("building scubad...")
+		binPath, err = scuba.BuildScubad(workDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var logs = os.Stderr
+	if !cfg.verbose {
+		logs = nil
+	}
+	start := time.Now()
+	pc, err := scuba.StartProcCluster(scuba.ProcConfig{
+		BinPath:          binPath,
+		Machines:         cfg.machines,
+		LeavesPerMachine: cfg.leaves,
+		Replication:      cfg.replication,
+		NumShards:        cfg.numShards,
+		WorkDir:          workDir,
+		Namespace:        "real-rollover",
+		Logs:             logs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pc.Close()
+	n := cfg.machines * cfg.leaves
+	fmt.Printf("%d scubad processes up in %v (%d machines x %d leaves, R=%d), aggregator at %s\n",
+		n, time.Since(start).Round(time.Millisecond), cfg.machines, cfg.leaves,
+		cfg.replication, pc.AggAddr())
+
+	placer := pc.NewShardedPlacer()
+	gen := scuba.ServiceLogs(1, time.Now().Unix()-7200)
+	for sent := 0; sent < cfg.rows; sent += 1000 {
+		if _, err := placer.Place("service_logs", gen.NextBatch(1000)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := placer.Stats()
+	fmt.Printf("loaded %d rows as %d batches (%d replica copies, %d missed)\n",
+		st.RowsPlaced, st.Batches, st.Copies, st.MissedCopies)
+
+	q := &scuba.Query{Table: "service_logs", From: 0, To: 1 << 62,
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggSum, Column: "latency_ms"}},
+		GroupBy:      []string{"service"}}
+	aggCli := pc.AggClient()
+	baseline, err := aggCli.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRows := baseline.Rows(q)
+	fmt.Printf("baseline: %d/%d shards, %d result groups\n\n",
+		baseline.ShardsAnswered, baseline.ShardsTotal, len(baseRows))
+
+	probe := scuba.StartAvailabilityProbe(aggCli, scuba.ProbeConfig{
+		Query: q,
+		Check: func(res *scuba.Result) error {
+			if !reflect.DeepEqual(res.Rows(q), baseRows) {
+				return errors.New("result drifted from baseline")
+			}
+			return nil
+		},
+	})
+
+	which := "shm"
+	if !cfg.useShm {
+		which = "disk"
+	}
+	fmt.Printf("--- %s rollover, %d%% per batch, MaxPerMachine=1 ---\n", which, int(cfg.batch*100))
+	rep, err := pc.ProcRollover(scuba.ProcRolloverConfig{
+		BatchFraction:   cfg.batch,
+		MaxPerMachine:   1,
+		UseShm:          cfg.useShm,
+		KillTimeout:     cfg.killTimeout,
+		MaxDiskFallback: cfg.maxDiskFallback,
+		Tables:          []string{"service_logs"},
+		OnBatch: func(b int, draining []string) {
+			fmt.Printf("  batch %2d: draining %s\n", b, strings.Join(draining, " "))
+		},
+	})
+	avail := probe.Stop()
+	if err != nil {
+		fmt.Printf("rollover stopped: %v\n", err)
+	}
+	fmt.Printf("\nrollover: %v, %d batches, %d memory / %d mixed / %d disk recoveries, %d quarantined\n",
+		rep.Duration.Round(time.Millisecond), rep.Batches,
+		rep.MemoryRecoveries, rep.MixedRecoveries, rep.DiskRecoveries, len(rep.Quarantined))
+
+	fmt.Printf("\navailability during rollover (%d queries, %d errors, %d wrong):\n",
+		avail.Queries, avail.Errors, avail.Wrong)
+	fmt.Printf("  shard coverage: min %.1f%%   leaf coverage: min %.1f%%\n",
+		100*avail.MinShardCoverage, 100*avail.MinLeafCoverage)
+	fmt.Printf("  query latency: p50 %v  p99 %v\n",
+		avail.P50.Round(time.Microsecond), avail.P99.Round(time.Microsecond))
+	step := len(avail.Points) / 12
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(avail.Points); i += step {
+		pt := avail.Points[i]
+		w := 40
+		bar := strings.Repeat("#", int(pt.ShardCoverage*float64(w)))
+		bar += strings.Repeat(".", w-len(bar))
+		fmt.Printf("  %8s |%s| shards %5.1f%%  leaves %5.1f%%  %v\n",
+			pt.Elapsed.Round(time.Millisecond), bar,
+			100*pt.ShardCoverage, 100*pt.LeafCoverage, pt.Latency.Round(time.Microsecond))
 	}
 }
 

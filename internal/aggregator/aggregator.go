@@ -1,27 +1,42 @@
 // Package aggregator implements Scuba's aggregator servers (§2, Figure 1).
-// An aggregator distributes a query to all leaf servers and aggregates the
+// An aggregator distributes a query to leaf servers and aggregates the
 // results as they arrive. Scuba returns partial query results when not all
 // servers are available (§1); the aggregator therefore never fails a query
 // because some leaves are restarting — it reports coverage instead.
+//
+// Without a shard map the aggregator fans every query out to every leaf
+// (the paper's §2 topology). With a shard.Router set, it routes each query
+// only to the leaves owning the table's shards, failing over to a replica
+// when a primary is draining or down — so a rolling restart (§5) keeps
+// every shard queryable from a peer instead of dropping coverage.
 package aggregator
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
 	"scuba/internal/query"
+	"scuba/internal/shard"
 )
 
-// leafAnswer is one leaf's reply during fan-out (res nil on error).
+// leafAnswer is one target's reply during fan-out.
 type leafAnswer struct {
-	i    int
+	i    int // index into the fan-out plan
 	res  *query.Result
 	exec *obs.ExecStats
 	err  error
 	rtt  time.Duration
+	// shardsOK is how many of the slot's shards were answered — by the
+	// target itself, or by replicas after a failover retry (sharded plans).
+	shardsOK int
+	// failedOver marks a slot whose target errored but whose shards were
+	// re-fetched from replicas: res holds the replicas' merged partials
+	// while the leaf itself still counts as unanswered.
+	failedOver bool
 }
 
 // LeafTarget is a leaf as seen by the aggregator. In-process clusters adapt
@@ -38,6 +53,14 @@ type TracedTarget interface {
 	QueryTraced(q *query.Query, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error)
 }
 
+// ShardTarget is a LeafTarget that can serve a shard-scoped query: only the
+// named shards of the logical table, stored leaf-side as physical tables
+// (shard.PhysicalTable). *leaf.Leaf, cluster nodes, and wire clients all
+// implement it; shard routing requires it.
+type ShardTarget interface {
+	QueryShards(q *query.Query, shards []int, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error)
+}
+
 // Aggregator fans queries out to a fixed set of leaves.
 type Aggregator struct {
 	leaves []LeafTarget
@@ -49,13 +72,21 @@ type Aggregator struct {
 	// LeavesTotal/LeavesAnswered coverage — the paper's partial-results
 	// contract (§1) instead of one hung leaf wedging every query.
 	LeafTimeout time.Duration
+	// Router, when non-nil, turns on shard routing: each query fans out
+	// only to the leaves the router assigns for its table (replicas
+	// covering drained primaries), every target must implement
+	// ShardTarget, and results carry per-shard coverage. The router's map
+	// must list leaves in the same order as the aggregator's targets.
+	Router *shard.Router
 	// Metrics, when non-nil, receives per-query instrumentation: the
 	// query.latency timer and query.latency_hist histogram (end-to-end
 	// fan-out + merge), query.count / query.errors counters, the
 	// query.leaves_total / query.leaves_answered coverage counters, a
 	// query.leaves_abandoned counter of stragglers dropped at LeafTimeout,
 	// and a query.fanout histogram of leaves answered per query. With a
-	// Tracer set, a query.slow counter tracks slow-log admissions.
+	// Router set, query.shards_total / query.shards_answered /
+	// query.shards_unserved count per-shard coverage. With a Tracer set, a
+	// query.slow counter tracks slow-log admissions.
 	Metrics *metrics.Registry
 	// Tracer, when non-nil, turns on per-query tracing: every query is
 	// stamped with a trace ID and per-leaf span IDs, targets that implement
@@ -75,9 +106,59 @@ func New(leaves []LeafTarget) *Aggregator {
 // ErrNoLeaves is returned when the aggregator has no leaves at all.
 var ErrNoLeaves = errors.New("aggregator: no leaves configured")
 
-// Query runs q on every leaf and merges the partial results. Leaves that
+// errNotShardCapable marks a target that cannot serve shard-scoped queries
+// while the aggregator routes by shard.
+var errNotShardCapable = errors.New("aggregator: target does not support shard-scoped queries")
+
+// fanTarget is one slot of a query's fan-out plan: a target plus the shards
+// it serves for this query (nil = the whole table, the unsharded topology).
+type fanTarget struct {
+	idx    int
+	shards []int
+}
+
+// fanPlan is the routing decision for one query, computed once before
+// fan-out so a concurrent shard-map flip never splits a query between two
+// views of the cluster.
+type fanPlan struct {
+	targets []fanTarget
+	sharded bool
+	// shardsTotal/shardsUnserved only when sharded.
+	shardsTotal    int
+	shardsUnserved int
+}
+
+// plan routes one query. Unsharded: every leaf, whole table. Sharded: the
+// router's assignment, one slot per serving leaf, sorted by leaf index so
+// span order is stable.
+func (a *Aggregator) plan(table string) fanPlan {
+	if a.Router == nil {
+		p := fanPlan{targets: make([]fanTarget, len(a.leaves))}
+		for i := range a.leaves {
+			p.targets[i] = fanTarget{idx: i}
+		}
+		return p
+	}
+	asn := a.Router.Assign(table)
+	p := fanPlan{sharded: true, shardsTotal: asn.Total, shardsUnserved: len(asn.Unserved)}
+	idxs := make([]int, 0, len(asn.PerLeaf))
+	for idx := range asn.PerLeaf {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		if idx < len(a.leaves) {
+			p.targets = append(p.targets, fanTarget{idx: idx, shards: asn.PerLeaf[idx]})
+		}
+	}
+	return p
+}
+
+// Query runs q on every leaf (or, with a shard router, every leaf serving
+// one of the table's shards) and merges the partial results. Leaves that
 // error (restarting, unreachable) are skipped; the merged result's
-// LeavesTotal/LeavesAnswered report the coverage users see on dashboards.
+// LeavesTotal/LeavesAnswered — and ShardsTotal/ShardsAnswered under shard
+// routing — report the coverage users see on dashboards.
 func (a *Aggregator) Query(q *query.Query) (*query.Result, error) {
 	return a.QueryTraced(q, obs.TraceContext{})
 }
@@ -100,34 +181,47 @@ func (a *Aggregator) QueryTraced(q *query.Query, parent obs.TraceContext) (*quer
 		}
 		return nil, ErrNoLeaves
 	}
+	plan := a.plan(q.Table)
 	traceID := parent.TraceID
 	if traceID == 0 {
 		traceID = a.Tracer.NewTraceID()
 	}
 	// Span contexts are stamped before fan-out so each goroutine only reads
-	// its own slot: one span ID per target, reused across wire-client
-	// retries, so the assembled trace has exactly one span per leaf.
-	ctxs := make([]obs.TraceContext, len(a.leaves))
+	// its own slot: one span ID per planned target, reused across
+	// wire-client retries, so the assembled trace has exactly one span per
+	// leaf.
+	ctxs := make([]obs.TraceContext, len(plan.targets))
 	if traceID != 0 {
 		for i := range ctxs {
 			ctxs[i] = obs.TraceContext{TraceID: traceID, SpanID: obs.RandomID()}
 		}
 	}
-	sem := make(chan struct{}, a.parallelism())
+	sem := make(chan struct{}, a.parallelism(len(plan.targets)))
 	// The channel is buffered for the full fan-out, so a leaf answering
 	// after its deadline completes its send and exits instead of leaking.
-	answers := make(chan leafAnswer, len(a.leaves))
-	for i, l := range a.leaves {
-		go func(i int, l LeafTarget) {
+	answers := make(chan leafAnswer, len(plan.targets))
+	for i, ft := range plan.targets {
+		go func(i int, ft fanTarget) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			t0 := time.Now()
-			res, exec, err := queryTarget(l, q, ctxs[i])
-			if err != nil {
-				res, exec = nil, nil
+			res, exec, err := a.queryTarget(ft, q, ctxs[i])
+			ans := leafAnswer{i: i, res: res, exec: exec, err: err, rtt: time.Since(t0)}
+			if err == nil {
+				ans.shardsOK = len(ft.shards)
+			} else {
+				ans.res, ans.exec = nil, nil
+				if len(ft.shards) > 0 {
+					// The planned owner died mid-query (a restart racing the
+					// routing snapshot): re-fetch its shards from the next
+					// live replica so shard coverage holds through the race.
+					if fres, n := a.failover(q, ft); n > 0 {
+						ans.res, ans.shardsOK, ans.failedOver = fres, n, true
+					}
+				}
 			}
-			answers <- leafAnswer{i: i, res: res, exec: exec, err: err, rtt: time.Since(t0)}
-		}(i, l)
+			answers <- ans
+		}(i, ft)
 	}
 
 	var deadline <-chan time.Time
@@ -136,39 +230,68 @@ func (a *Aggregator) QueryTraced(q *query.Query, parent obs.TraceContext) (*quer
 		defer tm.Stop()
 		deadline = tm.C
 	}
-	// Only the collector writes results and spans, so an abandoned straggler
+	// Only the collector writes answers and spans, so an abandoned straggler
 	// can never race the merge below.
-	results := make([]*query.Result, len(a.leaves))
-	spans := make([]obs.LeafSpan, len(a.leaves))
-	for i := range spans {
-		spans[i] = obs.LeafSpan{SpanID: ctxs[i].SpanID, Leaf: a.leafLabel(i)}
+	got := make([]*leafAnswer, len(plan.targets))
+	spans := make([]obs.LeafSpan, len(plan.targets))
+	for i, ft := range plan.targets {
+		spans[i] = obs.LeafSpan{SpanID: ctxs[i].SpanID, Leaf: a.leafLabel(ft.idx), Shards: ft.shards}
 	}
-	abandoned := 0
+	elapsedAtDeadline := int64(0)
 collect:
-	for received := 0; received < len(a.leaves); received++ {
+	for received := 0; received < len(plan.targets); received++ {
 		select {
 		case ans := <-answers:
-			results[ans.i] = ans.res
+			got[ans.i] = &ans
 			sp := &spans[ans.i]
 			sp.RTTNanos = ans.rtt.Nanoseconds()
 			if ans.err != nil {
 				sp.Err = ans.err.Error()
+				if ans.failedOver {
+					sp.Err += fmt.Sprintf(" (%d/%d shards failed over to replicas)", ans.shardsOK, len(plan.targets[ans.i].shards))
+				}
 			} else {
 				sp.Answered = true
 				sp.Exec = ans.exec
 			}
 		case <-deadline:
-			abandoned = len(a.leaves) - received
+			elapsedAtDeadline = time.Since(start).Nanoseconds()
 			break collect
+		}
+	}
+	// Stragglers abandoned at the deadline never reached the collector:
+	// their spans record the elapsed time at abandonment. This is the one
+	// place abandonment is decided — the merged result, the trace, and the
+	// metrics counters below all read the same span state, so coverage can
+	// never disagree between /debug/traces and the dashboards.
+	abandoned := 0
+	for i := range spans {
+		if sp := &spans[i]; !sp.Answered && sp.Err == "" {
+			abandoned++
+			sp.RTTNanos = elapsedAtDeadline
+			sp.Err = "abandoned at leaf deadline"
 		}
 	}
 
 	merged := query.NewResult()
-	for _, res := range results {
-		if res == nil {
-			// Unreachable target: one leaf's worth of data missing (or an
-			// unreachable downstream aggregator, counted as one).
+	for _, ans := range got {
+		if ans == nil || ans.res == nil {
+			// Unreachable or abandoned target with no failover: one leaf's
+			// worth of data missing (or an unreachable downstream
+			// aggregator, counted as one — its subtree size is unknowable
+			// here). Its shards, if any, go unanswered.
 			merged.LeavesTotal++
+			continue
+		}
+		res := ans.res
+		if ans.failedOver {
+			// The leaf itself is unanswered, but its shards were re-fetched
+			// from replicas: leaf coverage dips, shard coverage holds.
+			merged.LeavesTotal++
+			res.ShardsTotal, res.ShardsAnswered = 0, 0
+			res.LeavesTotal, res.LeavesAnswered = 0, 0
+			merged.ShardsAnswered += ans.shardsOK
+			merged.Merge(res)
 			continue
 		}
 		if res.LeavesTotal > 0 {
@@ -181,7 +304,16 @@ collect:
 			merged.LeavesTotal++
 			merged.LeavesAnswered++
 		}
+		if plan.sharded {
+			// Shard coverage is computed here, from the plan — a leaf's own
+			// shard fields (always zero today) must not double-count.
+			res.ShardsTotal, res.ShardsAnswered = 0, 0
+			merged.ShardsAnswered += ans.shardsOK
+		}
 		merged.Merge(res)
+	}
+	if plan.sharded {
+		merged.ShardsTotal = plan.shardsTotal
 	}
 	if r := a.Metrics; r != nil {
 		d := time.Since(start)
@@ -192,17 +324,14 @@ collect:
 		r.Counter("query.leaves_answered").Add(int64(merged.LeavesAnswered))
 		r.Counter("query.leaves_abandoned").Add(int64(abandoned))
 		r.Histogram("query.fanout").Observe(int64(merged.LeavesAnswered))
+		if plan.sharded {
+			r.Counter("query.shards_total").Add(int64(merged.ShardsTotal))
+			r.Counter("query.shards_answered").Add(int64(merged.ShardsAnswered))
+			r.Counter("query.shards_unserved").Add(int64(plan.shardsUnserved))
+		}
 	}
 	if a.Tracer != nil && traceID != 0 {
 		d := time.Since(start)
-		for i := range spans {
-			// Stragglers abandoned at the deadline never reached the
-			// collector: record the elapsed time at abandonment.
-			if sp := &spans[i]; !sp.Answered && sp.Err == "" && sp.RTTNanos == 0 {
-				sp.RTTNanos = d.Nanoseconds()
-				sp.Err = "abandoned at leaf deadline"
-			}
-		}
 		slow := a.Tracer.Record(obs.Trace{
 			TraceID:        traceID,
 			Query:          q.String(),
@@ -210,6 +339,8 @@ collect:
 			DurationNanos:  d.Nanoseconds(),
 			LeavesTotal:    merged.LeavesTotal,
 			LeavesAnswered: merged.LeavesAnswered,
+			ShardsTotal:    merged.ShardsTotal,
+			ShardsAnswered: merged.ShardsAnswered,
 			Spans:          spans,
 		})
 		if slow && a.Metrics != nil {
@@ -219,14 +350,71 @@ collect:
 	return merged, nil
 }
 
-// queryTarget invokes one target, through the traced interface when the
-// query is traced and the target supports it.
-func queryTarget(l LeafTarget, q *query.Query, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error) {
+// queryTarget invokes one planned target: shard-scoped when the plan says
+// so, through the traced interface when the query is traced and the target
+// supports it.
+func (a *Aggregator) queryTarget(ft fanTarget, q *query.Query, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error) {
+	l := a.leaves[ft.idx]
+	if len(ft.shards) > 0 {
+		st, ok := l.(ShardTarget)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %s", errNotShardCapable, a.leafLabel(ft.idx))
+		}
+		return st.QueryShards(q, ft.shards, tc)
+	}
 	if tt, ok := l.(TracedTarget); ok && tc.TraceID != 0 {
 		return tt.QueryTraced(q, tc)
 	}
 	res, err := l.Query(q)
 	return res, nil, err
+}
+
+// failover re-fetches a failed slot's shards from each shard's next ACTIVE
+// owner (excluding the failed leaf), merging whatever the replicas answer.
+// It returns the merged partial and how many shards it covered. The retry is
+// untraced — the trace shows the original span's error, annotated with the
+// failover outcome.
+func (a *Aggregator) failover(q *query.Query, ft fanTarget) (*query.Result, int) {
+	r := a.Router
+	if r == nil {
+		return nil, 0
+	}
+	m, status := r.Map(), r.Status()
+	perLeaf := make(map[int][]int)
+	for _, s := range ft.shards {
+		for _, o := range m.Owners(q.Table, s) {
+			if o != ft.idx && o < len(status) && status[o] == shard.StatusActive {
+				perLeaf[o] = append(perLeaf[o], s)
+				break
+			}
+		}
+	}
+	idxs := make([]int, 0, len(perLeaf))
+	for o := range perLeaf {
+		idxs = append(idxs, o)
+	}
+	sort.Ints(idxs)
+	merged := query.NewResult()
+	n := 0
+	for _, o := range idxs {
+		if o >= len(a.leaves) {
+			continue
+		}
+		st, ok := a.leaves[o].(ShardTarget)
+		if !ok {
+			continue
+		}
+		res, _, err := st.QueryShards(q, perLeaf[o], obs.TraceContext{})
+		if err != nil {
+			continue
+		}
+		merged.Merge(res)
+		n += len(perLeaf[o])
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	return merged, n
 }
 
 func (a *Aggregator) leafLabel(i int) string {
@@ -236,12 +424,16 @@ func (a *Aggregator) leafLabel(i int) string {
 	return fmt.Sprintf("leaf%d", i)
 }
 
-func (a *Aggregator) parallelism() int {
+func (a *Aggregator) parallelism(n int) int {
 	if a.Parallelism > 0 {
 		return a.Parallelism
 	}
-	return len(a.leaves)
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
-// NumLeaves returns the fan-out width.
+// NumLeaves returns the configured target count (the fan-out width of an
+// unsharded query).
 func (a *Aggregator) NumLeaves() int { return len(a.leaves) }

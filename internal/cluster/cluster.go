@@ -18,8 +18,10 @@ import (
 	"scuba/internal/aggregator"
 	"scuba/internal/disk"
 	"scuba/internal/leaf"
+	"scuba/internal/obs"
 	"scuba/internal/query"
 	"scuba/internal/rowblock"
+	"scuba/internal/shard"
 	"scuba/internal/shm"
 	"scuba/internal/table"
 	"scuba/internal/tailer"
@@ -40,6 +42,14 @@ type Config struct {
 	MemoryBudgetPerLeaf int64
 	// Clock injects virtual time into leaves (nil = wall clock).
 	Clock func() int64
+	// Replication, when > 0, turns on shard mode: the cluster owns a shard
+	// map (R owners per shard, replicas on distinct machines), NewAggregator
+	// routes by shard, NewShardedPlacer dual-writes, and Rollover flips
+	// draining leaves in the router so their shards serve from replicas.
+	Replication int
+	// NumShards is the per-table shard count under Replication (0 = 2x the
+	// leaf count).
+	NumShards int
 }
 
 // Node is one leaf slot: the process comes and goes across restarts, the
@@ -58,8 +68,9 @@ type Node struct {
 
 // Cluster is a set of nodes.
 type Cluster struct {
-	cfg   Config
-	nodes []*Node
+	cfg    Config
+	nodes  []*Node
+	router *shard.Router // non-nil in shard mode (Config.Replication > 0)
 }
 
 // New creates and starts a cluster at software version 1.
@@ -83,8 +94,18 @@ func New(cfg Config) (*Cluster, error) {
 			c.nodes = append(c.nodes, n)
 		}
 	}
+	if cfg.Replication > 0 {
+		leaves := make([]shard.Leaf, len(c.nodes))
+		for i, n := range c.nodes {
+			leaves[i] = shard.Leaf{Name: n.Name(), Machine: n.Machine}
+		}
+		c.router = shard.NewRouter(shard.NewMap(leaves, cfg.Replication, cfg.NumShards))
+	}
 	return c, nil
 }
+
+// Name is the node's routing identity in the shard map.
+func (n *Node) Name() string { return fmt.Sprintf("node%d", n.GlobalID) }
 
 func (n *Node) leafConfig() leaf.Config {
 	return leaf.Config{
@@ -151,6 +172,16 @@ func (n *Node) Query(q *query.Query) (*query.Result, error) {
 		return nil, leaf.ErrNotAlive
 	}
 	return l.Query(q)
+}
+
+// QueryShards implements aggregator.ShardTarget: the node serves the named
+// shards of the table from its per-shard physical tables.
+func (n *Node) QueryShards(q *query.Query, shards []int, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error) {
+	l := n.current()
+	if l == nil {
+		return nil, nil, leaf.ErrNotAlive
+	}
+	return l.QueryShards(q, shards, tc)
 }
 
 // RestartReport records one node's restart.
@@ -266,13 +297,32 @@ func (c *Cluster) Targets() []tailer.Target {
 	return out
 }
 
-// NewAggregator builds a query aggregator over all nodes.
+// NewAggregator builds a query aggregator over all nodes. In shard mode it
+// routes by the cluster's shard map and reports per-shard coverage.
 func (c *Cluster) NewAggregator() *aggregator.Aggregator {
 	targets := make([]aggregator.LeafTarget, len(c.nodes))
+	labels := make([]string, len(c.nodes))
 	for i, n := range c.nodes {
 		targets[i] = n
+		labels[i] = n.Name()
 	}
-	return aggregator.New(targets)
+	a := aggregator.New(targets)
+	a.Labels = labels
+	a.Router = c.router
+	return a
+}
+
+// Router exposes the shard router (nil outside shard mode) for status flips
+// and write planning.
+func (c *Cluster) Router() *shard.Router { return c.router }
+
+// NewShardedPlacer builds a dual-writing placer over all nodes (shard mode
+// only).
+func (c *Cluster) NewShardedPlacer() *tailer.ShardedPlacer {
+	if c.router == nil {
+		return nil
+	}
+	return tailer.NewShardedPlacer(c.Targets(), c.router)
 }
 
 // Snapshot counts nodes by dashboard category (Figure 8).

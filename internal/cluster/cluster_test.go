@@ -236,7 +236,7 @@ func TestRolloverOneLeafPerMachinePerBatch(t *testing.T) {
 	// Batch of 4 = 25%: must be one per machine, not 4 on machine 0.
 	pending := make([]*Node, len(c.nodes))
 	copy(pending, c.nodes)
-	batch, rest := pickBatch(pending, 4, 1)
+	batch, rest := pickBatch(pending, 4, 1, func(n *Node) int { return n.Machine }, nil)
 	if len(batch) != 4 {
 		t.Fatalf("batch size = %d", len(batch))
 	}

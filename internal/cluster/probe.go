@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"scuba/internal/query"
+)
+
+// Querier is anything that answers queries: an in-process aggregator, a
+// wire client pointed at an aggregator server, or a leaf client.
+type Querier interface {
+	Query(q *query.Query) (*query.Result, error)
+}
+
+// ProbeConfig drives an AvailabilityProbe.
+type ProbeConfig struct {
+	// Query is issued continuously until Stop.
+	Query *query.Query
+	// Interval between queries (default 10ms).
+	Interval time.Duration
+	// Check, when non-nil, validates each successful result (e.g. against a
+	// byte-identical baseline); failures count as Wrong.
+	Check func(*query.Result) error
+}
+
+// AvailabilityPoint is one probe sample: what fraction of the table was
+// answerable at that moment, and how long the query took.
+type AvailabilityPoint struct {
+	Elapsed       time.Duration
+	ShardCoverage float64
+	LeafCoverage  float64
+	Latency       time.Duration
+}
+
+// AvailabilityReport is the probe's timeline plus its summary statistics —
+// the live version of the paper's Figure 8 availability view.
+type AvailabilityReport struct {
+	Points  []AvailabilityPoint
+	Queries int
+	// Errors counts queries that failed outright; Wrong counts successful
+	// queries whose result failed ProbeConfig.Check.
+	Errors int
+	Wrong  int
+	// MinShardCoverage / MinLeafCoverage are the worst moments observed
+	// (1 when no successful query was recorded).
+	MinShardCoverage float64
+	MinLeafCoverage  float64
+	P50, P99         time.Duration
+}
+
+// AvailabilityProbe issues one query in a loop and records the coverage and
+// latency timeline. Start with StartProbe, stop (and collect) with Stop.
+type AvailabilityProbe struct {
+	cfg    ProbeConfig
+	target Querier
+	stop   chan struct{}
+	done   chan struct{}
+
+	mu  sync.Mutex
+	rep AvailabilityReport
+}
+
+// StartProbe begins probing target with cfg.Query until Stop is called.
+func StartProbe(target Querier, cfg ProbeConfig) *AvailabilityProbe {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	p := &AvailabilityProbe{
+		cfg:    cfg,
+		target: target,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	p.rep.MinShardCoverage = 1
+	p.rep.MinLeafCoverage = 1
+	go p.run()
+	return p
+}
+
+func (p *AvailabilityProbe) run() {
+	defer close(p.done)
+	begin := time.Now()
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		qStart := time.Now()
+		res, err := p.target.Query(p.cfg.Query)
+		lat := time.Since(qStart)
+
+		p.mu.Lock()
+		p.rep.Queries++
+		if err != nil {
+			p.rep.Errors++
+		} else {
+			pt := AvailabilityPoint{
+				Elapsed:       time.Since(begin),
+				ShardCoverage: res.ShardCoverage(),
+				LeafCoverage:  res.Coverage(),
+				Latency:       lat,
+			}
+			p.rep.Points = append(p.rep.Points, pt)
+			if pt.ShardCoverage < p.rep.MinShardCoverage {
+				p.rep.MinShardCoverage = pt.ShardCoverage
+			}
+			if pt.LeafCoverage < p.rep.MinLeafCoverage {
+				p.rep.MinLeafCoverage = pt.LeafCoverage
+			}
+			if p.cfg.Check != nil && p.cfg.Check(res) != nil {
+				p.rep.Wrong++
+			}
+		}
+		p.mu.Unlock()
+
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(p.cfg.Interval):
+		}
+	}
+}
+
+// Stop ends the probe and returns its report with percentiles computed.
+func (p *AvailabilityProbe) Stop() AvailabilityReport {
+	close(p.stop)
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lats := make([]time.Duration, 0, len(p.rep.Points))
+	for _, pt := range p.rep.Points {
+		lats = append(lats, pt.Latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p.rep.P50 = percentile(lats, 0.50)
+	p.rep.P99 = percentile(lats, 0.99)
+	return p.rep
+}
+
+// percentile returns the q-th percentile of sorted durations (0 when empty).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

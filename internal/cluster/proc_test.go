@@ -1,0 +1,122 @@
+package cluster
+
+// Quarantine-path unit test for the subprocess orchestrator: when a
+// replacement process cannot start, the rollover must not hang or abort —
+// the slot is marked DOWN in the shard map, listed in the report, and its
+// shards keep serving from replicas. Package-internal because sabotaging
+// the binary path mid-rollover reaches into ProcCluster's config.
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"scuba/internal/query"
+	"scuba/internal/rowblock"
+	"scuba/internal/shard"
+)
+
+func TestProcRolloverQuarantinesUnstartableReplacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess quarantine drill")
+	}
+	bin, err := BuildScubad(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := StartProcCluster(ProcConfig{
+		BinPath:          bin,
+		Machines:         2,
+		LeavesPerMachine: 1,
+		Replication:      2,
+		WorkDir:          t.TempDir(),
+		Namespace:        "quarantine",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pc.Close)
+
+	placer := pc.NewShardedPlacer()
+	rows := make([]rowblock.Row, 500)
+	for i := range rows {
+		rows[i] = rowblock.Row{Time: int64(1000 + i), Cols: map[string]rowblock.Value{
+			"service": rowblock.StringValue(fmt.Sprintf("svc-%d", i%3)),
+		}}
+	}
+	if _, err := placer.Place("events", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	q := &query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}},
+		GroupBy:      []string{"service"}}
+	baseline, err := pc.AggClient().Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.ShardCoverage() != 1 {
+		t.Fatalf("baseline coverage %d/%d", baseline.ShardsAnswered, baseline.ShardsTotal)
+	}
+	baseRows := baseline.Rows(q)
+
+	// Sabotage the first batch's replacement: exec fails instantly, so the
+	// quarantine path triggers without waiting out the ready timeout. Later
+	// batches get the real binary back and must restart cleanly.
+	good := pc.cfg.BinPath
+	rep, err := pc.ProcRollover(ProcRolloverConfig{
+		BatchFraction: 0.5,
+		MaxPerMachine: 1,
+		UseShm:        true,
+		KillTimeout:   time.Minute,
+		Tables:        []string{"events"},
+		OnBatch: func(batch int, _ []string) {
+			if batch == 0 {
+				pc.cfg.BinPath = filepath.Join(t.TempDir(), "no-such-scubad")
+			} else {
+				pc.cfg.BinPath = good
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("a quarantine must not fail the rollover: %v", err)
+	}
+	if len(rep.Quarantined) != 1 {
+		t.Fatalf("quarantined = %v, want exactly one leaf", rep.Quarantined)
+	}
+	victim := rep.Quarantined[0]
+	if !pc.Leaf(victim).Quarantined() {
+		t.Errorf("leaf %d not marked quarantined on its slot", victim)
+	}
+	if rep.MemoryRecoveries != 1 {
+		t.Errorf("memory recoveries = %d, want 1 (the healthy batch)", rep.MemoryRecoveries)
+	}
+	for _, r := range rep.Restarts {
+		if r.Leaf == victim && r.Err == "" {
+			t.Errorf("victim restart %+v carries no error", r)
+		}
+	}
+
+	// The dead slot is DOWN in the shard map; with R=2 over two machines the
+	// surviving leaf owns every shard, so coverage and results hold.
+	_, statuses, _, err := pc.AggClient().ShardMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statuses[victim] != shard.StatusDown {
+		t.Errorf("quarantined leaf %d status = %v, want DOWN", victim, statuses[victim])
+	}
+	after, err := pc.AggClient().Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ShardCoverage() != 1 {
+		t.Errorf("post-quarantine coverage %d/%d, want full from replicas",
+			after.ShardsAnswered, after.ShardsTotal)
+	}
+	if !reflect.DeepEqual(after.Rows(q), baseRows) {
+		t.Error("post-quarantine result differs from baseline")
+	}
+}

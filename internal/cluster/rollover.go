@@ -10,6 +10,7 @@ import (
 
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
+	"scuba/internal/shard"
 )
 
 // RolloverConfig drives a system-wide software upgrade (§4.5).
@@ -40,6 +41,13 @@ type RolloverConfig struct {
 	// would pay hours of disk recovery cluster-wide — stopping early
 	// mirrors the canary's intent (§4.5). Only meaningful with UseShm.
 	MaxDiskFallback float64
+	// Tables lists the tables whose shard coverage each batch must preserve
+	// (shard mode only): the batch picker never drains every owner of any
+	// shard of a listed table at once, so queries on those tables keep full
+	// coverage through the rollover. A node that conflicts with the current
+	// batch is deferred to a later one. Empty = no conflict filtering; the
+	// coverage floor is then 1 - BatchFraction instead of 1.
+	Tables []string
 	// Obs, when non-nil, records abort decisions in the flight recorder so
 	// a post-mortem shows why the rollover stopped.
 	Obs *obs.Observer
@@ -107,7 +115,8 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 	restarted := 0
 	for batchNum := 0; len(pending) > 0; batchNum++ {
 		batchStart := time.Now()
-		batch, rest := pickBatch(pending, batchSize, cfg.MaxPerMachine)
+		batch, rest := pickBatch(pending, batchSize, cfg.MaxPerMachine,
+			func(n *Node) int { return n.Machine }, c.batchConflictFilter(cfg.Tables))
 		pending = rest
 
 		// The dashboard view while this batch is in flight (Figure 8):
@@ -125,6 +134,15 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 			cfg.OnBatch(batchNum, during)
 		}
 
+		// Shard mode: flip the batch to DRAINING before any shutdown, so
+		// queries racing the restart fail over to replicas instead of
+		// hitting a dead process (the tentpole's availability mechanism).
+		if c.router != nil {
+			for _, n := range batch {
+				c.router.SetStatusByName(n.Name(), shard.StatusDraining) //nolint:errcheck
+			}
+		}
+
 		var mu sync.Mutex
 		var firstErr error
 		var wg sync.WaitGroup
@@ -137,6 +155,15 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 					NewVersion:  cfg.TargetVersion,
 					KillTimeout: cfg.KillTimeout,
 				})
+				if c.router != nil {
+					// Back in the map the moment its recovery finished (or
+					// DOWN if the restart failed outright).
+					st := shard.StatusActive
+					if err != nil {
+						st = shard.StatusDown
+					}
+					c.router.SetStatusByName(n.Name(), st) //nolint:errcheck
+				}
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil && firstErr == nil {
@@ -210,19 +237,74 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 
 // pickBatch selects up to batchSize nodes, at most perMachine per machine,
 // preferring to spread across machines so each restarting leaf gets its
-// whole machine's bandwidth (§2: "16 leaf servers on 16 machines").
-func pickBatch(pending []*Node, batchSize, perMachine int) (batch, rest []*Node) {
+// whole machine's bandwidth (§2: "16 leaf servers on 16 machines"). canAdd
+// (nil = always) additionally vetoes nodes that would break shard coverage
+// alongside the nodes already chosen; vetoed nodes are deferred to a later
+// batch, after the current batch's leaves are ACTIVE again. Generic over the
+// node type so the in-process Cluster and the subprocess ProcCluster share
+// one batch policy.
+func pickBatch[N any](pending []N, batchSize, perMachine int, machineOf func(N) int, canAdd func(chosen []N, n N) bool) (batch, rest []N) {
 	used := make(map[int]int)
-	var deferred []*Node
+	var deferred []N
 	for _, n := range pending {
-		if len(batch) < batchSize && used[n.Machine] < perMachine {
+		if len(batch) < batchSize && used[machineOf(n)] < perMachine &&
+			(canAdd == nil || canAdd(batch, n)) {
 			batch = append(batch, n)
-			used[n.Machine]++
+			used[machineOf(n)]++
 		} else {
 			deferred = append(deferred, n)
 		}
 	}
+	if len(batch) == 0 && len(pending) > 0 {
+		// Every pending node conflicts on its own (R=1, or replicas already
+		// down): restart one anyway so the rollover terminates — coverage
+		// dips to the replica-less floor for that batch.
+		return pending[:1:1], append([]N(nil), pending[1:]...)
+	}
 	return batch, deferred
+}
+
+// shardConflictVeto builds a pickBatch veto from a shard router: draining the
+// candidate alongside the chosen batch must leave every shard of every listed
+// table with at least one ACTIVE owner.
+func shardConflictVeto[N any](r *shard.Router, tables []string, nameOf func(N) string) func(chosen []N, n N) bool {
+	return func(chosen []N, n N) bool {
+		m := r.Map()
+		status := r.Status()
+		mark := func(node N) {
+			if i := m.LeafIndex(nameOf(node)); i >= 0 && i < len(status) {
+				status[i] = shard.StatusDraining
+			}
+		}
+		for _, b := range chosen {
+			mark(b)
+		}
+		mark(n)
+		for _, tbl := range tables {
+			for s := 0; s < m.NumShards; s++ {
+				served := false
+				for _, o := range m.Owners(tbl, s) {
+					if o < len(status) && status[o] == shard.StatusActive {
+						served = true
+						break
+					}
+				}
+				if !served {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// batchConflictFilter is shardConflictVeto over the in-process cluster's
+// router; nil when not sharded or no tables are listed.
+func (c *Cluster) batchConflictFilter(tables []string) func(chosen []*Node, n *Node) bool {
+	if c.router == nil || len(tables) == 0 {
+		return nil
+	}
+	return shardConflictVeto(c.router, tables, (*Node).Name)
 }
 
 func (c *Cluster) maxVersion() int {

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"scuba/internal/disk"
+	"scuba/internal/query"
+	"scuba/internal/rowblock"
+	"scuba/internal/shard"
+)
+
+func newShardedCluster(t *testing.T, machines, leavesPerMachine, replication, numShards int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Machines:            machines,
+		LeavesPerMachine:    leavesPerMachine,
+		ShmDir:              t.TempDir(),
+		DiskRoot:            t.TempDir(),
+		Namespace:           "test",
+		Format:              disk.FormatRow,
+		MemoryBudgetPerLeaf: 1 << 30,
+		Replication:         replication,
+		NumShards:           numShards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// loadSharded dual-writes rows through the cluster's sharded placer.
+func loadSharded(t *testing.T, c *Cluster, totalRows int) {
+	t.Helper()
+	p := c.NewShardedPlacer()
+	const batch = 50
+	for sent := 0; sent < totalRows; sent += batch {
+		rows := make([]rowblock.Row, batch)
+		for i := range rows {
+			rows[i] = rowblock.Row{Time: int64(1000 + sent + i), Cols: map[string]rowblock.Value{
+				"service": rowblock.StringValue(fmt.Sprintf("svc-%d", (sent+i)%3)),
+			}}
+		}
+		if _, err := p.Place("events", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedClusterRolloverKeepsFullCoverage is the in-process version of
+// the keystone: continuous queries during an R=2 rollover see 100% shard
+// coverage and byte-identical results the whole way — the restarting
+// primaries' shards serve from replicas.
+func TestShardedClusterRolloverKeepsFullCoverage(t *testing.T) {
+	c := newShardedCluster(t, 4, 2, 2, 16)
+	loadSharded(t, c, 1000)
+	agg := c.NewAggregator()
+	q := &query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}},
+		GroupBy:      []string{"service"}}
+	baseline, err := agg.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.ShardsAnswered != 16 {
+		t.Fatalf("baseline coverage %d/16", baseline.ShardsAnswered)
+	}
+	baseRows := baseline.Rows(q)
+
+	stop := make(chan struct{})
+	var wrong, partial, queries atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := agg.Query(q)
+			if err != nil {
+				continue
+			}
+			queries.Add(1)
+			if res.ShardCoverage() < 1 {
+				partial.Add(1)
+			}
+			if !reflect.DeepEqual(res.Rows(q), baseRows) {
+				wrong.Add(1)
+			}
+		}
+	}()
+
+	rep, err := c.Rollover(RolloverConfig{BatchFraction: 0.25, UseShm: true, MaxPerMachine: 1, Tables: []string{"events"}})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MemoryRecoveries != c.Size() {
+		t.Fatalf("memory recoveries = %d, want %d", rep.MemoryRecoveries, c.Size())
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during the rollover")
+	}
+	if p := partial.Load(); p != 0 {
+		t.Fatalf("%d of %d queries saw partial shard coverage despite R=2", p, queries.Load())
+	}
+	if w := wrong.Load(); w != 0 {
+		t.Fatalf("%d of %d queries returned wrong results during rollover", w, queries.Load())
+	}
+	// The router must end with every leaf ACTIVE again.
+	for i, st := range c.Router().Status() {
+		if st != shard.StatusActive {
+			t.Fatalf("leaf %d ended the rollover %v", i, st)
+		}
+	}
+}
+
+// TestShardedRolloverMarksFailedNodeDown: a node whose restart fails is left
+// DOWN in the router so queries don't route to its corpse.
+func TestShardedRolloverMarksFailedNodeDown(t *testing.T) {
+	c := newShardedCluster(t, 2, 1, 2, 4)
+	// Sabotage node 1: kill its process outside the rollover, so Restart
+	// errors ("no live process").
+	n := c.Node(1)
+	n.mu.Lock()
+	n.leaf = nil
+	n.mu.Unlock()
+	_, err := c.Rollover(RolloverConfig{BatchFraction: 1, MaxPerMachine: 1, UseShm: true})
+	if err == nil {
+		t.Fatal("rollover of a dead node should error")
+	}
+	sts := c.Router().Status()
+	if sts[c.Node(1).GlobalID] != shard.StatusDown {
+		t.Fatalf("failed node status = %v, want DOWN", sts[1])
+	}
+	// Queries still answer from the live replica at full coverage.
+	res, qerr := c.NewAggregator().Query(&query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}}})
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if res.ShardCoverage() < 1 {
+		t.Fatalf("coverage %v with one DOWN node under R=2", res.ShardCoverage())
+	}
+}

@@ -1,0 +1,60 @@
+package leaf
+
+import (
+	"time"
+
+	"scuba/internal/obs"
+	"scuba/internal/query"
+	"scuba/internal/shard"
+)
+
+// QueryShards runs q against the named shards of its logical table, stored
+// leaf-side as physical tables (shard.PhysicalTable), and merges the
+// per-shard partials into one result. A shard this leaf has never ingested
+// contributes an empty partial — the same semantics as querying an unknown
+// table — so a replica that owns a shard but hasn't received data for it
+// answers cleanly rather than erroring.
+//
+// The execution report is the shard-routing analogue of QueryTraced's:
+// phase times and work counters sum across shards, Table stays the logical
+// name, ShardsServed records the fan-in, and Recovery collapses to "mixed"
+// when the shards recovered from different sources.
+func (l *Leaf) QueryShards(q *query.Query, shards []int, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error) {
+	start := time.Now()
+	merged := query.NewResult()
+	recovery := ""
+	for _, s := range shards {
+		sq := *q
+		sq.Table = shard.PhysicalTable(q.Table, s)
+		res, err := l.Query(&sq)
+		if err != nil {
+			return nil, nil, err
+		}
+		merged.Merge(res)
+		src := l.tableRecoverySource(sq.Table)
+		switch {
+		case recovery == "":
+			recovery = src
+		case recovery != src:
+			recovery = "mixed"
+		}
+	}
+	stats := &obs.ExecStats{
+		SpanID:        tc.SpanID,
+		Table:         q.Table,
+		Recovery:      recovery,
+		LatencyNanos:  time.Since(start).Nanoseconds(),
+		DecodeNanos:   merged.Phases.DecodeNanos,
+		PruneNanos:    merged.Phases.PruneNanos,
+		ScanNanos:     merged.Phases.ScanNanos,
+		MergeNanos:    merged.Phases.MergeNanos,
+		RowsScanned:   merged.RowsScanned,
+		BlocksScanned: merged.BlocksScanned,
+		BlocksPruned:  merged.BlocksPruned,
+		BlocksSkipped: merged.BlocksSkipped,
+		CacheHits:     merged.CacheHits,
+		CacheMisses:   merged.CacheMisses,
+		ShardsServed:  len(shards),
+	}
+	return merged, stats, nil
+}

@@ -55,6 +55,10 @@ type ExecStats struct {
 	BlocksSkipped int64 `json:"blocks_skipped"`
 	CacheHits     int64 `json:"cache_hits"`
 	CacheMisses   int64 `json:"cache_misses"`
+	// ShardsServed counts how many shards of the table this leaf answered
+	// for (0 on unsharded deployments, where the leaf serves the whole
+	// table). Additive: pre-shard peers decode it as zero.
+	ShardsServed int `json:"shards_served,omitempty"`
 }
 
 // DominantPhase names the largest phase of the breakdown and its share of
@@ -91,6 +95,10 @@ type LeafSpan struct {
 	RTTNanos int64 `json:"rtt_nanos"`
 	// Err is the transport or leaf error for unanswered spans.
 	Err string `json:"err,omitempty"`
+	// Shards lists the shards this leaf was asked to serve (nil on
+	// unsharded deployments); an unanswered span's Shards are exactly the
+	// shards whose data is missing from the partial result.
+	Shards []int `json:"shards,omitempty"`
 	// Exec is the leaf's execution report (nil when the leaf predates the
 	// trace protocol, errored, or was abandoned).
 	Exec *ExecStats `json:"exec,omitempty"`
@@ -103,9 +111,15 @@ type Trace struct {
 	Query string    `json:"query"`
 	Start time.Time `json:"start"`
 	// DurationNanos is end-to-end aggregator time: fan-out, merge, finalize.
-	DurationNanos  int64      `json:"duration_nanos"`
-	LeavesTotal    int        `json:"leaves_total"`
-	LeavesAnswered int        `json:"leaves_answered"`
+	DurationNanos  int64 `json:"duration_nanos"`
+	LeavesTotal    int   `json:"leaves_total"`
+	LeavesAnswered int   `json:"leaves_answered"`
+	// Per-shard coverage, mirroring the merged Result's ShardsTotal and
+	// ShardsAnswered exactly (zero when the aggregator routes unsharded) —
+	// the regression tests pin that /debug/traces and the dashboard
+	// counters can never disagree.
+	ShardsTotal    int        `json:"shards_total,omitempty"`
+	ShardsAnswered int        `json:"shards_answered,omitempty"`
 	Slow           bool       `json:"slow"`
 	Spans          []LeafSpan `json:"spans"`
 }

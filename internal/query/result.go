@@ -175,6 +175,13 @@ type Result struct {
 	BlocksPruned   int64
 	LeavesTotal    int // filled by the aggregator
 	LeavesAnswered int
+	// ShardsTotal/ShardsAnswered are per-shard coverage, filled by a
+	// shard-routing aggregator (zero on unsharded deployments): how many of
+	// the table's shards exist and how many were served by a live owner.
+	// With replication, shard coverage stays at 1.0 while a leaf restarts
+	// even though leaf coverage dips — the number dashboards should show.
+	ShardsTotal    int
+	ShardsAnswered int
 	// Phases is the per-phase execution time breakdown, kept per leaf by the
 	// tracing path (ExecStats) and summed across leaves on merge.
 	Phases PhaseTimes
@@ -229,6 +236,8 @@ func (r *Result) Merge(o *Result) {
 	r.BlocksPruned += o.BlocksPruned
 	r.LeavesTotal += o.LeavesTotal
 	r.LeavesAnswered += o.LeavesAnswered
+	r.ShardsTotal += o.ShardsTotal
+	r.ShardsAnswered += o.ShardsAnswered
 	r.Phases.Add(o.Phases)
 	r.CacheHits += o.CacheHits
 	r.CacheMisses += o.CacheMisses
@@ -244,6 +253,18 @@ func (r *Result) Coverage() float64 {
 	return float64(r.LeavesAnswered) / float64(r.LeavesTotal)
 }
 
+// ShardCoverage returns the fraction of shards served (1.0 when the
+// aggregator did not route by shard). This is the availability number the
+// rollover dashboard tracks: with R-way replication it holds at 1.0 through
+// a restart batch, and its floor is 1 - BatchFraction when no replica of a
+// drained shard is live.
+func (r *Result) ShardCoverage() float64 {
+	if r.ShardsTotal == 0 {
+		return 1
+	}
+	return float64(r.ShardsAnswered) / float64(r.ShardsTotal)
+}
+
 // WireResult is the serializable form of a Result, used by the wire
 // protocol between aggregators and leaves. AggState accumulators travel
 // whole so the aggregator can merge partial results exactly.
@@ -255,6 +276,10 @@ type WireResult struct {
 	BlocksPruned   int64
 	LeavesTotal    int
 	LeavesAnswered int
+	// Shard coverage (v2-additive like the trace fields below; zero on
+	// unsharded deployments and pre-shard peers).
+	ShardsTotal    int
+	ShardsAnswered int
 	// Phase timings and cache counters travel with the result so the
 	// aggregator can build a per-leaf trace span without a second RPC. Gob
 	// omits zero values, so pre-trace peers interoperate transparently.
@@ -278,6 +303,8 @@ func (r *Result) Export() *WireResult {
 		BlocksPruned:   r.BlocksPruned,
 		LeavesTotal:    r.LeavesTotal,
 		LeavesAnswered: r.LeavesAnswered,
+		ShardsTotal:    r.ShardsTotal,
+		ShardsAnswered: r.ShardsAnswered,
 		Phases:         r.Phases,
 		CacheHits:      r.CacheHits,
 		CacheMisses:    r.CacheMisses,
@@ -297,6 +324,8 @@ func Import(w *WireResult) *Result {
 	r.BlocksPruned = w.BlocksPruned
 	r.LeavesTotal = w.LeavesTotal
 	r.LeavesAnswered = w.LeavesAnswered
+	r.ShardsTotal = w.ShardsTotal
+	r.ShardsAnswered = w.ShardsAnswered
 	r.Phases = w.Phases
 	r.CacheHits = w.CacheHits
 	r.CacheMisses = w.CacheMisses

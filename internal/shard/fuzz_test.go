@@ -1,0 +1,48 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzMapDecode hammers the shard-map parser with arbitrary bytes: it must
+// never panic or over-allocate, and anything it accepts must re-encode to a
+// decodable, identically-routing map (decode-encode-decode fixpoint).
+func FuzzMapDecode(f *testing.F) {
+	if b, err := goldenMap().Encode(); err == nil {
+		f.Add(b)
+	}
+	if b, err := NewMap([]Leaf{{Name: "x", Machine: 3}}, 1, 1).Encode(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{WireVersion})
+	f.Add([]byte{99, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if len(m.Leaves) > maxWireLeaves || m.NumShards > maxWireShards {
+			t.Fatalf("decoder accepted oversized map: %s", m)
+		}
+		re, err := m.Encode()
+		if err != nil {
+			t.Fatalf("accepted map failed to re-encode: %v", err)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded map failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode/encode not a fixpoint: %+v vs %+v", m, m2)
+		}
+		// Routing must be total and in-bounds for any accepted map.
+		for s := 0; s < m.NumShards && s < 8; s++ {
+			for _, o := range m.Owners("fuzz", s) {
+				if o < 0 || o >= len(m.Leaves) {
+					t.Fatalf("owner %d out of range", o)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// Wire encoding of a shard map: a one-byte format version followed by the
+// gob-encoded wireMap. The RPC envelope carries the map as this opaque byte
+// slice (a new, additive field), so pre-shard peers decode the envelope
+// unchanged and simply ignore the bytes — the protocol stays v2-additive.
+// Gob matches fields by name, so future wireMap fields are themselves
+// additive within version 1; the version byte exists for a breaking change.
+
+// WireVersion is the shard-map encoding version this build writes.
+const WireVersion = 1
+
+// Decode limits: a shard map is cluster metadata, not data. Anything larger
+// than this is a corrupt or hostile frame, rejected before allocation.
+const (
+	maxWireLeaves = 1 << 16
+	maxWireShards = 1 << 20
+)
+
+// wireMap is the encoded shape. A separate struct (rather than Map itself)
+// pins the encoding against refactors of the in-memory type.
+type wireMap struct {
+	Names       []string
+	Machines    []int
+	Replication int
+	NumShards   int
+}
+
+// Encode serializes the map.
+func (m *Map) Encode() ([]byte, error) {
+	w := wireMap{
+		Names:       make([]string, len(m.Leaves)),
+		Machines:    make([]int, len(m.Leaves)),
+		Replication: m.Replication,
+		NumShards:   m.NumShards,
+	}
+	for i, l := range m.Leaves {
+		w.Names[i] = l.Name
+		w.Machines[i] = l.Machine
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(WireVersion)
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("shard: encode map: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ErrBadMap wraps every shard-map decode rejection.
+var ErrBadMap = errors.New("shard: bad map encoding")
+
+// Decode parses an encoded shard map, validating every field — the bytes
+// may come off the network, so nothing is trusted.
+func Decode(b []byte) (*Map, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadMap)
+	}
+	if b[0] != WireVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrBadMap, b[0])
+	}
+	var w wireMap
+	if err := gob.NewDecoder(bytes.NewReader(b[1:])).Decode(&w); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMap, err)
+	}
+	if len(w.Names) != len(w.Machines) {
+		return nil, fmt.Errorf("%w: %d names vs %d machines", ErrBadMap, len(w.Names), len(w.Machines))
+	}
+	if len(w.Names) > maxWireLeaves {
+		return nil, fmt.Errorf("%w: %d leaves", ErrBadMap, len(w.Names))
+	}
+	if w.NumShards <= 0 || w.NumShards > maxWireShards {
+		return nil, fmt.Errorf("%w: %d shards", ErrBadMap, w.NumShards)
+	}
+	if w.Replication <= 0 || (len(w.Names) > 0 && w.Replication > len(w.Names)) {
+		return nil, fmt.Errorf("%w: replication %d over %d leaves", ErrBadMap, w.Replication, len(w.Names))
+	}
+	seen := make(map[string]bool, len(w.Names))
+	leaves := make([]Leaf, len(w.Names))
+	for i, n := range w.Names {
+		if n == "" {
+			return nil, fmt.Errorf("%w: empty leaf name at %d", ErrBadMap, i)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("%w: duplicate leaf %q", ErrBadMap, n)
+		}
+		seen[n] = true
+		if w.Machines[i] < 0 {
+			return nil, fmt.Errorf("%w: negative machine at %d", ErrBadMap, i)
+		}
+		leaves[i] = Leaf{Name: n, Machine: w.Machines[i]}
+	}
+	return &Map{Leaves: leaves, Replication: w.Replication, NumShards: w.NumShards}, nil
+}

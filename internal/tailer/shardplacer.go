@@ -1,0 +1,105 @@
+package tailer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"scuba/internal/rowblock"
+	"scuba/internal/shard"
+)
+
+// ShardedPlacer places batches under a shard map instead of two-random-choice:
+// each batch is assigned a shard (round-robin, so load spreads over the
+// table's shards) and dual-written to every owner of that shard that is not
+// down — the primary and its replicas receive identical copies, which is what
+// lets the aggregator fail a restarting primary's shards over to a replica
+// without losing a row. Rows land leaf-side in the shard's physical table
+// (shard.PhysicalTable).
+//
+// A batch succeeds if at least one owner accepted it (the paper's contract:
+// availability over completeness — a restarting replica misses the batch and
+// serves slightly stale data until anti-entropy, which is out of scope here);
+// it fails only when every owner refused.
+type ShardedPlacer struct {
+	mu      sync.Mutex
+	targets []Target
+	router  *shard.Router
+	next    int // round-robin shard cursor
+	stats   ShardedPlacerStats
+}
+
+// ShardedPlacerStats counts dual-write outcomes.
+type ShardedPlacerStats struct {
+	Batches    int64
+	RowsPlaced int64
+	// Copies counts per-owner writes that succeeded (>= Batches under
+	// replication; == Batches when R=1 or only one owner was up).
+	Copies int64
+	// MissedCopies counts owner writes that failed while another owner
+	// accepted the batch — the replica divergence an anti-entropy pass
+	// would repair.
+	MissedCopies int64
+	PerTarget    []int64
+}
+
+// NewShardedPlacer builds a placer over targets index-parallel to the
+// router's map leaves (target i stores shards owned by map leaf i).
+func NewShardedPlacer(targets []Target, router *shard.Router) *ShardedPlacer {
+	return &ShardedPlacer{
+		targets: targets,
+		router:  router,
+		stats:   ShardedPlacerStats{PerTarget: make([]int64, len(targets))},
+	}
+}
+
+// Stats returns a snapshot of dual-write counters.
+func (p *ShardedPlacer) Stats() ShardedPlacerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.PerTarget = append([]int64(nil), p.stats.PerTarget...)
+	return st
+}
+
+// Place writes one batch to every live owner of the next shard of the table,
+// returning the index of the first owner that accepted it. It implements the
+// same interface shape as Placer.Place so Tailer can drive either.
+func (p *ShardedPlacer) Place(table string, rows []rowblock.Row) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.router.Map()
+	if m.NumShards == 0 || len(p.targets) == 0 {
+		return -1, ErrNoTarget
+	}
+	s := p.next % m.NumShards
+	p.next++
+	p.stats.Batches++
+	owners := p.router.WritePlan(table)[s]
+	physical := shard.PhysicalTable(table, s)
+	first := -1
+	var errs []error
+	for _, o := range owners {
+		if o < 0 || o >= len(p.targets) {
+			continue
+		}
+		if err := p.targets[o].AddRows(physical, rows); err != nil {
+			errs = append(errs, fmt.Errorf("leaf %d: %w", o, err))
+			continue
+		}
+		p.stats.Copies++
+		p.stats.PerTarget[o]++
+		if first < 0 {
+			first = o
+		}
+	}
+	if first < 0 {
+		if len(errs) == 0 {
+			return -1, ErrNoTarget
+		}
+		return -1, fmt.Errorf("tailer: every owner of %s refused: %w", physical, errors.Join(errs...))
+	}
+	p.stats.MissedCopies += int64(len(errs))
+	p.stats.RowsPlaced += int64(len(rows))
+	return first, nil
+}

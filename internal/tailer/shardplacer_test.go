@@ -1,0 +1,158 @@
+package tailer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"scuba/internal/leaf"
+	"scuba/internal/rowblock"
+	"scuba/internal/scribe"
+	"scuba/internal/shard"
+)
+
+// recTarget records AddRows calls per physical table; failing on demand.
+type recTarget struct {
+	mu   sync.Mutex
+	got  map[string]int // physical table -> rows received
+	fail bool
+}
+
+func (r *recTarget) Stats() (leaf.Stats, error) { return leaf.Stats{State: leaf.StateAlive}, nil }
+
+func (r *recTarget) AddRows(table string, rows []rowblock.Row) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fail {
+		return errors.New("refused")
+	}
+	if r.got == nil {
+		r.got = map[string]int{}
+	}
+	r.got[table] += len(rows)
+	return nil
+}
+
+func shardedFixture(n, replication, numShards int) ([]*recTarget, []Target, *shard.Router) {
+	recs := make([]*recTarget, n)
+	targets := make([]Target, n)
+	leaves := make([]shard.Leaf, n)
+	for i := range recs {
+		recs[i] = &recTarget{}
+		targets[i] = recs[i]
+		leaves[i] = shard.Leaf{Name: fmt.Sprintf("l%d", i), Machine: i}
+	}
+	return recs, targets, shard.NewRouter(shard.NewMap(leaves, replication, numShards))
+}
+
+// TestShardedPlacerDualWrites checks every batch lands on ALL owners of its
+// shard, in the shard's physical table, with identical row counts.
+func TestShardedPlacerDualWrites(t *testing.T) {
+	recs, targets, router := shardedFixture(4, 2, 8)
+	p := NewShardedPlacer(targets, router)
+	rows := []rowblock.Row{{Time: 1}, {Time: 2}}
+	for i := 0; i < 16; i++ { // two full round-robin passes
+		if _, err := p.Place("events", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := router.Map()
+	for s := 0; s < 8; s++ {
+		phys := shard.PhysicalTable("events", s)
+		owners := m.Owners("events", s)
+		if len(owners) != 2 {
+			t.Fatalf("shard %d has %d owners, want 2", s, len(owners))
+		}
+		for _, o := range owners {
+			if got := recs[o].got[phys]; got != 4 { // 2 batches x 2 rows
+				t.Fatalf("owner %d of shard %d got %d rows of %s, want 4", o, s, got, phys)
+			}
+		}
+		// Nobody else received this shard.
+		for i, r := range recs {
+			if r.got[phys] > 0 && i != owners[0] && i != owners[1] {
+				t.Fatalf("non-owner %d received %s", i, phys)
+			}
+		}
+	}
+	st := p.Stats()
+	if st.Batches != 16 || st.Copies != 32 || st.MissedCopies != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestShardedPlacerSurvivesOwnerFailure: one owner refusing doesn't fail the
+// batch (the other copy counts), and a fully-failed shard does.
+func TestShardedPlacerSurvivesOwnerFailure(t *testing.T) {
+	recs, targets, router := shardedFixture(2, 2, 1)
+	p := NewShardedPlacer(targets, router)
+	recs[0].fail = true
+	if _, err := p.Place("events", []rowblock.Row{{Time: 1}}); err != nil {
+		t.Fatalf("one live owner should carry the batch: %v", err)
+	}
+	if st := p.Stats(); st.MissedCopies != 1 || st.Copies != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	recs[1].fail = true
+	if _, err := p.Place("events", []rowblock.Row{{Time: 2}}); err == nil {
+		t.Fatal("every owner refused but Place succeeded")
+	}
+}
+
+// TestShardedPlacerSkipsDownOwners: a DOWN leaf gets no writes, a DRAINING
+// leaf still does (its drain preserves them across the restart).
+func TestShardedPlacerSkipsDownOwners(t *testing.T) {
+	recs, targets, router := shardedFixture(3, 3, 1)
+	p := NewShardedPlacer(targets, router)
+	m := router.Map()
+	owners := m.Owners("events", 0)
+	router.SetStatus(owners[0], shard.StatusDown)
+	router.SetStatus(owners[1], shard.StatusDraining)
+	if _, err := p.Place("events", []rowblock.Row{{Time: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	phys := shard.PhysicalTable("events", 0)
+	if recs[owners[0]].got[phys] != 0 {
+		t.Fatal("DOWN owner received a write")
+	}
+	if recs[owners[1]].got[phys] != 1 {
+		t.Fatal("DRAINING owner missed its write")
+	}
+	if recs[owners[2]].got[phys] != 1 {
+		t.Fatal("ACTIVE owner missed its write")
+	}
+}
+
+// TestTailerDrivesShardedPlacer checks the Tailer loop composes with the
+// sharded placer through the BatchPlacer seam.
+func TestTailerDrivesShardedPlacer(t *testing.T) {
+	recs, targets, router := shardedFixture(2, 2, 2)
+	p := NewShardedPlacer(targets, router)
+	bus := scribe.NewBus(0)
+	for i := 0; i < 10; i++ {
+		b, err := EncodeRow(rowblock.Row{Time: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.Append("events", b)
+	}
+	tl := New(Config{Category: "events", BatchRows: 5}, bus, p, 0)
+	placed, err := tl.DrainOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != 10 {
+		t.Fatalf("placed = %d, want 10", placed)
+	}
+	var total int
+	for _, r := range recs {
+		for _, n := range r.got {
+			total += n
+		}
+	}
+	// 10 rows x 2 copies under R=2.
+	if total != 20 {
+		t.Fatalf("rows landed = %d, want 20 (dual-written)", total)
+	}
+}

@@ -53,6 +53,12 @@ func DecodeRow(b []byte) (rowblock.Row, error) {
 // ErrNoTarget is returned when no leaf could accept a batch at all.
 var ErrNoTarget = errors.New("tailer: no leaf accepted the batch")
 
+// BatchPlacer chooses where one batch lands. Placer implements the paper's
+// two-random-choice policy; ShardedPlacer dual-writes under a shard map.
+type BatchPlacer interface {
+	Place(table string, rows []rowblock.Row) (int, error)
+}
+
 // PlacerStats counts placement decisions for the balance experiments (E10).
 type PlacerStats struct {
 	Batches        int64
@@ -226,7 +232,7 @@ type Config struct {
 type Tailer struct {
 	cfg    Config
 	reader *scribe.Tailer
-	placer *Placer
+	placer BatchPlacer
 
 	// RowsLost counts rows dropped by Scribe retention.
 	RowsLost int64
@@ -236,7 +242,7 @@ type Tailer struct {
 
 // New creates a tailer reading from offset. The source may be an in-process
 // scribe.Bus or a network scribe.Client.
-func New(cfg Config, bus scribe.Source, placer *Placer, offset int64) *Tailer {
+func New(cfg Config, bus scribe.Source, placer BatchPlacer, offset int64) *Tailer {
 	if cfg.BatchRows <= 0 {
 		cfg.BatchRows = 1000
 	}

@@ -10,6 +10,7 @@ import (
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
 	"scuba/internal/query"
+	"scuba/internal/shard"
 )
 
 // AggServer exposes an aggregator over TCP: each machine runs one
@@ -124,6 +125,24 @@ func (s *AggServer) serveConn(conn net.Conn) {
 					}
 				}
 			}
+		case KindLeafStatus:
+			if s.agg.Router == nil {
+				resp.Err = "wire: aggregator is not shard-routing"
+			} else if err := s.agg.Router.SetStatusByName(req.LeafName, shard.Status(req.LeafStatus)); err != nil {
+				resp.Err = err.Error()
+			}
+		case KindShardMap:
+			if s.agg.Router == nil {
+				resp.Err = "wire: aggregator is not shard-routing"
+			} else if b, err := s.agg.Router.Map().Encode(); err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.ShardMap = b
+				for _, st := range s.agg.Router.Status() {
+					resp.LeafStatuses = append(resp.LeafStatuses, uint8(st))
+				}
+				resp.MapVersion = s.agg.Router.Version()
+			}
 		default:
 			resp.Err = fmt.Sprintf("wire: aggregator does not handle request kind %d", req.Kind)
 		}
@@ -149,4 +168,47 @@ func (s *AggServer) Close() error {
 // leaves themselves.
 func (c *Client) QueryVia(q *query.Query) (*query.Result, error) {
 	return c.Query(q) // same request shape; the server side differs
+}
+
+// ShardRouting builds a shard router over the aggregator's leaves and turns
+// on shard routing: leaf i is named leafAddrs[i] (the routing identity the
+// rollover orchestrator flips statuses by) on machine machines[i] (nil =
+// every leaf on its own machine). Call before traffic arrives.
+func ShardRouting(agg *aggregator.Aggregator, leafAddrs []string, machines []int, replication, numShards int) *shard.Router {
+	leaves := make([]shard.Leaf, len(leafAddrs))
+	for i, a := range leafAddrs {
+		m := i
+		if i < len(machines) {
+			m = machines[i]
+		}
+		leaves[i] = shard.Leaf{Name: a, Machine: m}
+	}
+	r := shard.NewRouter(shard.NewMap(leaves, replication, numShards))
+	agg.Router = r
+	return r
+}
+
+// SetLeafStatus asks a shard-routing aggregator to flip one leaf's status —
+// the rollover orchestrator's drain/reactivate RPC.
+func (c *Client) SetLeafStatus(leafName string, st shard.Status) error {
+	_, err := c.Call(&Request{Kind: KindLeafStatus, LeafName: leafName, LeafStatus: uint8(st)})
+	return err
+}
+
+// ShardMap fetches a shard-routing aggregator's map and live per-leaf
+// statuses (index-parallel to the map's leaves) plus the router version.
+func (c *Client) ShardMap() (*shard.Map, []shard.Status, int64, error) {
+	resp, err := c.Call(&Request{Kind: KindShardMap})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	m, err := shard.Decode(resp.ShardMap)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	sts := make([]shard.Status, len(resp.LeafStatuses))
+	for i, b := range resp.LeafStatuses {
+		sts[i] = shard.Status(b)
+	}
+	return m, sts, resp.MapVersion, nil
 }

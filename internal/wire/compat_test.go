@@ -162,6 +162,28 @@ func TestV2FramesDecodeAsV1(t *testing.T) {
 	}
 }
 
+// TestShardFrameDecodesAsV1 extends the additive-envelope proof to the shard
+// fields: a shard-scoped query frame and a leaf-status admin frame both
+// decode under the v1 struct shapes without error, so the shard rollout can
+// be mixed-version. (A v1 leaf would answer the whole logical table for a
+// shard-scoped query — which is why shard routing requires shard-capable
+// leaves — but the envelope itself never forks.)
+func TestShardFrameDecodesAsV1(t *testing.T) {
+	req := &Request{Kind: KindQuery, Query: v1QueryRequest().Query,
+		Version: ProtocolVersion, Shards: []int{0, 3, 5}}
+	var old v1Request
+	if err := gob.NewDecoder(bytes.NewReader(gobBytes(t, req))).Decode(&old); err != nil {
+		t.Fatalf("v1 shape rejecting sharded request: %v", err)
+	}
+	if old.Kind != KindQuery || old.Query == nil {
+		t.Fatalf("sharded request lost payload under v1 shape: %+v", old)
+	}
+	admin := &Request{Kind: KindLeafStatus, LeafName: "127.0.0.1:9", LeafStatus: 1, Version: ProtocolVersion}
+	if err := gob.NewDecoder(bytes.NewReader(gobBytes(t, admin))).Decode(&old); err != nil {
+		t.Fatalf("v1 shape rejecting admin frame: %v", err)
+	}
+}
+
 // TestOldClientAgainstNewServer drives a live server with raw v1 frames
 // over TCP — exactly what a not-yet-upgraded aggregator does during a
 // rolling restart — and expects a correct answer, untraced.
@@ -205,6 +227,9 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	traced := &Request{Kind: KindQuery, Query: v1QueryRequest().Query, Version: ProtocolVersion}
 	traced.Trace.TraceID, traced.Trace.SpanID = 1, 2
 	f.Add(gobBytesF(f, traced))
+	f.Add(gobBytesF(f, &Request{Kind: KindQuery, Query: v1QueryRequest().Query,
+		Version: ProtocolVersion, Shards: []int{0, 1}}))
+	f.Add(gobBytesF(f, &Request{Kind: KindLeafStatus, LeafName: "l", LeafStatus: 2, Version: ProtocolVersion}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var req Request
 		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&req); err != nil {

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"scuba/internal/aggregator"
+	"scuba/internal/obs"
+	"scuba/internal/query"
+	"scuba/internal/shard"
+)
+
+// TestShardQueryOverWire checks the shard-scoped query RPC: a leaf storing
+// per-shard physical tables answers exactly the requested shards, and a
+// shard it never ingested contributes an empty partial instead of an error.
+func TestShardQueryOverWire(t *testing.T) {
+	_, c, _ := newServer(t, 0)
+	for _, s := range []int{0, 1, 2} {
+		if err := c.AddRows(shard.PhysicalTable("events", s), mkRows(100, int64(1000*s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := &query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}}}
+	res, exec, err := c.QueryShards(q, []int{0, 2, 7}, obs.TraceContext{TraceID: 1, SpanID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows(q)
+	// Shards 0 and 2 hold 100 rows each; shard 7 was never ingested.
+	if len(rows) != 1 || rows[0].Values[0] != 200 {
+		t.Fatalf("rows = %v, want one group of 200", rows)
+	}
+	if exec == nil || exec.ShardsServed != 3 || exec.Table != "events" {
+		t.Fatalf("exec = %+v, want ShardsServed=3 Table=events", exec)
+	}
+	if exec.SpanID != 2 {
+		t.Fatalf("exec.SpanID = %d, want 2", exec.SpanID)
+	}
+}
+
+// TestAggServerShardAdminRPCs drives the rollover orchestrator's RPCs: flip
+// a leaf's status by name, read the map and statuses back, and get clean
+// errors for unknown leaves and non-sharded aggregators.
+func TestAggServerShardAdminRPCs(t *testing.T) {
+	_, lc, _ := newServer(t, 0)
+	agg := aggregator.New([]aggregator.LeafTarget{lc})
+	ShardRouting(agg, []string{"leafA"}, []int{0}, 1, 4)
+	as, err := NewAggServerOver(agg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+	c := Dial(as.Addr())
+	defer c.Close()
+
+	if err := c.SetLeafStatus("leafA", shard.StatusDraining); err != nil {
+		t.Fatal(err)
+	}
+	m, sts, ver, err := c.ShardMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Leaves) != 1 || m.Leaves[0].Name != "leafA" || m.NumShards != 4 {
+		t.Fatalf("map = %s", m)
+	}
+	if len(sts) != 1 || sts[0] != shard.StatusDraining {
+		t.Fatalf("statuses = %v, want [DRAINING]", sts)
+	}
+	if ver == 0 {
+		t.Fatal("router version still 0 after a mutation")
+	}
+	if err := c.SetLeafStatus("nosuch", shard.StatusDown); err == nil || !strings.Contains(err.Error(), "no leaf") {
+		t.Fatalf("unknown leaf err = %v", err)
+	}
+
+	// A non-sharded aggregator rejects admin RPCs explicitly.
+	plain, err := NewAggServerOver(aggregator.New([]aggregator.LeafTarget{lc}), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	pc := Dial(plain.Addr())
+	defer pc.Close()
+	if err := pc.SetLeafStatus("leafA", shard.StatusDraining); err == nil || !strings.Contains(err.Error(), "not shard-routing") {
+		t.Fatalf("non-sharded err = %v", err)
+	}
+}
+
+// TestEndToEndShardedQueryOverWire is the full distributed path: four leaf
+// processes behind a sharded aggregator server, data dual-written per the
+// map, then byte-identical results with full shard coverage before and
+// after draining a leaf (its shards served by replicas).
+func TestEndToEndShardedQueryOverWire(t *testing.T) {
+	const numLeaves, numShards = 4, 8
+	addrs := make([]string, numLeaves)
+	clients := make([]*Client, numLeaves)
+	for i := 0; i < numLeaves; i++ {
+		s, c, _ := newServer(t, i)
+		addrs[i] = s.Addr()
+		clients[i] = c
+	}
+	targets := make([]aggregator.LeafTarget, numLeaves)
+	for i, c := range clients {
+		targets[i] = c
+	}
+	agg := aggregator.New(targets)
+	machines := []int{0, 0, 1, 1}
+	router := ShardRouting(agg, addrs, machines, 2, numShards)
+	agg.Labels = addrs
+	as, err := NewAggServerOver(agg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+
+	// Dual-write each shard's rows to every owner, as the tailer would.
+	m := router.Map()
+	for s := 0; s < numShards; s++ {
+		rows := mkRows(50, int64(10000*s))
+		for _, o := range m.Owners("events", s) {
+			if err := clients[o].AddRows(shard.PhysicalTable("events", s), rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ac := Dial(as.Addr())
+	defer ac.Close()
+	q := &query.Query{Table: "events", From: 0, To: 1 << 40,
+		Aggregations: []query.Aggregation{{Op: query.AggCount}},
+		GroupBy:      []string{"service"}}
+	baseline, err := ac.QueryVia(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.ShardsAnswered != numShards {
+		t.Fatalf("baseline coverage %d/%d", baseline.ShardsAnswered, baseline.ShardsTotal)
+	}
+	if rows := baseline.Rows(q); len(rows) != 1 || rows[0].Values[0] != float64(numShards*50) {
+		t.Fatalf("baseline rows = %v", rows)
+	}
+
+	// Drain leaf 1 via the admin RPC: replicas must keep the answer
+	// byte-identical at full coverage.
+	if err := ac.SetLeafStatus(addrs[1], shard.StatusDraining); err != nil {
+		t.Fatal(err)
+	}
+	drained, err := ac.QueryVia(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drained.ShardsAnswered != numShards {
+		t.Fatalf("drained coverage %d/%d, want full via replicas", drained.ShardsAnswered, drained.ShardsTotal)
+	}
+	if !reflect.DeepEqual(baseline.Rows(q), drained.Rows(q)) {
+		t.Fatalf("drained result diverged:\n  baseline %v\n  drained  %v", baseline.Rows(q), drained.Rows(q))
+	}
+}

@@ -50,18 +50,34 @@ func (k Kind) String() string {
 		return "stats"
 	case KindShutdown:
 		return "shutdown"
+	case KindLeafStatus:
+		return "leafstatus"
+	case KindShardMap:
+		return "shardmap"
+	case KindFlush:
+		return "flush"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
-// Request kinds.
+// Request kinds. KindLeafStatus and KindShardMap are aggregator admin RPCs
+// (v2-additive: gob carries the Kind by value, and an old server answers an
+// unknown kind with an explicit error rather than misbehaving): the rollover
+// orchestrator flips leaf statuses and reads shard coverage through them.
 const (
 	KindPing Kind = iota + 1
 	KindAddRows
 	KindQuery
 	KindStats
 	KindShutdown
+	KindLeafStatus
+	KindShardMap
+	// KindFlush seals every table's in-progress block and syncs all blocks
+	// to the disk backup — the durability barrier an orchestrator raises
+	// before doing anything that could kill the process uncleanly
+	// (v2-additive).
+	KindFlush
 )
 
 // Request is one RPC request.
@@ -76,6 +92,16 @@ type Request struct {
 	Version uint8
 	// Trace carries the query's trace context (v2+; zero = untraced).
 	Trace obs.TraceContext
+	// Shards scopes a query to these shards of its table (v2-additive: gob
+	// omits the empty slice, and a pre-shard server decodes it as nil — it
+	// would answer the whole logical table, which is why a shard-routing
+	// aggregator must only be pointed at shard-capable leaves). Non-empty
+	// only under shard routing.
+	Shards []int
+	// LeafName/LeafStatus are the KindLeafStatus payload: flip the named
+	// leaf to this shard.Status in the aggregator's router (v2-additive).
+	LeafName   string
+	LeafStatus uint8
 }
 
 // Response is one RPC response.
@@ -87,6 +113,13 @@ type Response struct {
 	// Exec is the leaf's execution report for a traced query (v2+; nil for
 	// untraced queries and pre-trace servers).
 	Exec *obs.ExecStats
+	// ShardMap is the aggregator's encoded shard map (shard.Map.Encode) and
+	// LeafStatuses the router's per-leaf statuses, index-parallel to the
+	// map's leaves; MapVersion counts router mutations. KindShardMap only
+	// (v2-additive).
+	ShardMap     []byte
+	LeafStatuses []uint8
+	MapVersion   int64
 }
 
 // Server exposes one leaf over TCP.
@@ -204,9 +237,12 @@ func (s *Server) handle(req *Request) *Response {
 		var res *query.Result
 		var exec *obs.ExecStats
 		var err error
-		if req.Trace.TraceID != 0 {
+		switch {
+		case len(req.Shards) > 0:
+			res, exec, err = s.leaf.QueryShards(req.Query, req.Shards, req.Trace)
+		case req.Trace.TraceID != 0:
 			res, exec, err = s.leaf.QueryTraced(req.Query, req.Trace)
-		} else {
+		default:
 			res, err = s.leaf.Query(req.Query)
 		}
 		if err != nil {
@@ -232,6 +268,16 @@ func (s *Server) handle(req *Request) *Response {
 			return &Response{Err: err.Error()}
 		}
 		return &Response{Shutdown: &info}
+	case KindFlush:
+		if err := s.leaf.SealAll(); err != nil {
+			s.reg.Counter("rpc.errors").Add(1)
+			return &Response{Err: err.Error()}
+		}
+		if _, err := s.leaf.SyncToDisk(); err != nil {
+			s.reg.Counter("rpc.errors").Add(1)
+			return &Response{Err: err.Error()}
+		}
+		return &Response{}
 	default:
 		return &Response{Err: fmt.Sprintf("wire: unknown request kind %d", req.Kind)}
 	}
@@ -406,7 +452,10 @@ func backoff(o Options, attempt int) time.Duration {
 }
 
 func idempotent(k Kind) bool {
-	return k == KindPing || k == KindQuery || k == KindStats
+	// Status flips are absolute (not increments) and flushing twice is a
+	// no-op, so retrying either is safe.
+	return k == KindPing || k == KindQuery || k == KindStats ||
+		k == KindLeafStatus || k == KindShardMap || k == KindFlush
 }
 
 // callOnce runs one attempt on its own connection under RPCTimeout. A
@@ -503,6 +552,25 @@ func (c *Client) QueryTraced(q *query.Query, tc obs.TraceContext) (*query.Result
 		return nil, nil, err
 	}
 	return query.Import(resp.Result), resp.Exec, nil
+}
+
+// QueryShards implements aggregator.ShardTarget: the shard list rides the
+// request envelope and the leaf merges its per-shard physical tables into
+// one partial result. Retries reuse the same span ID, like QueryTraced.
+func (c *Client) QueryShards(q *query.Query, shards []int, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error) {
+	resp, err := c.Call(&Request{Kind: KindQuery, Query: q, Shards: shards, Trace: tc})
+	if err != nil {
+		return nil, nil, err
+	}
+	return query.Import(resp.Result), resp.Exec, nil
+}
+
+// Flush asks the leaf to seal its in-progress blocks and sync everything to
+// the disk backup — after it returns, a kill -9 loses nothing the disk
+// can't restore.
+func (c *Client) Flush() error {
+	_, err := c.Call(&Request{Kind: KindFlush})
+	return err
 }
 
 // Shutdown asks the leaf to exit cleanly (through shared memory when

@@ -48,6 +48,7 @@ import (
 	"scuba/internal/query"
 	"scuba/internal/rowblock"
 	"scuba/internal/scribe"
+	"scuba/internal/shard"
 	"scuba/internal/shm"
 	"scuba/internal/sim"
 	"scuba/internal/table"
@@ -198,6 +199,87 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 // ErrRolloverAborted is returned (wrapped) when RolloverConfig.MaxDiskFallback
 // stops a rollover because too many restarted leaves fell back to disk.
 var ErrRolloverAborted = cluster.ErrRolloverAborted
+
+// Sharding: a rendezvous-hashed shard map (R owners per shard, replicas on
+// distinct machines) routes queries to only the leaves owning a table's
+// shards, tailers dual-write each batch to every owner, and a rollover
+// flips draining leaves out of the map so their shards serve from replicas.
+type (
+	// ShardMap assigns each (table, shard) to R leaves.
+	ShardMap = shard.Map
+	// ShardLeaf is one routable leaf (name + machine) in a shard map.
+	ShardLeaf = shard.Leaf
+	// ShardRouter is a shard map plus live per-leaf statuses.
+	ShardRouter = shard.Router
+	// ShardStatus is a leaf's routing state (active/draining/down).
+	ShardStatus = shard.Status
+	// ShardedPlacer dual-writes each batch to every owner of its shard.
+	ShardedPlacer = tailer.ShardedPlacer
+	// ShardedPlacerStats counts batches, copies, and missed replicas.
+	ShardedPlacerStats = tailer.ShardedPlacerStats
+)
+
+// Shard routing statuses.
+const (
+	ShardActive   = shard.StatusActive
+	ShardDraining = shard.StatusDraining
+	ShardDown     = shard.StatusDown
+)
+
+var (
+	// NewShardMap builds a rendezvous-hashed map over the leaves.
+	NewShardMap = shard.NewMap
+	// NewShardRouter wraps a map with live statuses.
+	NewShardRouter = shard.NewRouter
+	// DecodeShardMap decodes a map fetched over the wire (Client.ShardMap).
+	DecodeShardMap = shard.Decode
+	// PhysicalTable names shard s of a logical table on a leaf ("T@s").
+	PhysicalTable = shard.PhysicalTable
+	// NewShardedPlacer builds a dual-writing placer over targets.
+	NewShardedPlacer = tailer.NewShardedPlacer
+	// ShardRouting turns on shard routing for an aggregator over its leaf
+	// addresses; see wire.ShardRouting.
+	ShardRouting = wire.ShardRouting
+)
+
+// Subprocess clusters: real scubad OS processes orchestrated the way the
+// production rollover script works — shutdown-to-shm RPC, process-exit
+// waits with kill -9 timeouts, /debug/recovery polling, and shard-map flips
+// through the aggregator's admin RPCs — plus a live availability probe.
+type (
+	// ProcCluster is a cluster of scubad subprocesses with one
+	// shard-routing aggregator server over them.
+	ProcCluster = cluster.ProcCluster
+	// ProcConfig describes a subprocess cluster.
+	ProcConfig = cluster.ProcConfig
+	// ProcLeaf is one subprocess leaf slot (the identity outlives the
+	// process).
+	ProcLeaf = cluster.ProcLeaf
+	// ProcRolloverConfig drives a subprocess rollover.
+	ProcRolloverConfig = cluster.ProcRolloverConfig
+	// ProcRolloverReport summarizes one, including quarantined leaves.
+	ProcRolloverReport = cluster.ProcRolloverReport
+	// ProcRestart records one subprocess restart.
+	ProcRestart = cluster.ProcRestart
+	// AvailabilityProbe measures live coverage and latency during a
+	// rollover.
+	AvailabilityProbe = cluster.AvailabilityProbe
+	// ProbeConfig sets the probe's query, cadence, and correctness check.
+	ProbeConfig = cluster.ProbeConfig
+	// AvailabilityReport is the probe's timeline plus summary statistics.
+	AvailabilityReport = cluster.AvailabilityReport
+	// AvailabilityPoint is one probe sample.
+	AvailabilityPoint = cluster.AvailabilityPoint
+)
+
+var (
+	// BuildScubad compiles the scubad daemon for StartProcCluster.
+	BuildScubad = cluster.BuildScubad
+	// StartProcCluster boots the subprocess leaves and their aggregator.
+	StartProcCluster = cluster.StartProcCluster
+	// StartAvailabilityProbe begins a continuous query probe.
+	StartAvailabilityProbe = cluster.StartProbe
+)
 
 // Fault injection (chaos testing): deterministic fault points threaded
 // through the restart, disk, wire, and query paths, zero-cost when disarmed.
