@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"scuba"
 	"scuba/internal/tailer"
@@ -482,11 +483,18 @@ const scanBenchBlocks = 16
 // column increases monotonically, so every block's zone map covers a disjoint
 // range and a point filter can prune all but one block.
 func scanBenchLeaf(b *testing.B, workers int, cacheBytes int64) *scuba.Leaf {
+	return scanBenchLeafReg(b, workers, cacheBytes, nil)
+}
+
+// scanBenchLeafReg is scanBenchLeaf with a metrics registry attached, for
+// the self-telemetry overhead pair (E20).
+func scanBenchLeafReg(b *testing.B, workers int, cacheBytes int64, reg *scuba.MetricsRegistry) *scuba.Leaf {
 	b.Helper()
 	e := newBenchEnv(b)
 	cfg := e.config(0, scuba.FormatRow)
 	cfg.ScanWorkers = workers
 	cfg.DecodeCacheBytes = cacheBytes
+	cfg.Metrics = reg
 	l, err := scuba.NewLeaf(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -596,6 +604,45 @@ func BenchmarkScanTraced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tc := scuba.TraceContext{TraceID: uint64(i + 1), SpanID: uint64(i + 1)}
 		if _, _, err := l.QueryTraced(q, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E20: self-telemetry (Scuba-on-Scuba) overhead on the scan path ----
+
+// BenchmarkScanSinkDisabled is the control half of the E20 pair: the same
+// leaf and metrics registry as the enabled variant, but no telemetry sink.
+func BenchmarkScanSinkDisabled(b *testing.B) {
+	l := scanBenchLeafReg(b, 1, 0, scuba.NewMetricsRegistry())
+	q := scanQueryFull()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanSinkEnabled runs the same scan while a telemetry sink
+// self-ingests the leaf's metric snapshots into its own __system tables
+// every 5ms — three orders of magnitude more aggressive than the 15s
+// production default, so the measured delta over BenchmarkScanSinkDisabled
+// bounds the real tax (the E20 acceptance bar in EXPERIMENTS.md).
+func BenchmarkScanSinkEnabled(b *testing.B) {
+	reg := scuba.NewMetricsRegistry()
+	l := scanBenchLeafReg(b, 1, 0, reg)
+	sink := scuba.NewTelemetrySink(scuba.TelemetrySinkConfig{
+		Emit:            l.AddRows,
+		Source:          "bench",
+		Registry:        reg,
+		MetricsInterval: 5 * time.Millisecond,
+	})
+	defer sink.Close()
+	q := scanQueryFull()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Query(q); err != nil {
 			b.Fatal(err)
 		}
 	}

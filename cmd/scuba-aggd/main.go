@@ -23,6 +23,8 @@ import (
 	"scuba/internal/fault"
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
+	"scuba/internal/rowblock"
+	"scuba/internal/shard"
 	"scuba/internal/wire"
 )
 
@@ -38,6 +40,8 @@ func main() {
 		replication = flag.Int("replication", 0, "shard replication factor R: each shard lives on R leaves and queries fail over to a replica while the primary restarts (0 = unsharded full fan-out)")
 		numShards   = flag.Int("num-shards", 0, "shards per table under -replication (0 = 2x leaf count)")
 		machineSpec = flag.String("machines", "", "comma-separated machine index per leaf (parallel to -leaves) so shard replicas land on distinct machines; '' = every leaf its own machine")
+		scrapeEach  = flag.Duration("scrape-interval", 0, "cluster scrape period: pull every leaf's metrics snapshot into __system.leaf_metrics (0 disables)")
+		telemetry   = flag.Duration("telemetry-interval", 0, "self-telemetry period: snapshot this aggregator's own metrics and sampled query traces into __system tables (0 disables)")
 	)
 	flag.Parse()
 	if *leaves == "" {
@@ -55,20 +59,62 @@ func main() {
 	}
 	reg := metrics.NewRegistry()
 	reg.EnableRuntimeMetrics()
-	tracer := obs.NewTracer(obs.TracerOptions{
+	clients := make([]*wire.Client, len(addrs))
+	for i, a := range addrs {
+		clients[i] = wire.Dial(a)
+	}
+
+	// Self-telemetry (Scuba-on-Scuba): the aggregator's own metric
+	// snapshots and sampled trace summaries — plus the cluster scrape rows
+	// below — are delivered into __system tables through the first leaf
+	// that will take them, and served back out over the ordinary query
+	// path. The sink refuses __system-table traces, so telemetry queries
+	// never generate telemetry.
+	var sink *obs.Sink
+	if *scrapeEach > 0 || *telemetry > 0 {
+		emit := func(table string, rows []rowblock.Row) error {
+			var lastErr error
+			for _, c := range clients {
+				if err := c.AddRows(table, rows); err != nil {
+					lastErr = err
+					continue
+				}
+				return nil
+			}
+			return lastErr
+		}
+		snapEvery := *telemetry
+		if snapEvery <= 0 {
+			snapEvery = -1 // scraper-only: no self-snapshot loop
+		}
+		sink = obs.NewSink(obs.SinkConfig{
+			Emit:            emit,
+			Source:          *addr,
+			Registry:        reg,
+			MetricsInterval: snapEvery,
+			OnError:         func(err error) { log.Printf("telemetry: %v", err) },
+		})
+		defer sink.Close()
+	}
+	tracerOpts := obs.TracerOptions{
 		Capacity:      *traceRing,
 		SlowThreshold: *slowQuery,
 		Metrics:       reg,
-	})
+	}
+	if sink != nil && *telemetry > 0 {
+		tracerOpts.OnRecord = sink.RecordTrace
+	}
+	tracer := obs.NewTracer(tracerOpts)
 	targets := make([]aggregator.LeafTarget, len(addrs))
-	for i, a := range addrs {
-		targets[i] = wire.Dial(a)
+	for i := range clients {
+		targets[i] = clients[i]
 	}
 	agg := aggregator.New(targets)
 	agg.Metrics = reg
 	agg.LeafTimeout = *leafTimeout
 	agg.Tracer = tracer
 	agg.Labels = addrs
+	var router *shard.Router
 	if *replication > 0 {
 		var machines []int
 		if *machineSpec != "" {
@@ -83,8 +129,24 @@ func main() {
 				log.Fatalf("scuba-aggd: -machines lists %d entries for %d leaves", len(machines), len(addrs))
 			}
 		}
-		r := wire.ShardRouting(agg, addrs, machines, *replication, *numShards)
-		log.Printf("shard routing on: %s", r.Map())
+		router = wire.ShardRouting(agg, addrs, machines, *replication, *numShards)
+		log.Printf("shard routing on: %s", router.Map())
+	}
+	if *scrapeEach > 0 {
+		scrapeTargets := make([]wire.ScrapeTarget, len(addrs))
+		for i, a := range addrs {
+			scrapeTargets[i] = wire.ScrapeTarget{Name: a, Client: clients[i]}
+		}
+		scraper := wire.StartScraper(wire.ScraperConfig{
+			Leaves:   scrapeTargets,
+			Sink:     sink,
+			Router:   router,
+			Interval: *scrapeEach,
+			Source:   *addr,
+			Registry: reg,
+		})
+		defer scraper.Stop()
+		log.Printf("cluster scraper on: %d leaves into %s every %v", len(addrs), obs.SystemLeafMetricsTable, *scrapeEach)
 	}
 	srv, err := wire.NewAggServerOver(agg, *addr)
 	if err != nil {

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"scuba"
+)
+
+// ---- E20: self-telemetry (Scuba-on-Scuba) overhead on the scan path ----
+
+// e20Cell is one (sink on/off) measurement in BENCH_e20.json.
+type e20Cell struct {
+	SinkEnabled bool    `json:"sink_enabled"`
+	P50Micros   float64 `json:"p50_us"`
+	P95Micros   float64 `json:"p95_us"`
+}
+
+type e20Report struct {
+	Rows           int       `json:"rows"`
+	Blocks         int       `json:"blocks"`
+	Trials         int       `json:"trials"`
+	SinkIntervalMS int       `json:"sink_interval_ms"`
+	Cells          []e20Cell `json:"cells"`
+	OverheadP50Pct float64   `json:"overhead_p50_pct"`
+	Pass15Pct      bool      `json:"pass_15pct"`
+}
+
+// runE20 measures what the self-telemetry sink costs the queries it
+// observes: the same sealed-block scan run with no sink, then with a sink
+// self-ingesting the leaf's metric snapshots into its own __system tables
+// every 5ms — three orders of magnitude more aggressive than the 15s
+// production default, so the delta bounds the real tax. The acceptance bar
+// is the bench gate's 15%: observing the cluster must never be the reason
+// the cluster is slow.
+func runE20() error {
+	const blocks = 32
+	const trials = 60
+	const sinkInterval = 5 * time.Millisecond
+	rowsPerBlock := *rowsFlag / blocks
+	if rowsPerBlock < 100 {
+		rowsPerBlock = 100
+	}
+	totalRows := rowsPerBlock * blocks
+
+	dir, err := os.MkdirTemp("", "scuba-e20-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	reg := scuba.NewMetricsRegistry()
+	l, err := scuba.NewLeaf(scuba.LeafConfig{
+		ID:           0,
+		Shm:          scuba.ShmOptions{Dir: dir, Namespace: "e20"},
+		DiskRoot:     dir + "/disk",
+		MemoryBudget: 8 << 30,
+		Metrics:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	if err := l.Start(); err != nil {
+		return err
+	}
+
+	seq := int64(0)
+	services := []string{"web", "api", "ads", "search"}
+	for b := 0; b < blocks; b++ {
+		rows := make([]scuba.Row, rowsPerBlock)
+		for i := range rows {
+			rows[i] = scuba.Row{
+				Time: 1700000000 + seq,
+				Cols: map[string]scuba.Value{
+					"seq":        scuba.Int64(seq),
+					"service":    scuba.String(services[seq%4]),
+					"latency_ms": scuba.Float64(float64(seq%500) / 2),
+				},
+			}
+			seq++
+		}
+		if err := l.AddRows("events", rows); err != nil {
+			return err
+		}
+		if err := l.SealAll(); err != nil {
+			return err
+		}
+	}
+
+	q := &scuba.Query{Table: "events", From: 0, To: 1 << 40,
+		GroupBy:      []string{"service"},
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggAvg, Column: "latency_ms"}}}
+
+	measure := func() (e20Cell, error) {
+		durs := make([]time.Duration, 0, trials)
+		for t := 0; t < trials; t++ {
+			start := time.Now()
+			if _, err := l.Query(q); err != nil {
+				return e20Cell{}, err
+			}
+			durs = append(durs, time.Since(start))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		return e20Cell{
+			P50Micros: float64(durs[len(durs)/2].Microseconds()),
+			P95Micros: float64(durs[len(durs)*95/100].Microseconds()),
+		}, nil
+	}
+
+	rep := e20Report{Rows: totalRows, Blocks: blocks, Trials: trials,
+		SinkIntervalMS: int(sinkInterval / time.Millisecond)}
+	fmt.Printf("%6s | %12s %12s\n", "sink", "p50", "p95")
+
+	off, err := measure()
+	if err != nil {
+		return err
+	}
+	off.SinkEnabled = false
+	rep.Cells = append(rep.Cells, off)
+	fmt.Printf("%6s | %10.0fµs %10.0fµs\n", "off", off.P50Micros, off.P95Micros)
+
+	sink := scuba.NewTelemetrySink(scuba.TelemetrySinkConfig{
+		Emit:            l.AddRows,
+		Source:          "bench",
+		Registry:        reg,
+		MetricsInterval: sinkInterval,
+	})
+	on, err := measure()
+	sink.Close()
+	if err != nil {
+		return err
+	}
+	on.SinkEnabled = true
+	rep.Cells = append(rep.Cells, on)
+	fmt.Printf("%6s | %10.0fµs %10.0fµs\n", "on", on.P50Micros, on.P95Micros)
+
+	if off.P50Micros > 0 {
+		rep.OverheadP50Pct = (on.P50Micros - off.P50Micros) / off.P50Micros * 100
+	}
+	rep.Pass15Pct = rep.OverheadP50Pct <= 15
+	verdict := "PASS"
+	if !rep.Pass15Pct {
+		verdict = "FAIL"
+	}
+	fmt.Printf("\nself-telemetry p50 overhead: %+.1f%% at a %v snapshot interval [%s, bar is 15%%]\n",
+		rep.OverheadP50Pct, sinkInterval, verdict)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_e20.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_e20.json")
+	fmt.Println("paper: Facebook monitors Scuba with Scuba; self-observation only earns its keep")
+	fmt.Println("if the telemetry pipeline costs the hot path nothing measurable")
+	return nil
+}

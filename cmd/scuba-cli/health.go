@@ -1,0 +1,185 @@
+package main
+
+// scuba-cli health renders live cluster health from the cluster's own
+// self-telemetry: the __system.leaf_metrics rows the aggregator's scraper
+// ingests, queried back through that same aggregator. There is no side
+// channel — if health renders, the whole Scuba-on-Scuba loop (scrape →
+// sink → leaf ingest → fan-out query) is working.
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"scuba"
+)
+
+func runHealth(args []string) {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	aggAddr := fs.String("agg", "127.0.0.1:9001", "aggregator address (must run with -scrape-interval)")
+	window := fs.Duration("window", 2*time.Minute, "how far back to look for telemetry rows")
+	watch := fs.Duration("watch", 0, "top-style refresh period (0 = render once)")
+	fs.Parse(args) //nolint:errcheck
+
+	c := scuba.DialLeaf(*aggAddr)
+	defer c.Close()
+
+	if *watch <= 0 {
+		if err := renderHealth(os.Stdout, c, *aggAddr, *window); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for {
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		if err := renderHealth(os.Stdout, c, *aggAddr, *window); err != nil {
+			fmt.Printf("health: %v\n", err)
+		}
+		fmt.Printf("\nrefreshing every %v (ctrl-c to stop)\n", *watch)
+		time.Sleep(*watch)
+	}
+}
+
+// leafHealth is the newest __system.leaf_metrics scrape for one leaf.
+type leafHealth struct {
+	leaf        string
+	status      string
+	recovery    string
+	rows        float64
+	queries     float64
+	queryErrors float64
+	hits        float64
+	misses      float64
+	freeBytes   float64
+	quarantined bool
+}
+
+func renderHealth(w *os.File, c *scuba.Client, aggAddr string, window time.Duration) error {
+	now := time.Now().Unix()
+	from := now - int64(window/time.Second)
+
+	q := &scuba.Query{
+		Table:   scuba.SystemLeafMetricsTable,
+		From:    from,
+		To:      now + 1,
+		GroupBy: []string{"leaf", "status", "recovery"},
+		Aggregations: []scuba.Aggregation{
+			{Op: scuba.AggMax, Column: "rows"},
+			{Op: scuba.AggMax, Column: "queries"},
+			{Op: scuba.AggMax, Column: "query_errors"},
+			{Op: scuba.AggMax, Column: "decode_cache_hits"},
+			{Op: scuba.AggMax, Column: "decode_cache_misses"},
+			{Op: scuba.AggMax, Column: "free_memory"},
+			{Op: scuba.AggMax, Column: "quarantined"},
+		},
+		Limit: 10000,
+	}
+	res, err := c.Query(q)
+	if err != nil {
+		return fmt.Errorf("querying %s through %s: %w", scuba.SystemLeafMetricsTable, aggAddr, err)
+	}
+
+	// A leaf whose status or recovery path changed inside the window shows
+	// up once per combination; the scrape with the most queries observed is
+	// the newest (counters are cumulative), so it wins.
+	newest := map[string]leafHealth{}
+	for _, row := range res.Rows(q) {
+		h := leafHealth{
+			leaf: row.Key[0], status: row.Key[1], recovery: row.Key[2],
+			rows: row.Values[0], queries: row.Values[1], queryErrors: row.Values[2],
+			hits: row.Values[3], misses: row.Values[4], freeBytes: row.Values[5],
+			quarantined: row.Values[6] > 0,
+		}
+		if prev, ok := newest[h.leaf]; !ok || h.queries >= prev.queries {
+			newest[h.leaf] = h
+		}
+	}
+	leaves := make([]leafHealth, 0, len(newest))
+	for _, h := range newest {
+		leaves = append(leaves, h)
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].leaf < leaves[j].leaf })
+
+	fmt.Fprintf(w, "cluster health via %s (window %v, %s)\n\n",
+		aggAddr, window, time.Unix(now, 0).Format("15:04:05"))
+	if len(leaves) == 0 {
+		fmt.Fprintf(w, "no %s rows in the last %v — is scuba-aggd running with -scrape-interval?\n",
+			scuba.SystemLeafMetricsTable, window)
+		return nil
+	}
+
+	active := 0
+	fmt.Fprintf(w, "%-22s %-9s %-8s %12s %9s %7s %7s %9s\n",
+		"leaf", "status", "recovery", "rows", "queries", "errors", "cache%", "free")
+	for _, h := range leaves {
+		if h.status == "ACTIVE" {
+			active++
+		}
+		note := ""
+		if h.quarantined {
+			note = "  QUARANTINED"
+		}
+		fmt.Fprintf(w, "%-22s %-9s %-8s %12.0f %9.0f %7.0f %7s %9s%s\n",
+			h.leaf, h.status, h.recovery, h.rows, h.queries, h.queryErrors,
+			pct(h.hits, h.hits+h.misses), mb(h.freeBytes), note)
+	}
+
+	// Shard/leaf coverage as this very query saw it: how much of the
+	// cluster answered just now.
+	fmt.Fprintf(w, "\nleaves: %d/%d active, %d/%d answered this query (%.0f%% of data)\n",
+		active, len(leaves), res.LeavesAnswered, res.LeavesTotal, 100*res.Coverage())
+
+	// Slow-query rate from the aggregator's own metric snapshots (needs
+	// scuba-aggd -telemetry-interval; silently n/a otherwise).
+	slow := maxMetric(c, from, now, "trace_slow")
+	total := maxMetric(c, from, now, "trace_count")
+	if !math.IsNaN(slow) && !math.IsNaN(total) && total > 0 {
+		fmt.Fprintf(w, "queries traced: %.0f, slow: %.0f (%s)\n", total, slow, pct(slow, total))
+	} else {
+		fmt.Fprintln(w, "slow-query rate: n/a (aggregator telemetry off)")
+	}
+	return nil
+}
+
+// maxMetric fetches the newest value of one counter from __system.metrics
+// (cumulative, so max over the window is the latest sample). NaN when no
+// rows matched.
+func maxMetric(c *scuba.Client, from, to int64, name string) float64 {
+	q := &scuba.Query{
+		Table: scuba.SystemMetricsTable,
+		From:  from,
+		To:    to + 1,
+		Filters: []scuba.Filter{
+			{Column: "name", Op: scuba.OpEq, Str: name},
+		},
+		Aggregations: []scuba.Aggregation{
+			{Op: scuba.AggCount},
+			{Op: scuba.AggMax, Column: "value"},
+		},
+	}
+	res, err := c.Query(q)
+	if err != nil {
+		return math.NaN()
+	}
+	rows := res.Rows(q)
+	if len(rows) == 0 || rows[0].Values[0] == 0 {
+		return math.NaN()
+	}
+	return rows[0].Values[1]
+}
+
+func pct(num, den float64) string {
+	if den <= 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(100*num/den, 'f', 1, 64) + "%"
+}
+
+func mb(b float64) string {
+	return strconv.FormatFloat(b/(1<<20), 'f', 0, 64) + "M"
+}

@@ -9,6 +9,7 @@
 //	scuba-cli -addrs :8001,:8002 query -table service_logs -group-by service -agg count,avg:latency_ms
 //	scuba-cli -addrs :8001 stats
 //	scuba-cli stats -http :8081            # scrape a daemon's /metrics + /debug/recovery
+//	scuba-cli health -agg :9001 -watch 2s  # live cluster health from __system tables
 //	scuba-cli trace -http :9091            # per-leaf waterfall of the latest query trace
 //	scuba-cli -addrs :8001 shutdown [-disk]
 package main
@@ -35,7 +36,7 @@ func main() {
 	addrs := flag.String("addrs", "127.0.0.1:8001", "comma-separated leaf addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: scuba-cli -addrs ... {load|query|stats|trace|shutdown} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: scuba-cli -addrs ... {load|query|stats|health|trace|shutdown} [flags]")
 		os.Exit(2)
 	}
 
@@ -59,6 +60,8 @@ func main() {
 		runQuery(clients, args)
 	case "stats":
 		runStats(clients, args)
+	case "health":
+		runHealth(args)
 	case "trace":
 		runTrace(args)
 	case "shutdown":

@@ -44,6 +44,7 @@ func main() {
 		syncEvery  = flag.Duration("sync-interval", 5*time.Second, "disk write-behind interval")
 		expireEach = flag.Duration("expire-interval", time.Minute, "expiration sweep interval")
 		httpAddr   = flag.String("http", "", "observability listen address serving /metrics, /debug/recovery and /debug/pprof ('' disables)")
+		telemetry  = flag.Duration("telemetry-interval", 0, "self-telemetry period: snapshot this leaf's metrics into __system tables (0 disables)")
 		faultSpec  = flag.String("fault", "", "arm fault-injection points for chaos testing, e.g. 'shm.copy_in=corrupt;count=1,disk.read=delay:50ms' (see internal/fault)")
 	)
 	flag.Parse()
@@ -114,6 +115,28 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s", srv.Addr())
+
+	// Self-telemetry (Scuba-on-Scuba): this leaf's own metrics and
+	// flight-recorder events become rows in its __system tables, ingested
+	// through the same AddRows path user data takes — and therefore
+	// queryable through any aggregator and preserved across restarts by
+	// the shared-memory path. A crashed predecessor's recovered recorder
+	// events land in __system.recorder instead of only in the boot log.
+	var sink *scuba.TelemetrySink
+	if *telemetry > 0 {
+		sink = scuba.NewTelemetrySink(scuba.TelemetrySinkConfig{
+			Emit:            l.AddRows,
+			Source:          *addr,
+			Registry:        reg,
+			MetricsInterval: *telemetry,
+			OnError:         func(err error) { log.Printf("telemetry: %v", err) },
+		})
+		if prev := fr.Previous(); len(prev) > 0 {
+			sink.RecordRecorderEvents("previous", prev)
+		}
+		sink.RecordRecorderEvents("current", fr.Events())
+		defer sink.Close()
+	}
 
 	if *httpAddr != "" {
 		hs, err := scuba.StartObsHTTP(*httpAddr, scuba.ObsHandler(scuba.ObsHandlerConfig{

@@ -132,7 +132,13 @@ type fanPlan struct {
 // router's assignment, one slot per serving leaf, sorted by leaf index so
 // span order is stable.
 func (a *Aggregator) plan(table string) fanPlan {
-	if a.Router == nil {
+	if a.Router == nil || obs.IsSystemTable(table) {
+		// Self-telemetry (__system.*) tables are leaf-local plain tables:
+		// each daemon's sink writes to whichever leaf holds its rows, so a
+		// query must fan out to every leaf and merge, never shard-route
+		// (under routing the leaves would rewrite to physical "T@s" names
+		// that no sink ever wrote). Leaves without the table answer empty
+		// partials, which merge away.
 		p := fanPlan{targets: make([]fanTarget, len(a.leaves))}
 		for i := range a.leaves {
 			p.targets[i] = fanTarget{idx: i}
@@ -335,6 +341,7 @@ collect:
 		slow := a.Tracer.Record(obs.Trace{
 			TraceID:        traceID,
 			Query:          q.String(),
+			Table:          q.Table,
 			Start:          start,
 			DurationNanos:  d.Nanoseconds(),
 			LeavesTotal:    merged.LeavesTotal,

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"scuba/internal/obs"
 	"scuba/internal/shard"
 	"scuba/internal/shm"
 	"scuba/internal/tailer"
@@ -63,6 +64,14 @@ type ProcConfig struct {
 	// SyncInterval is each leaf's disk write-behind interval (default
 	// 200ms, fast so a crashed leaf's disk backup is near-current).
 	SyncInterval time.Duration
+	// ScrapeInterval, when positive, runs an aggregator-side cluster
+	// scraper that pulls every leaf's metrics snapshot into
+	// __system.leaf_metrics on this period.
+	ScrapeInterval time.Duration
+	// TelemetryInterval, when positive, turns on each scubad's
+	// self-telemetry sink (its -telemetry-interval flag): metric snapshots
+	// and flight-recorder events flow into that leaf's __system tables.
+	TelemetryInterval time.Duration
 }
 
 // ProcLeaf is one leaf slot of a subprocess cluster: the OS process comes
@@ -144,11 +153,13 @@ func (l *ProcLeaf) recoveryPath() string {
 // ProcCluster is a set of scubad subprocesses plus one shard-routing
 // aggregator server over them.
 type ProcCluster struct {
-	cfg    ProcConfig
-	leaves []*ProcLeaf
-	router *shard.Router
-	aggSrv *wire.AggServer
-	aggCli *wire.Client
+	cfg     ProcConfig
+	leaves  []*ProcLeaf
+	router  *shard.Router
+	aggSrv  *wire.AggServer
+	aggCli  *wire.Client
+	sink    *obs.Sink
+	scraper *wire.Scraper
 }
 
 // StartProcCluster builds the leaf processes and the aggregator. The caller
@@ -209,20 +220,47 @@ func StartProcCluster(cfg ProcConfig) (*ProcCluster, error) {
 	pc.aggSrv = srv
 	pc.router = wire.ShardRouting(srv.Aggregator(), addrs, machines, cfg.Replication, cfg.NumShards)
 	pc.aggCli = wire.Dial(srv.Addr())
+	if cfg.ScrapeInterval > 0 {
+		// The scraper's sink delivers into the cluster itself: rows go to
+		// the first live leaf, whence every aggregator query finds them.
+		pc.sink = obs.NewSink(obs.SinkConfig{
+			Emit:            pc.emitSystemRows,
+			Source:          "aggd",
+			MetricsInterval: -1, // the scraper drives delivery
+		})
+		targets := make([]wire.ScrapeTarget, len(pc.leaves))
+		for i, l := range pc.leaves {
+			targets[i] = wire.ScrapeTarget{Name: l.Addr, Client: l.client}
+		}
+		pc.scraper = wire.StartScraper(wire.ScraperConfig{
+			Leaves:   targets,
+			Sink:     pc.sink,
+			Router:   pc.router,
+			Interval: cfg.ScrapeInterval,
+		})
+	}
 	return pc, nil
 }
 
+// Scraper exposes the cluster scraper (nil unless ScrapeInterval was set);
+// tests use ScrapeOnce for a deterministic pull.
+func (pc *ProcCluster) Scraper() *wire.Scraper { return pc.scraper }
+
 // startLeaf execs a scubad process on the leaf's fixed identity.
 func (pc *ProcCluster) startLeaf(l *ProcLeaf) error {
-	cmd := exec.Command(pc.cfg.BinPath,
+	args := []string{
 		"-id", strconv.Itoa(l.ID),
 		"-addr", l.Addr,
 		"-http", l.HTTPAddr,
 		"-shm-dir", pc.cfg.WorkDir,
 		"-namespace", pc.cfg.Namespace,
-		"-disk-root", pc.cfg.WorkDir+"/disk",
+		"-disk-root", pc.cfg.WorkDir + "/disk",
 		"-sync-interval", pc.cfg.SyncInterval.String(),
-	)
+	}
+	if pc.cfg.TelemetryInterval > 0 {
+		args = append(args, "-telemetry-interval", pc.cfg.TelemetryInterval.String())
+	}
+	cmd := exec.Command(pc.cfg.BinPath, args...)
 	if pc.cfg.Logs != nil {
 		cmd.Stdout = pc.cfg.Logs
 		cmd.Stderr = pc.cfg.Logs
@@ -296,6 +334,8 @@ func (pc *ProcCluster) NewShardedPlacer() *tailer.ShardedPlacer {
 // Close kills every subprocess and releases sockets. Safe on a
 // partially-started cluster.
 func (pc *ProcCluster) Close() {
+	pc.scraper.Stop()
+	pc.sink.Close()
 	for _, l := range pc.leaves {
 		l.Kill()                    //nolint:errcheck
 		l.waitExit(5 * time.Second) //nolint:errcheck

@@ -1,0 +1,153 @@
+package cluster
+
+// Telemetry persistence: rollover drills and availability probes used to
+// print their timelines and throw them away. Here those reports become
+// __system.rollover rows ingested through the ordinary leaf path, so the
+// coverage dips and recovery paths of a restart drill are queryable through
+// the same aggregator the drill was exercising — and, because __system
+// tables are plain leaf tables, the history itself survives the next
+// restart through shared memory.
+
+import (
+	"errors"
+	"time"
+
+	"scuba/internal/obs"
+	"scuba/internal/rowblock"
+)
+
+// Rows converts a probe report into __system.rollover rows: one
+// event="probe" row per observation (the coverage/latency timeline) plus a
+// closing event="probe_summary" row. start anchors the timeline's absolute
+// timestamps; source labels who ran the probe.
+func (r *AvailabilityReport) Rows(source string, start time.Time) []rowblock.Row {
+	rows := make([]rowblock.Row, 0, len(r.Points)+1)
+	for _, pt := range r.Points {
+		rows = append(rows, rowblock.Row{
+			Time: start.Add(pt.Elapsed).Unix(),
+			Cols: map[string]rowblock.Value{
+				"source":         rowblock.StringValue(source),
+				"event":          rowblock.StringValue("probe"),
+				"elapsed_us":     rowblock.Int64Value(pt.Elapsed.Microseconds()),
+				"shard_coverage": rowblock.Float64Value(pt.ShardCoverage),
+				"leaf_coverage":  rowblock.Float64Value(pt.LeafCoverage),
+				"latency_us":     rowblock.Int64Value(pt.Latency.Microseconds()),
+			},
+		})
+	}
+	end := start
+	if n := len(r.Points); n > 0 {
+		end = start.Add(r.Points[n-1].Elapsed)
+	}
+	rows = append(rows, rowblock.Row{
+		Time: end.Unix(),
+		Cols: map[string]rowblock.Value{
+			"source":             rowblock.StringValue(source),
+			"event":              rowblock.StringValue("probe_summary"),
+			"queries":            rowblock.Int64Value(int64(r.Queries)),
+			"errors":             rowblock.Int64Value(int64(r.Errors)),
+			"wrong":              rowblock.Int64Value(int64(r.Wrong)),
+			"min_shard_coverage": rowblock.Float64Value(r.MinShardCoverage),
+			"min_leaf_coverage":  rowblock.Float64Value(r.MinLeafCoverage),
+			"p50_us":             rowblock.Int64Value(r.P50.Microseconds()),
+			"p99_us":             rowblock.Int64Value(r.P99.Microseconds()),
+		},
+	})
+	return rows
+}
+
+// Rows converts a rollover report into __system.rollover rows: one
+// event="restart" row per leaf restart plus a closing
+// event="rollover_summary" row. start is when the rollover began.
+func (r *ProcRolloverReport) Rows(source string, start time.Time) []rowblock.Row {
+	rows := make([]rowblock.Row, 0, len(r.Restarts)+1)
+	elapsed := time.Duration(0)
+	for _, rs := range r.Restarts {
+		// Restarts are sorted by leaf, not wall clock; stamping each row
+		// with the running sum keeps timestamps inside the drill window
+		// without claiming per-restart ordering the report doesn't record.
+		elapsed += rs.Duration
+		killed, crashed := int64(0), int64(0)
+		if rs.Killed {
+			killed = 1
+		}
+		if rs.Crashed {
+			crashed = 1
+		}
+		rows = append(rows, rowblock.Row{
+			Time: start.Add(elapsed).Unix(),
+			Cols: map[string]rowblock.Value{
+				"source":      rowblock.StringValue(source),
+				"event":       rowblock.StringValue("restart"),
+				"leaf":        rowblock.Int64Value(int64(rs.Leaf)),
+				"addr":        rowblock.StringValue(rs.Addr),
+				"recovery":    rowblock.StringValue(rs.RecoveryPath),
+				"killed":      rowblock.Int64Value(killed),
+				"crashed":     rowblock.Int64Value(crashed),
+				"error":       rowblock.StringValue(rs.Err),
+				"duration_us": rowblock.Int64Value(rs.Duration.Microseconds()),
+			},
+		})
+	}
+	aborted := int64(0)
+	if r.Aborted {
+		aborted = 1
+	}
+	rows = append(rows, rowblock.Row{
+		Time: start.Add(r.Duration).Unix(),
+		Cols: map[string]rowblock.Value{
+			"source":            rowblock.StringValue(source),
+			"event":             rowblock.StringValue("rollover_summary"),
+			"batches":           rowblock.Int64Value(int64(r.Batches)),
+			"restarts":          rowblock.Int64Value(int64(len(r.Restarts))),
+			"memory_recoveries": rowblock.Int64Value(int64(r.MemoryRecoveries)),
+			"mixed_recoveries":  rowblock.Int64Value(int64(r.MixedRecoveries)),
+			"disk_recoveries":   rowblock.Int64Value(int64(r.DiskRecoveries)),
+			"quarantined":       rowblock.Int64Value(int64(len(r.Quarantined))),
+			"aborted":           rowblock.Int64Value(aborted),
+			"duration_us":       rowblock.Int64Value(r.Duration.Microseconds()),
+		},
+	})
+	return rows
+}
+
+// PersistRollover writes a rollover report's timeline into
+// __system.rollover via the first live leaf. The rows land in a plain
+// leaf-local table, so every aggregator query for __system.rollover finds
+// them regardless of shard routing.
+func (pc *ProcCluster) PersistRollover(rep *ProcRolloverReport, source string, start time.Time) error {
+	return pc.persistSystemRows(rep.Rows(source, start))
+}
+
+// PersistAvailability writes a probe report's coverage timeline into
+// __system.rollover alongside the restart events it was measuring.
+func (pc *ProcCluster) PersistAvailability(rep *AvailabilityReport, source string, start time.Time) error {
+	return pc.persistSystemRows(rep.Rows(source, start))
+}
+
+func (pc *ProcCluster) persistSystemRows(rows []rowblock.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	return pc.emitSystemRows(obs.SystemRolloverTable, rows)
+}
+
+// emitSystemRows is the cluster-side sink Emit: deliver telemetry rows to
+// the first live leaf that will take them.
+func (pc *ProcCluster) emitSystemRows(table string, rows []rowblock.Row) error {
+	var lastErr error
+	for _, l := range pc.leaves {
+		if l.Quarantined() {
+			continue
+		}
+		if err := l.Client().AddRows(table, rows); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cluster: no live leaf to persist telemetry")
+	}
+	return lastErr
+}

@@ -368,7 +368,7 @@ func TestShutdownPublishesWorkerMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := cfg.Metrics.String()
-	for _, want := range []string{"leaf0.shutdown.worker0.bytes", "leaf0.shutdown.worker1.bytes"} {
+	for _, want := range []string{"leaf0_shutdown_worker0_bytes", "leaf0_shutdown_worker1_bytes"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing gauge %s in:\n%s", want, out)
 		}
@@ -381,7 +381,7 @@ func TestShutdownPublishesWorkerMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	out = cfg.Metrics.String()
-	if !strings.Contains(out, "leaf0.restore.worker0.bytes") {
+	if !strings.Contains(out, "leaf0_restore_worker0_bytes") {
 		t.Errorf("missing restore gauges in:\n%s", out)
 	}
 }

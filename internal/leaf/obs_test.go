@@ -68,7 +68,7 @@ func TestRestartPhaseSpans(t *testing.T) {
 	}
 	// The whole lifecycle shows up in the registry text exposition.
 	text := newReg.String()
-	for _, want := range []string{"timer restart.map", "timer restart.copy_in", "histogram restart.copy_in.table_us"} {
+	for _, want := range []string{"timer restart_map", "timer restart_copy_in", "histogram restart_copy_in_table_us"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("registry text missing %q:\n%s", want, text)
 		}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"time"
@@ -71,15 +72,27 @@ func (h *Histogram) Time(fn func()) {
 	h.ObserveDuration(time.Since(start))
 }
 
+// HistogramBucket is one occupied power-of-two bucket in a histogram
+// snapshot. Le is the inclusive upper bound of the bucket (0 for the zero
+// bucket, 2^i-1 for bucket i), matching Prometheus "le" semantics; Count is
+// the number of samples in this bucket alone (not cumulative).
+type HistogramBucket struct {
+	Le    int64
+	Count int64
+}
+
 // HistogramStats is a histogram snapshot. P50/P95/P99 are estimated from
 // the bucket midpoints, clamped to the observed min/max. When IsDuration is
-// set, every value field is in microseconds.
+// set, every value field is in microseconds. Buckets lists the occupied
+// buckets in ascending Le order so exposition formats can render the full
+// distribution, not just point quantiles.
 type HistogramStats struct {
 	Count         int64
 	Sum           int64
 	Min, Max      int64
 	P50, P95, P99 int64
 	IsDuration    bool
+	Buckets       []HistogramBucket
 }
 
 // Mean returns the arithmetic mean (0 when empty).
@@ -101,6 +114,21 @@ func (h *Histogram) Stats() HistogramStats {
 	st.P50 = h.quantileLocked(0.50)
 	st.P95 = h.quantileLocked(0.95)
 	st.P99 = h.quantileLocked(0.99)
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		le := int64(0)
+		switch {
+		case i >= 63:
+			// Bucket 63 spans up to 2^63-1 == MaxInt64 (bucket 64 is
+			// unreachable for non-negative int64 samples).
+			le = math.MaxInt64
+		case i > 0:
+			le = int64(1)<<i - 1
+		}
+		st.Buckets = append(st.Buckets, HistogramBucket{Le: le, Count: c})
+	}
 	return st
 }
 

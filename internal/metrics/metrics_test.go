@@ -83,9 +83,11 @@ func TestRegistryString(t *testing.T) {
 		t.Fatalf("lines = %d: %q", len(lines), s)
 	}
 	// Every line is type-tagged, and the lexical sort groups by type.
+	// Rendered names are canonical snake_case even though registry keys
+	// keep their dotted internal spellings.
 	for _, want := range []string{
-		"counter b.count 2",
-		"gauge a.gauge 1",
+		"counter b_count 2",
+		"gauge a_gauge 1",
 		"gauge busy 1500us", // duration gauges carry a unit suffix
 	} {
 		if !strings.Contains(s, want) {
@@ -95,7 +97,7 @@ func TestRegistryString(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "counter ") || !strings.HasPrefix(lines[4], "timer ") {
 		t.Errorf("type grouping wrong: %q", s)
 	}
-	if !strings.Contains(s, "histogram d.hist count=1") {
+	if !strings.Contains(s, "histogram d_hist count=1") {
 		t.Errorf("histogram line missing: %q", s)
 	}
 }

@@ -1,0 +1,108 @@
+package metrics
+
+import "testing"
+
+func TestCanonicalName(t *testing.T) {
+	cases := map[string]string{
+		"query.latency_hist":           "query_latency_hist",
+		"query.decode_cache.hits":      "query_decode_cache_hits",
+		"leaf0.shutdown.worker0.bytes": "leaf0_shutdown_worker0_bytes",
+		"Already_Snake":                "already_snake",
+		"a..b":                         "a_b",
+		"a-b c/d":                      "a_b_c_d",
+		".leading":                     "leading",
+		"trailing.":                    "trailing",
+		"":                             "_",
+		"___":                          "_",
+		"x":                            "x",
+	}
+	for in, want := range cases {
+		if got := CanonicalName(in); got != want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCanonicalNames pins the canonical spelling of every production metric
+// name. Dashboards and scrape configs key on these; a change here is a
+// breaking rename and must be deliberate. The test also proves the mapping
+// stays collision-free: no two internal names may canonicalize to the same
+// exposition name.
+func TestCanonicalNames(t *testing.T) {
+	pinned := map[string]string{
+		// leaf query path
+		"query.exec.count":             "query_exec_count",
+		"query.exec.errors":            "query_exec_errors",
+		"query.exec.latency":           "query_exec_latency",
+		"query.exec.latency_hist":      "query_exec_latency_hist",
+		"query.blocks_pruned":          "query_blocks_pruned",
+		"query.decode_cache.bytes":     "query_decode_cache_bytes",
+		"query.decode_cache.hits":      "query_decode_cache_hits",
+		"query.decode_cache.misses":    "query_decode_cache_misses",
+		"query.decode_cache.evictions": "query_decode_cache_evictions",
+		// aggregator
+		"query.count":            "query_count",
+		"query.errors":           "query_errors",
+		"query.latency":          "query_latency",
+		"query.latency_hist":     "query_latency_hist",
+		"query.fanout":           "query_fanout",
+		"query.leaves_total":     "query_leaves_total",
+		"query.leaves_answered":  "query_leaves_answered",
+		"query.leaves_abandoned": "query_leaves_abandoned",
+		"query.shards_total":     "query_shards_total",
+		"query.shards_answered":  "query_shards_answered",
+		"query.shards_unserved":  "query_shards_unserved",
+		"query.slow":             "query_slow",
+		// wire server
+		"rpc.errors": "rpc_errors",
+		"rpc.ping":   "rpc_ping",
+		"rpc.query":  "rpc_query",
+		"rows.added": "rows_added",
+		// restart phases
+		"restart.map":               "restart_map",
+		"restart.copy_out":          "restart_copy_out",
+		"restart.copy_out.table_us": "restart_copy_out_table_us",
+		"restart.commit":            "restart_commit",
+		"restart.copy_in":           "restart_copy_in",
+		"restart.copy_in.table_us":  "restart_copy_in_table_us",
+		"restart.disk":              "restart_disk",
+		// rollover driver
+		"rollover.batch":               "rollover_batch",
+		"rollover.restarts":            "rollover_restarts",
+		"rollover.aborts":              "rollover_aborts",
+		"rollover.min_availability_bp": "rollover_min_availability_bp",
+		"rollover.recovery.memory":     "rollover_recovery_memory",
+		"rollover.recovery.mixed":      "rollover_recovery_mixed",
+		"rollover.recovery.disk":       "rollover_recovery_disk",
+		// tailer
+		"tailer.drain":       "tailer_drain",
+		"tailer.errors":      "tailer_errors",
+		"tailer.rows_bad":    "tailer_rows_bad",
+		"tailer.rows_lost":   "tailer_rows_lost",
+		"tailer.rows_placed": "tailer_rows_placed",
+		// tracing
+		"trace.count": "trace_count",
+		"trace.slow":  "trace_slow",
+		// runtime self-metrics
+		"runtime.goroutines":    "runtime_goroutines",
+		"runtime.heap_bytes":    "runtime_heap_bytes",
+		"runtime.gc_pause_hist": "runtime_gc_pause_hist",
+		// self-telemetry sink
+		"sink.rows":     "sink_rows",
+		"sink.dropped":  "sink_dropped",
+		"sink.errors":   "sink_errors",
+		"scrape.count":  "scrape_count",
+		"scrape.errors": "scrape_errors",
+	}
+	seen := make(map[string]string, len(pinned))
+	for raw, want := range pinned {
+		got := CanonicalName(raw)
+		if got != want {
+			t.Errorf("CanonicalName(%q) = %q, pinned %q", raw, got, want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("collision: %q and %q both canonicalize to %q", prev, raw, got)
+		}
+		seen[got] = raw
+	}
+}

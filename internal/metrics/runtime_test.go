@@ -45,7 +45,7 @@ func TestRuntimeMetrics(t *testing.T) {
 	}
 
 	out := r.String()
-	for _, want := range []string{"gauge runtime.goroutines", "gauge runtime.heap_bytes", "histogram runtime.gc_pause_hist"} {
+	for _, want := range []string{"gauge runtime_goroutines", "gauge runtime_heap_bytes", "histogram runtime_gc_pause_hist"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in rendering:\n%s", want, out)
 		}

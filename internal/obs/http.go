@@ -58,7 +58,17 @@ func Handler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	started := time.Now()
 
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			prom, ok := cfg.Registry.(interface{ Prometheus() string })
+			if !ok {
+				http.Error(w, "prometheus exposition unavailable", http.StatusNotImplemented)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			fmt.Fprint(w, prom.Prometheus())
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if cfg.Registry != nil {
 			fmt.Fprintln(w, cfg.Registry.String())

@@ -55,10 +55,34 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("status = %d", code)
 	}
 	for _, want := range []string{
-		"counter rpc.query 3",
-		"timer restart.copy_in count=1",
-		"histogram query.latency_hist count=1",
+		"counter rpc_query 3",
+		"timer restart_copy_in count=1",
+		"histogram query_latency_hist count=1",
 		"p50=", "p95=", "p99=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsEndpointPrometheus(t *testing.T) {
+	h, reg, _ := newTestHandler(t)
+	reg.Counter("rpc.query").Add(3)
+	reg.Histogram("query.latency_hist").ObserveDuration(2 * time.Millisecond)
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics?format=prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE scuba_rpc_query counter",
+		"scuba_rpc_query 3",
+		"# TYPE scuba_query_latency_hist_seconds histogram",
+		`scuba_query_latency_hist_seconds_bucket{le="+Inf"} 1`,
+		"scuba_query_latency_hist_seconds_count 1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("missing %q in:\n%s", want, body)

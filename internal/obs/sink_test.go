@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scuba/internal/metrics"
+	"scuba/internal/rowblock"
+)
+
+// collectEmit is a test Emit target that records every delivered batch.
+type collectEmit struct {
+	mu     sync.Mutex
+	tables []string
+	rows   map[string][]rowblock.Row
+}
+
+func (c *collectEmit) emit(table string, rows []rowblock.Row) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rows == nil {
+		c.rows = make(map[string][]rowblock.Row)
+	}
+	c.tables = append(c.tables, table)
+	c.rows[table] = append(c.rows[table], rows...)
+	return nil
+}
+
+func (c *collectEmit) get(table string) []rowblock.Row {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]rowblock.Row(nil), c.rows[table]...)
+}
+
+func fixedClock(sec int64) func() time.Time {
+	return func() time.Time { return time.Unix(sec, 0) }
+}
+
+func TestIsSystemTable(t *testing.T) {
+	for table, want := range map[string]bool{
+		SystemMetricsTable:     true,
+		SystemTracesTable:      true,
+		SystemRolloverTable:    true,
+		SystemLeafMetricsTable: true,
+		SystemRecorderTable:    true,
+		"__system.other":       true,
+		"service_logs":         false,
+		"__systemish":          false,
+		"":                     false,
+	} {
+		if got := IsSystemTable(table); got != want {
+			t.Errorf("IsSystemTable(%q) = %v, want %v", table, got, want)
+		}
+	}
+}
+
+func TestSinkSnapshotRows(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("rows.added").Add(7)
+	reg.Gauge("worker.busy").SetDuration(1500 * time.Microsecond)
+	reg.Timer("restart.copy_in").Observe(2 * time.Millisecond)
+	reg.Histogram("query.latency_hist").ObserveDuration(300 * time.Microsecond)
+
+	var c collectEmit
+	s := NewSink(SinkConfig{
+		Emit:            c.emit,
+		Source:          "leaf0",
+		Registry:        reg,
+		MetricsInterval: -1, // manual flushes only
+		Clock:           fixedClock(1700000000),
+	})
+	defer s.Close()
+	s.RecordSnapshot()
+	if !s.Flush() {
+		t.Fatal("flush failed")
+	}
+
+	rows := c.get(SystemMetricsTable)
+	byName := map[string]rowblock.Row{}
+	for _, r := range rows {
+		byName[r.Cols["name"].Str] = r
+	}
+	cr, ok := byName["rows_added"] // canonical spelling, not the registry key
+	if !ok {
+		t.Fatalf("no rows_added row in %v", byName)
+	}
+	if cr.Time != 1700000000 || cr.Cols["type"].Str != "counter" ||
+		cr.Cols["value"].Int != 7 || cr.Cols["source"].Str != "leaf0" {
+		t.Errorf("counter row = %+v", cr)
+	}
+	if g := byName["worker_busy"]; g.Cols["unit"].Str != "us" || g.Cols["value"].Int != 1500 {
+		t.Errorf("duration gauge row = %+v", g)
+	}
+	if tm := byName["restart_copy_in"]; tm.Cols["count"].Int != 1 || tm.Cols["sum_us"].Int != 2000 {
+		t.Errorf("timer row = %+v", tm)
+	}
+	h := byName["query_latency_hist"]
+	if h.Cols["count"].Int != 1 || h.Cols["p50"].Int != 300 || h.Cols["unit"].Str != "us" {
+		t.Errorf("histogram row = %+v", h)
+	}
+	// Sink accounting landed in the registry.
+	if got := reg.Counter("sink.rows").Value(); got != int64(len(rows)) {
+		t.Errorf("sink.rows = %d, want %d", got, len(rows))
+	}
+}
+
+func TestSinkTraceSuppressionAndSampling(t *testing.T) {
+	var c collectEmit
+	s := NewSink(SinkConfig{
+		Emit:            c.emit,
+		Source:          "aggd",
+		MetricsInterval: -1,
+		TraceSampleN:    2,
+		Clock:           fixedClock(100),
+	})
+	defer s.Close()
+
+	// Recursion suppression: a trace of a __system query never lands.
+	s.RecordTrace(Trace{TraceID: 1, Table: SystemLeafMetricsTable, Slow: true})
+	// Slow traces are always kept, sampling notwithstanding.
+	for i := 0; i < 3; i++ {
+		s.RecordTrace(Trace{TraceID: uint64(10 + i), Table: "service_logs", Slow: true, DurationNanos: 5e6})
+	}
+	// Non-slow traces sample 1-in-2.
+	for i := 0; i < 4; i++ {
+		s.RecordTrace(Trace{TraceID: uint64(20 + i), Table: "service_logs"})
+	}
+	s.Flush()
+
+	rows := c.get(SystemTracesTable)
+	if len(rows) != 5 { // 3 slow + 2 of 4 sampled
+		t.Fatalf("trace rows = %d, want 5: %+v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r.Cols["table"].Str == SystemLeafMetricsTable {
+			t.Errorf("suppressed system-table trace leaked: %+v", r)
+		}
+	}
+	slow := 0
+	for _, r := range rows {
+		if r.Cols["slow"].Int == 1 {
+			slow++
+		}
+	}
+	if slow != 3 {
+		t.Errorf("slow rows = %d, want 3", slow)
+	}
+}
+
+func TestSinkRecorderEvents(t *testing.T) {
+	var c collectEmit
+	s := NewSink(SinkConfig{Emit: c.emit, Source: "leaf1", MetricsInterval: -1, Clock: fixedClock(0)})
+	defer s.Close()
+
+	evs := []Event{
+		{Seq: 1, UnixMicros: 5_000_123, KindName: "begin", Phase: "restart.copy_out"},
+		{Seq: 2, UnixMicros: 5_100_456, KindName: "end", Phase: "restart.copy_out", Detail: "100ms"},
+	}
+	s.RecordRecorderEvents("previous", evs)
+	s.Flush()
+
+	rows := c.get(SystemRecorderTable)
+	if len(rows) != 2 {
+		t.Fatalf("recorder rows = %d", len(rows))
+	}
+	r := rows[1]
+	if r.Time != 5 || r.Cols["run"].Str != "previous" || r.Cols["kind"].Str != "end" ||
+		r.Cols["phase"].Str != "restart.copy_out" || r.Cols["t_us"].Int != 5_100_456 {
+		t.Errorf("row = %+v", r)
+	}
+}
+
+func TestSinkOverflowDropsNotBlocks(t *testing.T) {
+	reg := metrics.NewRegistry()
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	var once sync.Once
+	s := NewSink(SinkConfig{
+		Emit: func(string, []rowblock.Row) error {
+			once.Do(func() { close(blocked) })
+			<-release
+			return nil
+		},
+		Registry:        reg,
+		MetricsInterval: -1,
+		QueueSize:       2,
+		Clock:           fixedClock(0),
+	})
+	row := []rowblock.Row{{Time: 1, Cols: map[string]rowblock.Value{"x": rowblock.Int64Value(1)}}}
+	s.RecordRows(SystemRolloverTable, row) // drain goroutine picks this up and blocks
+	<-blocked
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10; i++ {
+			s.RecordRows(SystemRolloverTable, row)
+		}
+		close(done)
+	}()
+	select {
+	case <-done: // enqueues must return immediately even with Emit wedged
+	case <-time.After(5 * time.Second):
+		t.Fatal("RecordRows blocked on a wedged Emit")
+	}
+	if got := reg.Counter("sink.dropped").Value(); got < 8 {
+		t.Errorf("sink.dropped = %d, want >= 8", got)
+	}
+	close(release)
+	s.Close()
+}
+
+func TestSinkCloseDeliversQueued(t *testing.T) {
+	var c collectEmit
+	s := NewSink(SinkConfig{Emit: c.emit, MetricsInterval: -1, Clock: fixedClock(0)})
+	row := []rowblock.Row{{Time: 1, Cols: map[string]rowblock.Value{"x": rowblock.Int64Value(1)}}}
+	for i := 0; i < 5; i++ {
+		s.RecordRows(SystemRolloverTable, row)
+	}
+	s.Close()
+	if got := len(c.get(SystemRolloverTable)); got != 5 {
+		t.Errorf("delivered %d rows after Close, want 5", got)
+	}
+	// Idempotent close, and post-close records are silently discarded.
+	s.Close()
+	s.RecordRows(SystemRolloverTable, row)
+
+	// Nil sink: every method is a no-op.
+	var nilSink *Sink
+	nilSink.RecordRows(SystemRolloverTable, row)
+	nilSink.RecordTrace(Trace{})
+	nilSink.RecordSnapshot()
+	nilSink.Close()
+	if nilSink.Flush() {
+		t.Error("nil sink Flush returned true")
+	}
+}
+
+func TestSinkMetricsLoop(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("rows.added").Add(1)
+	var c collectEmit
+	s := NewSink(SinkConfig{
+		Emit:            c.emit,
+		Registry:        reg,
+		MetricsInterval: 5 * time.Millisecond,
+		Clock:           fixedClock(42),
+	})
+	defer s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c.get(SystemMetricsTable)) > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("metrics loop produced no __system.metrics rows")
+}

@@ -108,7 +108,12 @@ type LeafSpan struct {
 type Trace struct {
 	TraceID uint64 `json:"trace_id"`
 	// Query is the query's rendered form (SELECT ... FROM ...).
-	Query string    `json:"query"`
+	Query string `json:"query"`
+	// Table is the queried table. The self-telemetry sink keys its
+	// recursion suppression on it: traces of __system.* queries are never
+	// fed back into __system.traces. Additive — older traces decode with
+	// it empty.
+	Table string    `json:"table,omitempty"`
 	Start time.Time `json:"start"`
 	// DurationNanos is end-to-end aggregator time: fan-out, merge, finalize.
 	DurationNanos  int64 `json:"duration_nanos"`
@@ -156,6 +161,11 @@ type TracerOptions struct {
 	MinSamples int64
 	// Metrics, when non-nil, receives trace.count and trace.slow counters.
 	Metrics *metrics.Registry
+	// OnRecord, when non-nil, observes every recorded trace after slow
+	// classification and span dedupe, outside the tracer's lock. The
+	// self-telemetry sink hooks here to turn completed traces into
+	// __system.traces rows.
+	OnRecord func(Trace)
 }
 
 // idRand feeds the trace/span ID generators. math/rand suffices: IDs only
@@ -241,7 +251,6 @@ func (t *Tracer) Record(tr Trace) bool {
 	}
 	tr.Spans = dedupeSpans(tr.Spans)
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	tr.Slow = t.isSlowLocked(time.Duration(tr.DurationNanos))
 	t.lat.ObserveDuration(time.Duration(tr.DurationNanos))
 	t.recent = appendBounded(t.recent, tr, t.opts.Capacity)
@@ -253,6 +262,10 @@ func (t *Tracer) Record(tr Trace) bool {
 	}
 	if t.traceCount != nil {
 		t.traceCount.Add(1)
+	}
+	t.mu.Unlock()
+	if t.opts.OnRecord != nil {
+		t.opts.OnRecord(tr)
 	}
 	return tr.Slow
 }

@@ -1,0 +1,177 @@
+package wire
+
+// The cluster scraper is the aggregator half of Scuba-on-Scuba: a loop that
+// periodically pulls every ACTIVE leaf's metrics snapshot, recovery report
+// and stats over the KindMetrics admin RPC, flattens them into one
+// __system.leaf_metrics row per leaf, and hands the rows to the
+// self-telemetry sink — which ingests them back into the cluster. Operators
+// then ask the cluster about itself: per-leaf recovery sources, decode-cache
+// hit rates, ingest volume, all over the same query path user tables use.
+
+import (
+	"sync"
+	"time"
+
+	"scuba/internal/leaf"
+	"scuba/internal/metrics"
+	"scuba/internal/obs"
+	"scuba/internal/rowblock"
+	"scuba/internal/shard"
+)
+
+// ScrapeTarget is one leaf the scraper pulls from.
+type ScrapeTarget struct {
+	// Name is the leaf's identity in rows and in the shard map (its
+	// address in a distributed deployment).
+	Name string
+	// Client is an open wire client to the leaf.
+	Client *Client
+}
+
+// ScraperConfig configures a cluster scraper.
+type ScraperConfig struct {
+	// Leaves are the scrape targets. Required.
+	Leaves []ScrapeTarget
+	// Sink receives the __system.leaf_metrics rows. Required.
+	Sink *obs.Sink
+	// Router, when non-nil, contributes each leaf's live status (scrapes
+	// skip DOWN leaves) and the map version — the shard-coverage state of
+	// the cluster at scrape time.
+	Router *shard.Router
+	// Interval is the scrape period (default 15s).
+	Interval time.Duration
+	// Source labels the rows (default "aggd").
+	Source string
+	// Registry, when non-nil, receives scrape.count and scrape.errors.
+	Registry *metrics.Registry
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+// Scraper is a running cluster-scrape loop.
+type Scraper struct {
+	cfg  ScraperConfig
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	scrapes *metrics.Counter
+	errors  *metrics.Counter
+}
+
+// StartScraper validates the config and starts the loop. Panics without
+// leaves or a sink — a scraper with nothing to pull or nowhere to deliver is
+// a programming error.
+func StartScraper(cfg ScraperConfig) *Scraper {
+	if len(cfg.Leaves) == 0 || cfg.Sink == nil {
+		panic("wire: ScraperConfig needs Leaves and a Sink")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Second
+	}
+	if cfg.Source == "" {
+		cfg.Source = "aggd"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	s := &Scraper{cfg: cfg, done: make(chan struct{})}
+	if reg := cfg.Registry; reg != nil {
+		s.scrapes = reg.Counter("scrape.count")
+		s.errors = reg.Counter("scrape.errors")
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// Stop terminates the loop. Idempotent.
+func (s *Scraper) Stop() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+func (s *Scraper) loop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.ScrapeOnce()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// ScrapeOnce pulls every routable leaf now and enqueues the resulting
+// __system.leaf_metrics rows, returning how many leaves answered. Exported
+// so tests and smoke scripts can force a deterministic scrape.
+func (s *Scraper) ScrapeOnce() int {
+	var statuses []shard.Status
+	var version int64
+	if s.cfg.Router != nil {
+		statuses = s.cfg.Router.Status()
+		version = s.cfg.Router.Version()
+	}
+	now := s.cfg.Clock().Unix()
+	var rows []rowblock.Row
+	for i, t := range s.cfg.Leaves {
+		status := shard.StatusActive
+		if i < len(statuses) {
+			status = statuses[i]
+		}
+		if status == shard.StatusDown {
+			continue // unroutable; don't hammer a dead address
+		}
+		snap, rec, st, err := t.Client.MetricsSnapshot()
+		if err != nil {
+			if s.errors != nil {
+				s.errors.Add(1)
+			}
+			continue
+		}
+		rows = append(rows, leafMetricsRow(s.cfg.Source, t.Name, status, version, now, snap, rec, st))
+	}
+	if s.scrapes != nil {
+		s.scrapes.Add(1)
+	}
+	s.cfg.Sink.RecordRows(obs.SystemLeafMetricsTable, rows)
+	return len(rows)
+}
+
+// leafMetricsRow flattens one leaf's scrape into a row. Counter columns use
+// the canonical metric spelling so dashboards match the Prometheus names.
+func leafMetricsRow(source, leafName string, status shard.Status, mapVersion, now int64,
+	snap metrics.Snapshot, rec leaf.RecoveryInfo, st leaf.Stats) rowblock.Row {
+	counter := func(name string) int64 { return snap.Counters[name] }
+	gauge := func(name string) int64 { return snap.Gauges[name].Value }
+	cols := map[string]rowblock.Value{
+		"source":      rowblock.StringValue(source),
+		"leaf":        rowblock.StringValue(leafName),
+		"status":      rowblock.StringValue(status.String()),
+		"map_version": rowblock.Int64Value(mapVersion),
+		"recovery":    rowblock.StringValue(string(rec.Path)),
+		"quarantined": rowblock.Int64Value(int64(rec.Quarantined)),
+		"tables":      rowblock.Int64Value(int64(st.Tables)),
+		"blocks":      rowblock.Int64Value(int64(st.Blocks)),
+		"rows":        rowblock.Int64Value(st.Rows),
+		"bytes":       rowblock.Int64Value(st.Bytes),
+		"free_memory": rowblock.Int64Value(st.FreeMemory),
+		// Cumulative counters; rates fall out of time-bucketed queries.
+		"rows_added":          rowblock.Int64Value(counter("rows.added")),
+		"queries":             rowblock.Int64Value(counter("query.exec.count")),
+		"query_errors":        rowblock.Int64Value(counter("query.exec.errors")),
+		"rpc_errors":          rowblock.Int64Value(counter("rpc.errors")),
+		"blocks_pruned":       rowblock.Int64Value(counter("query.blocks_pruned")),
+		"decode_cache_hits":   rowblock.Int64Value(counter("query.decode_cache.hits")),
+		"decode_cache_misses": rowblock.Int64Value(counter("query.decode_cache.misses")),
+		"heap_bytes":          rowblock.Int64Value(gauge("runtime.heap_bytes")),
+		"goroutines":          rowblock.Int64Value(gauge("runtime.goroutines")),
+	}
+	return rowblock.Row{Time: now, Cols: cols}
+}

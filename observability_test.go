@@ -98,9 +98,9 @@ func TestDaemonObservabilityEndpoints(t *testing.T) {
 
 	body := httpGetBody(t, "http://"+httpAddr+"/metrics")
 	for _, want := range []string{
-		"counter rpc.query 3",
-		"timer query.latency count=3",
-		"histogram query.latency_hist count=3",
+		"counter rpc_query 3",
+		"timer query_latency count=3",
+		"histogram query_latency_hist count=3",
 		"p50=", "p95=", "p99=",
 	} {
 		if !strings.Contains(body, want) {
@@ -136,9 +136,9 @@ func TestDaemonObservabilityEndpoints(t *testing.T) {
 	// /metrics of the restarted process: the Figure 7 phase timers.
 	body = httpGetBody(t, "http://"+httpAddr+"/metrics")
 	for _, want := range []string{
-		"timer restart.map count=1",
-		"timer restart.copy_in count=1",
-		"histogram restart.copy_in.table_us count=1",
+		"timer restart_map count=1",
+		"timer restart_copy_in count=1",
+		"histogram restart_copy_in_table_us count=1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("post-restart /metrics missing %q:\n%s", want, body)

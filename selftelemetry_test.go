@@ -1,0 +1,220 @@
+package scuba_test
+
+// The Scuba-on-Scuba keystone: a real subprocess cluster observes itself.
+// The aggregator's scraper ingests every leaf's metrics snapshot into
+// __system.leaf_metrics, a rollover drill persists its restart timeline and
+// the probe's coverage timeline into __system.rollover, and all of it is
+// queried back through the same aggregator the drill was exercising. Because
+// __system tables are plain leaf tables, a second rollover then proves the
+// telemetry itself rides the shared-memory restart path: every row written
+// before the restarts is still served after them.
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"scuba"
+)
+
+// countSystemRows runs a filtered count against a __system table through the
+// aggregator and also returns how many leaves answered.
+func countSystemRows(t *testing.T, agg *scuba.Client, table, event string) (float64, *scuba.Result) {
+	t.Helper()
+	q := &scuba.Query{
+		Table:        table,
+		From:         0,
+		To:           1 << 62,
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}},
+	}
+	if event != "" {
+		q.Filters = []scuba.Filter{{Column: "event", Op: scuba.OpEq, Str: event}}
+	}
+	res, err := agg.Query(q)
+	if err != nil {
+		t.Fatalf("querying %s: %v", table, err)
+	}
+	rows := res.Rows(q)
+	if len(rows) == 0 {
+		return 0, res
+	}
+	return rows[0].Values[0], res
+}
+
+// waitForSystemRows polls until the table serves at least want matching rows
+// (telemetry delivery is asynchronous by design: the sink must never block
+// the paths it observes).
+func waitForSystemRows(t *testing.T, agg *scuba.Client, table, event string, want float64) float64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, _ := countSystemRows(t, agg, table, event)
+		if got >= want {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s (event=%q): %v rows after 10s, want >= %v", table, event, got, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestSelfTelemetryAcrossRollover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess self-telemetry drill")
+	}
+	pc, err := scuba.StartProcCluster(scuba.ProcConfig{
+		BinPath:           buildScubadBinary(t),
+		Machines:          2,
+		LeavesPerMachine:  2,
+		Replication:       2,
+		WorkDir:           t.TempDir(),
+		Namespace:         "seltel",
+		ScrapeInterval:    100 * time.Millisecond,
+		TelemetryInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pc.Close)
+	n := len(pc.Leaves())
+
+	placer := pc.NewShardedPlacer()
+	gen := scuba.ServiceLogs(7, 1700000000)
+	for sent := 0; sent < 5000; sent += 1000 {
+		if _, err := placer.Place("service_logs", gen.NextBatch(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := pc.AggClient()
+
+	// Phase 1: the scraper and each leaf's own sink populate the __system
+	// tables (one leaf_metrics row per leaf per scrape; metric-snapshot
+	// rows from every scubad's telemetry loop).
+	waitForSystemRows(t, agg, scuba.SystemLeafMetricsTable, "", float64(n))
+	waitForSystemRows(t, agg, scuba.SystemMetricsTable, "", 1)
+
+	// Each leaf must appear in the scrape with healthy vitals.
+	perLeaf := &scuba.Query{
+		Table:        scuba.SystemLeafMetricsTable,
+		From:         0,
+		To:           1 << 62,
+		GroupBy:      []string{"leaf"},
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggMax, Column: "rows"}},
+	}
+	res, err := agg.Query(perLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafRows := res.Rows(perLeaf)
+	if len(leafRows) != n {
+		t.Fatalf("leaf_metrics covers %d leaves, want %d: %+v", len(leafRows), n, leafRows)
+	}
+	var scraped int64
+	for _, r := range leafRows {
+		if r.Values[1] <= 0 {
+			t.Errorf("leaf %s scraped with 0 rows of data", r.Key[0])
+		}
+		scraped += int64(r.Values[0])
+	}
+
+	// Phase 2: rollover drill #1 under a correctness probe, then persist
+	// both timelines as __system.rollover rows.
+	q := rolloverQuery()
+	baseline, err := agg.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRows := baseline.Rows(q)
+	probe := scuba.StartAvailabilityProbe(agg, scuba.ProbeConfig{
+		Query: q,
+		Check: func(res *scuba.Result) error {
+			if !reflect.DeepEqual(res.Rows(q), baseRows) {
+				return errors.New("result drifted from baseline")
+			}
+			return nil
+		},
+	})
+	drillStart := time.Now()
+	rep, err := pc.ProcRollover(scuba.ProcRolloverConfig{
+		BatchFraction: 0.25,
+		MaxPerMachine: 1,
+		UseShm:        true,
+		KillTimeout:   time.Minute,
+		Tables:        []string{"service_logs"},
+	})
+	avail := probe.Stop()
+	if err != nil {
+		t.Fatalf("rollover: %v", err)
+	}
+	if err := pc.PersistRollover(rep, "drill", drillStart); err != nil {
+		t.Fatalf("persisting rollover report: %v", err)
+	}
+	if err := pc.PersistAvailability(&avail, "drill", drillStart); err != nil {
+		t.Fatalf("persisting probe report: %v", err)
+	}
+
+	// Phase 3: reconcile the persisted timeline against the in-memory
+	// reports, through the real aggregator.
+	restarts, _ := countSystemRows(t, agg, scuba.SystemRolloverTable, "restart")
+	if int(restarts) != len(rep.Restarts) {
+		t.Errorf("__system.rollover restart rows = %v, want %d", restarts, len(rep.Restarts))
+	}
+	points, _ := countSystemRows(t, agg, scuba.SystemRolloverTable, "probe")
+	if int(points) != len(avail.Points) {
+		t.Errorf("__system.rollover probe rows = %v, want %d", points, len(avail.Points))
+	}
+	summaries, _ := countSystemRows(t, agg, scuba.SystemRolloverTable, "rollover_summary")
+	if summaries != 1 {
+		t.Errorf("rollover_summary rows = %v, want 1", summaries)
+	}
+	minCovQ := &scuba.Query{
+		Table:        scuba.SystemRolloverTable,
+		From:         0,
+		To:           1 << 62,
+		Filters:      []scuba.Filter{{Column: "event", Op: scuba.OpEq, Str: "probe"}},
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggMin, Column: "shard_coverage"}},
+	}
+	covRes, err := agg.Query(minCovQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := covRes.Rows(minCovQ); len(avail.Points) > 0 {
+		if len(rows) == 0 {
+			t.Fatal("no probe rows for min-coverage reconciliation")
+		} else if got := rows[0].Values[0]; math.Abs(got-avail.MinShardCoverage) > 1e-9 {
+			t.Errorf("persisted min shard coverage %v != probe's %v", got, avail.MinShardCoverage)
+		}
+	}
+	// The drill itself was scraped: leaf_metrics keeps accumulating and
+	// records which leaves recovered from memory.
+	waitForSystemRows(t, agg, scuba.SystemLeafMetricsTable, "", float64(scraped+1))
+
+	// Phase 4: restart every leaf again. The telemetry written before these
+	// restarts must still be served afterwards — __system tables ride the
+	// shared-memory path like any other table.
+	if _, err := pc.ProcRollover(scuba.ProcRolloverConfig{
+		BatchFraction: 0.25,
+		MaxPerMachine: 1,
+		UseShm:        true,
+		KillTimeout:   time.Minute,
+	}); err != nil {
+		t.Fatalf("second rollover: %v", err)
+	}
+	restarts2, res2 := countSystemRows(t, agg, scuba.SystemRolloverTable, "restart")
+	if int(restarts2) != len(rep.Restarts) {
+		t.Errorf("restart rows after second rollover = %v, want %d (telemetry lost in restart)",
+			restarts2, len(rep.Restarts))
+	}
+	if res2.LeavesAnswered != res2.LeavesTotal {
+		t.Errorf("post-restart telemetry coverage %d/%d", res2.LeavesAnswered, res2.LeavesTotal)
+	}
+	points2, _ := countSystemRows(t, agg, scuba.SystemRolloverTable, "probe")
+	if int(points2) != len(avail.Points) {
+		t.Errorf("probe rows after second rollover = %v, want %d", points2, len(avail.Points))
+	}
+	t.Logf("self-telemetry: %d leaves, %v leaf_metrics rows, %d restart rows and %d probe points preserved across a full second rollover",
+		n, scraped, int(restarts2), int(points2))
+}

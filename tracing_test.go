@@ -285,29 +285,29 @@ func TestDistributedTracingEndToEnd(t *testing.T) {
 
 		body := httpGetBody(t, "http://"+lp.http+"/metrics")
 		ex := spanByLeaf(pruneT)[lp.addr]
-		if got := metricCounter(body, "query.blocks_pruned"); got < ex.BlocksPruned {
+		if got := metricCounter(body, "query_blocks_pruned"); got < ex.BlocksPruned {
 			t.Errorf("leaf %d /metrics blocks_pruned = %d, span reported %d", lp.id, got, ex.BlocksPruned)
 		}
 		cold, warm := spanByLeaf(coldT)[lp.addr], spanByLeaf(warmT)[lp.addr]
-		if got := metricCounter(body, "query.decode_cache.misses"); got < cold.CacheMisses {
+		if got := metricCounter(body, "query_decode_cache_misses"); got < cold.CacheMisses {
 			t.Errorf("leaf %d /metrics cache misses = %d, cold span reported %d", lp.id, got, cold.CacheMisses)
 		}
-		if got := metricCounter(body, "query.decode_cache.hits"); got < warm.CacheHits {
+		if got := metricCounter(body, "query_decode_cache_hits"); got < warm.CacheHits {
 			t.Errorf("leaf %d /metrics cache hits = %d, warm span reported %d", lp.id, got, warm.CacheHits)
 		}
-		if !strings.Contains(body, "gauge runtime.goroutines") || !strings.Contains(body, "gauge runtime.heap_bytes") {
+		if !strings.Contains(body, "gauge runtime_goroutines") || !strings.Contains(body, "gauge runtime_heap_bytes") {
 			t.Errorf("leaf %d /metrics missing runtime self-metrics:\n%s", lp.id, body)
 		}
 	}
 	// The aggregator's own /metrics carry the trace counters.
 	aggBody := httpGetBody(t, "http://"+aggHTTP+"/metrics")
-	if got := metricCounter(aggBody, "trace.count"); got != 3 {
+	if got := metricCounter(aggBody, "trace_count"); got != 3 {
 		t.Errorf("aggregator trace.count = %d, want 3", got)
 	}
-	if got := metricCounter(aggBody, "trace.slow"); got != 3 {
+	if got := metricCounter(aggBody, "trace_slow"); got != 3 {
 		t.Errorf("aggregator trace.slow = %d, want 3", got)
 	}
-	if got := metricCounter(aggBody, "query.slow"); got != 3 {
+	if got := metricCounter(aggBody, "query_slow"); got != 3 {
 		t.Errorf("aggregator query.slow = %d, want 3", got)
 	}
 }
