@@ -429,6 +429,34 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkAddRowsWAL measures the ingest path with the write-ahead log on:
+// each 1000-row batch is framed, CRC'd, appended, and fsynced before the ack
+// (WALSyncInterval 0 — the worst-case durable configuration; group commit
+// amortizes the fsync in production). Gated against BenchmarkIngest-style
+// regressions in CI: the WAL must stay a bounded tax on AddRows.
+func BenchmarkAddRowsWAL(b *testing.B) {
+	e := newBenchEnv(b)
+	cfg := e.config(0, scuba.FormatRow)
+	cfg.WALDir = filepath.Join(e.dir, "wal")
+	cfg.WALSyncInterval = 0
+	l, err := scuba.NewLeaf(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Start(); err != nil {
+		b.Fatal(err)
+	}
+	gen := scuba.ServiceLogs(42, 1700000000)
+	batch := gen.NextBatch(1000)
+	b.SetBytes(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.AddRows("service_logs", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAggregatorFanOut measures a grouped query fanned out over a
 // 16-leaf aggregator — the per-query cost users see on dashboards.
 func BenchmarkAggregatorFanOut(b *testing.B) {

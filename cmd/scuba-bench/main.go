@@ -29,7 +29,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e20) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e21) or 'all'")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -52,6 +52,7 @@ func main() {
 		{"e17", "in-leaf query latency: ScanWorkers x decode cache x selectivity (BENCH_e17.json)", runE17},
 		{"e18", "tracing overhead on the hot query path (BENCH_e18.json)", runE18},
 		{"e20", "self-telemetry sink overhead on the scan path (BENCH_e20.json)", runE20},
+		{"e21", "crash recovery: snapshots + WAL replay vs disk translate (BENCH_e21.json)", runE21},
 	}
 
 	ran := 0

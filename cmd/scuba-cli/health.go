@@ -7,6 +7,7 @@ package main
 // sink → leaf ingest → fan-out query) is working.
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,10 +25,27 @@ func runHealth(args []string) {
 	aggAddr := fs.String("agg", "127.0.0.1:9001", "aggregator address (must run with -scrape-interval)")
 	window := fs.Duration("window", 2*time.Minute, "how far back to look for telemetry rows")
 	watch := fs.Duration("watch", 0, "top-style refresh period (0 = render once)")
+	format := fs.String("format", "table", "output format: table or json (json implies -watch 0)")
 	fs.Parse(args) //nolint:errcheck
+	if *format != "table" && *format != "json" {
+		log.Fatalf("health: -format %q (want table or json)", *format)
+	}
 
 	c := scuba.DialLeaf(*aggAddr)
 	defer c.Close()
+
+	if *format == "json" {
+		rep, err := gatherHealth(c, *aggAddr, *window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(out, '\n')) //nolint:errcheck
+		return
+	}
 
 	if *watch <= 0 {
 		if err := renderHealth(os.Stdout, c, *aggAddr, *window); err != nil {
@@ -45,21 +63,39 @@ func runHealth(args []string) {
 	}
 }
 
-// leafHealth is the newest __system.leaf_metrics scrape for one leaf.
+// leafHealth is the newest __system.leaf_metrics scrape for one leaf. The
+// JSON tags shape `health -format json` output for scripts and dashboards.
 type leafHealth struct {
-	leaf        string
-	status      string
-	recovery    string
-	rows        float64
-	queries     float64
-	queryErrors float64
-	hits        float64
-	misses      float64
-	freeBytes   float64
-	quarantined bool
+	Leaf        string  `json:"leaf"`
+	Status      string  `json:"status"`
+	Recovery    string  `json:"recovery"`
+	Rows        float64 `json:"rows"`
+	Queries     float64 `json:"queries"`
+	QueryErrors float64 `json:"query_errors"`
+	CacheHits   float64 `json:"decode_cache_hits"`
+	CacheMisses float64 `json:"decode_cache_misses"`
+	FreeBytes   float64 `json:"free_bytes"`
+	Quarantined bool    `json:"quarantined"`
 }
 
-func renderHealth(w *os.File, c *scuba.Client, aggAddr string, window time.Duration) error {
+// healthReport is the machine-readable form of the health screen.
+type healthReport struct {
+	Aggregator     string       `json:"aggregator"`
+	GeneratedAt    int64        `json:"generated_at"`
+	WindowSeconds  int64        `json:"window_seconds"`
+	Leaves         []leafHealth `json:"leaves"`
+	Active         int          `json:"active"`
+	LeavesAnswered int          `json:"leaves_answered"`
+	LeavesTotal    int          `json:"leaves_total"`
+	Coverage       float64      `json:"coverage"`
+	// TracedQueries/SlowQueries are -1 when aggregator telemetry is off.
+	TracedQueries float64 `json:"traced_queries"`
+	SlowQueries   float64 `json:"slow_queries"`
+}
+
+// gatherHealth pulls the newest per-leaf scrape rows and coverage counters —
+// the shared source for both the table and JSON renderings.
+func gatherHealth(c *scuba.Client, aggAddr string, window time.Duration) (*healthReport, error) {
 	now := time.Now().Unix()
 	from := now - int64(window/time.Second)
 
@@ -81,7 +117,7 @@ func renderHealth(w *os.File, c *scuba.Client, aggAddr string, window time.Durat
 	}
 	res, err := c.Query(q)
 	if err != nil {
-		return fmt.Errorf("querying %s through %s: %w", scuba.SystemLeafMetricsTable, aggAddr, err)
+		return nil, fmt.Errorf("querying %s through %s: %w", scuba.SystemLeafMetricsTable, aggAddr, err)
 	}
 
 	// A leaf whose status or recovery path changed inside the window shows
@@ -90,56 +126,78 @@ func renderHealth(w *os.File, c *scuba.Client, aggAddr string, window time.Durat
 	newest := map[string]leafHealth{}
 	for _, row := range res.Rows(q) {
 		h := leafHealth{
-			leaf: row.Key[0], status: row.Key[1], recovery: row.Key[2],
-			rows: row.Values[0], queries: row.Values[1], queryErrors: row.Values[2],
-			hits: row.Values[3], misses: row.Values[4], freeBytes: row.Values[5],
-			quarantined: row.Values[6] > 0,
+			Leaf: row.Key[0], Status: row.Key[1], Recovery: row.Key[2],
+			Rows: row.Values[0], Queries: row.Values[1], QueryErrors: row.Values[2],
+			CacheHits: row.Values[3], CacheMisses: row.Values[4], FreeBytes: row.Values[5],
+			Quarantined: row.Values[6] > 0,
 		}
-		if prev, ok := newest[h.leaf]; !ok || h.queries >= prev.queries {
-			newest[h.leaf] = h
+		if prev, ok := newest[h.Leaf]; !ok || h.Queries >= prev.Queries {
+			newest[h.Leaf] = h
 		}
 	}
-	leaves := make([]leafHealth, 0, len(newest))
+	rep := &healthReport{
+		Aggregator:     aggAddr,
+		GeneratedAt:    now,
+		WindowSeconds:  int64(window / time.Second),
+		LeavesAnswered: res.LeavesAnswered,
+		LeavesTotal:    res.LeavesTotal,
+		Coverage:       res.Coverage(),
+		TracedQueries:  -1,
+		SlowQueries:    -1,
+	}
 	for _, h := range newest {
-		leaves = append(leaves, h)
+		rep.Leaves = append(rep.Leaves, h)
+		if h.Status == "ACTIVE" {
+			rep.Active++
+		}
 	}
-	sort.Slice(leaves, func(i, j int) bool { return leaves[i].leaf < leaves[j].leaf })
+	sort.Slice(rep.Leaves, func(i, j int) bool { return rep.Leaves[i].Leaf < rep.Leaves[j].Leaf })
+
+	slow := maxMetric(c, from, now, "trace_slow")
+	total := maxMetric(c, from, now, "trace_count")
+	if !math.IsNaN(slow) && !math.IsNaN(total) {
+		rep.TracedQueries = total
+		rep.SlowQueries = slow
+	}
+	return rep, nil
+}
+
+func renderHealth(w *os.File, c *scuba.Client, aggAddr string, window time.Duration) error {
+	rep, err := gatherHealth(c, aggAddr, window)
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(w, "cluster health via %s (window %v, %s)\n\n",
-		aggAddr, window, time.Unix(now, 0).Format("15:04:05"))
-	if len(leaves) == 0 {
+		aggAddr, window, time.Unix(rep.GeneratedAt, 0).Format("15:04:05"))
+	if len(rep.Leaves) == 0 {
 		fmt.Fprintf(w, "no %s rows in the last %v — is scuba-aggd running with -scrape-interval?\n",
 			scuba.SystemLeafMetricsTable, window)
 		return nil
 	}
 
-	active := 0
 	fmt.Fprintf(w, "%-22s %-9s %-8s %12s %9s %7s %7s %9s\n",
 		"leaf", "status", "recovery", "rows", "queries", "errors", "cache%", "free")
-	for _, h := range leaves {
-		if h.status == "ACTIVE" {
-			active++
-		}
+	for _, h := range rep.Leaves {
 		note := ""
-		if h.quarantined {
+		if h.Quarantined {
 			note = "  QUARANTINED"
 		}
 		fmt.Fprintf(w, "%-22s %-9s %-8s %12.0f %9.0f %7.0f %7s %9s%s\n",
-			h.leaf, h.status, h.recovery, h.rows, h.queries, h.queryErrors,
-			pct(h.hits, h.hits+h.misses), mb(h.freeBytes), note)
+			h.Leaf, h.Status, h.Recovery, h.Rows, h.Queries, h.QueryErrors,
+			pct(h.CacheHits, h.CacheHits+h.CacheMisses), mb(h.FreeBytes), note)
 	}
 
 	// Shard/leaf coverage as this very query saw it: how much of the
 	// cluster answered just now.
 	fmt.Fprintf(w, "\nleaves: %d/%d active, %d/%d answered this query (%.0f%% of data)\n",
-		active, len(leaves), res.LeavesAnswered, res.LeavesTotal, 100*res.Coverage())
+		rep.Active, len(rep.Leaves), rep.LeavesAnswered, rep.LeavesTotal, 100*rep.Coverage)
 
 	// Slow-query rate from the aggregator's own metric snapshots (needs
 	// scuba-aggd -telemetry-interval; silently n/a otherwise).
-	slow := maxMetric(c, from, now, "trace_slow")
-	total := maxMetric(c, from, now, "trace_count")
-	if !math.IsNaN(slow) && !math.IsNaN(total) && total > 0 {
-		fmt.Fprintf(w, "queries traced: %.0f, slow: %.0f (%s)\n", total, slow, pct(slow, total))
+	if rep.TracedQueries >= 0 && rep.TracedQueries > 0 {
+		fmt.Fprintf(w, "queries traced: %.0f, slow: %.0f (%s)\n",
+			rep.TracedQueries, rep.SlowQueries, pct(rep.SlowQueries, rep.TracedQueries))
 	} else {
 		fmt.Fprintln(w, "slow-query rate: n/a (aggregator telemetry off)")
 	}

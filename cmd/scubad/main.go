@@ -43,6 +43,9 @@ func main() {
 		decCache   = flag.Int64("decode-cache-bytes", 64<<20, "per-table decoded-column cache budget in bytes (0 disables)")
 		syncEvery  = flag.Duration("sync-interval", 5*time.Second, "disk write-behind interval")
 		expireEach = flag.Duration("expire-interval", time.Minute, "expiration sweep interval")
+		walDir     = flag.String("wal-dir", "", "write-ahead log root for crash-path parity ('' disables the WAL)")
+		walSync    = flag.Duration("wal-sync", 2*time.Millisecond, "WAL group-commit fsync interval (0 = fsync inline on every append)")
+		snapEvery  = flag.Duration("snapshot-interval", 5*time.Second, "incremental snapshot + WAL truncation interval")
 		httpAddr   = flag.String("http", "", "observability listen address serving /metrics, /debug/recovery and /debug/pprof ('' disables)")
 		telemetry  = flag.Duration("telemetry-interval", 0, "self-telemetry period: snapshot this leaf's metrics into __system tables (0 disables)")
 		faultSpec  = flag.String("fault", "", "arm fault-injection points for chaos testing, e.g. 'shm.copy_in=corrupt;count=1,disk.read=delay:50ms' (see internal/fault)")
@@ -92,6 +95,8 @@ func main() {
 		CopyWorkers:           *workers,
 		ScanWorkers:           *scanWork,
 		DecodeCacheBytes:      *decCache,
+		WALDir:                *walDir,
+		WALSyncInterval:       *walSync,
 		Metrics:               reg,
 		Obs:                   ob,
 	}
@@ -153,9 +158,10 @@ func main() {
 
 	// Background maintenance: asynchronous disk sync (§4.1) + expiration.
 	maint := l.StartMaintenance(scuba.MaintenanceConfig{
-		SyncInterval:   *syncEvery,
-		ExpireInterval: *expireEach,
-		OnError:        func(err error) { log.Printf("maintenance: %v", err) },
+		SyncInterval:     *syncEvery,
+		ExpireInterval:   *expireEach,
+		SnapshotInterval: *snapEvery,
+		OnError:          func(err error) { log.Printf("maintenance: %v", err) },
 	})
 
 	sigs := make(chan os.Signal, 1)

@@ -64,6 +64,14 @@ type ProcConfig struct {
 	// SyncInterval is each leaf's disk write-behind interval (default
 	// 200ms, fast so a crashed leaf's disk backup is near-current).
 	SyncInterval time.Duration
+	// DisableWAL turns off the per-leaf write-ahead log. By default every
+	// leaf runs with -wal-dir under WorkDir, so a crashed (kill -9) leaf's
+	// replacement recovers via snapshot images + WAL replay instead of the
+	// full disk translate.
+	DisableWAL bool
+	// SnapshotInterval is each leaf's incremental-snapshot + WAL-truncation
+	// period (default 200ms, matching SyncInterval's test-speed default).
+	SnapshotInterval time.Duration
 	// ScrapeInterval, when positive, runs an aggregator-side cluster
 	// scraper that pulls every leaf's metrics snapshot into
 	// __system.leaf_metrics on this period.
@@ -131,8 +139,8 @@ func (l *ProcLeaf) waitExit(timeout time.Duration) error {
 }
 
 // recoveryPath asks the replacement process which recovery path it took
-// ("memory", "mixed", "disk") via /debug/recovery — the same endpoint the
-// production rollover script polls.
+// ("memory", "mixed", "wal", "disk") via /debug/recovery — the same endpoint
+// the production rollover script polls.
 func (l *ProcLeaf) recoveryPath() string {
 	resp, err := http.Get("http://" + l.HTTPAddr + "/debug/recovery")
 	if err != nil {
@@ -182,6 +190,9 @@ func StartProcCluster(cfg ProcConfig) (*ProcCluster, error) {
 	}
 	if cfg.SyncInterval <= 0 {
 		cfg.SyncInterval = 200 * time.Millisecond
+	}
+	if cfg.SnapshotInterval <= 0 {
+		cfg.SnapshotInterval = 200 * time.Millisecond
 	}
 	pc := &ProcCluster{cfg: cfg}
 	n := cfg.Machines * cfg.LeavesPerMachine
@@ -256,6 +267,12 @@ func (pc *ProcCluster) startLeaf(l *ProcLeaf) error {
 		"-namespace", pc.cfg.Namespace,
 		"-disk-root", pc.cfg.WorkDir + "/disk",
 		"-sync-interval", pc.cfg.SyncInterval.String(),
+	}
+	if !pc.cfg.DisableWAL {
+		args = append(args,
+			"-wal-dir", pc.cfg.WorkDir+"/wal",
+			"-snapshot-interval", pc.cfg.SnapshotInterval.String(),
+		)
 	}
 	if pc.cfg.TelemetryInterval > 0 {
 		args = append(args, "-telemetry-interval", pc.cfg.TelemetryInterval.String())
@@ -396,10 +413,13 @@ type ProcRolloverReport struct {
 	Duration time.Duration
 	Batches  int
 	Restarts []ProcRestart
-	// Recovery paths taken by successful restarts.
+	// Recovery paths taken by successful restarts. WALRecoveries counts
+	// replacements that came back via snapshot images + WAL replay (crashed
+	// or killed leaves whose log survived).
 	MemoryRecoveries int
 	MixedRecoveries  int
 	DiskRecoveries   int
+	WALRecoveries    int
 	// Quarantined leaves were left DOWN: their replacement process never
 	// became ready, so their shards keep serving from replicas.
 	Quarantined []int
@@ -484,6 +504,8 @@ func (pc *ProcCluster) ProcRollover(cfg ProcRolloverConfig) (*ProcRolloverReport
 				report.MixedRecoveries++
 			case "disk":
 				report.DiskRecoveries++
+			case "wal":
+				report.WALRecoveries++
 			}
 		}
 		report.Batches++

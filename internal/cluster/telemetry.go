@@ -103,6 +103,7 @@ func (r *ProcRolloverReport) Rows(source string, start time.Time) []rowblock.Row
 			"memory_recoveries": rowblock.Int64Value(int64(r.MemoryRecoveries)),
 			"mixed_recoveries":  rowblock.Int64Value(int64(r.MixedRecoveries)),
 			"disk_recoveries":   rowblock.Int64Value(int64(r.DiskRecoveries)),
+			"wal_recoveries":    rowblock.Int64Value(int64(r.WALRecoveries)),
 			"quarantined":       rowblock.Int64Value(int64(len(r.Quarantined))),
 			"aborted":           rowblock.Int64Value(aborted),
 			"duration_us":       rowblock.Int64Value(r.Duration.Microseconds()),

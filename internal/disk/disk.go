@@ -96,6 +96,13 @@ func (s *Store) tableDir(table string) string {
 	return filepath.Join(s.root, encodeTableName(table))
 }
 
+// EncodeTableName makes a table name filesystem-safe and reversible. It is
+// shared with the WAL, whose per-table directories use the same scheme.
+func EncodeTableName(table string) string { return encodeTableName(table) }
+
+// DecodeTableName reverses EncodeTableName.
+func DecodeTableName(enc string) string { return decodeTableName(enc) }
+
 // encodeTableName makes a table name filesystem-safe and reversible.
 func encodeTableName(table string) string {
 	var b strings.Builder
@@ -315,6 +322,17 @@ func (s *Store) DropOldest(table string, n int) (int, error) {
 
 // RemoveAll deletes the entire leaf backup directory tree.
 func (s *Store) RemoveAll() error { return os.RemoveAll(s.root) }
+
+// RemoveTable deletes one table's backup and resets its sequence counter.
+// WAL recovery calls this after a table replays successfully: the stale
+// backup (missing recently sealed blocks) would otherwise duplicate rows
+// when the next maintenance sync appended fresh blocks after it.
+func (s *Store) RemoveTable(table string) error {
+	s.mu.Lock()
+	delete(s.seqs, table)
+	s.mu.Unlock()
+	return os.RemoveAll(s.tableDir(table))
+}
 
 // Syncable is the slice of a table the write-behind sync needs.
 type Syncable interface {

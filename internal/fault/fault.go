@@ -91,6 +91,19 @@ const (
 	// per-leaf variant PerLeaf(SiteLeafQuery, id) so chaos runs can brown
 	// out a fraction of a cluster.
 	SiteLeafQuery = "leaf.query"
+	// SiteWALAppend is the WAL record write on the ingest path, before the
+	// batch is acknowledged (also a CorruptBytes hook over the framed
+	// record, so chaos runs can exercise torn-tail handling).
+	SiteWALAppend = "wal.append"
+	// SiteWALSync is the group-commit fsync acked appends wait on.
+	SiteWALSync = "wal.sync"
+	// SiteWALTruncate is the post-snapshot deletion of covered WAL segments.
+	SiteWALTruncate = "wal.truncate"
+	// SiteWALReplay is the per-segment read during crash recovery.
+	SiteWALReplay = "wal.replay"
+	// SiteSnapWrite is the incremental snapshot of a newly sealed block
+	// (also a CorruptBytes hook over the block image).
+	SiteSnapWrite = "snap.write"
 )
 
 // Sites lists every base site name, sorted, for -fault validation and docs.
@@ -99,6 +112,8 @@ func Sites() []string {
 		SiteShmMap, SiteShmCommit, SiteShmCopyOut, SiteShmCopyIn,
 		SiteDiskRead, SiteWireDial, SiteWireWrite, SiteWireRead,
 		SiteLeafQuery,
+		SiteWALAppend, SiteWALSync, SiteWALTruncate, SiteWALReplay,
+		SiteSnapWrite,
 	}
 	sort.Strings(s)
 	return s

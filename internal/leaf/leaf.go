@@ -18,8 +18,10 @@ package leaf
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scuba/internal/disk"
@@ -30,6 +32,7 @@ import (
 	"scuba/internal/rowblock"
 	"scuba/internal/shm"
 	"scuba/internal/table"
+	"scuba/internal/wal"
 )
 
 // Config configures a leaf server.
@@ -45,6 +48,15 @@ type Config struct {
 	// DiskFormat selects the backup encoding (row by default; columnar is
 	// the §6 future-work variant).
 	DiskFormat disk.Format
+	// WALDir enables the per-table write-ahead log + incremental snapshot
+	// store rooted there (a leaf<ID> subdirectory is created). Empty
+	// disables the WAL: crashes pay the full disk translate, the pre-WAL
+	// behavior.
+	WALDir string
+	// WALSyncInterval is the group-commit cadence: ingest batches block
+	// until the next WAL fsync at most this far away. <=0 fsyncs on every
+	// append (maximum durability, minimum throughput).
+	WALSyncInterval time.Duration
 	// Table sets default retention for new tables.
 	Table table.Options
 	// MemoryBudget is the nominal data capacity in bytes, reported to
@@ -94,6 +106,10 @@ const (
 	// ones whose segments failed validation were quarantined to the disk
 	// path — only the damaged tables pay the translate cost.
 	RecoveryMixed RecoveryPath = "mixed"
+	// RecoveryWAL means the leaf came back from a crash via snapshot images
+	// plus write-ahead-log replay — crash-path parity with the fast clean
+	// restart, instead of the full disk translate.
+	RecoveryWAL RecoveryPath = "wal"
 )
 
 // TableRecovery reports how one table came back during a mixed recovery.
@@ -126,6 +142,12 @@ type RecoveryInfo struct {
 	// Quarantined counts tables whose shm segments failed validation and
 	// were re-read from disk instead.
 	Quarantined int `json:",omitempty"`
+	// WALRecords / WALRowsReplayed / SnapshotBlocks break a WAL recovery
+	// down: how many log records and rows replayed, and how many columnar
+	// snapshot images loaded ahead of the replay.
+	WALRecords      int   `json:",omitempty"`
+	WALRowsReplayed int64 `json:",omitempty"`
+	SnapshotBlocks  int   `json:",omitempty"`
 }
 
 // ShutdownInfo reports what a clean shutdown did.
@@ -153,6 +175,11 @@ type Leaf struct {
 	cfg   Config
 	shm   *shm.Manager
 	store *disk.Store // nil when disk backup is disabled
+	wal   *wal.Log    // nil when the WAL is disabled
+	// walReady gates ingest-path WAL appends until Start has reconciled the
+	// log cursors with whatever recovery restored; appends before that would
+	// land at stale row indexes.
+	walReady atomic.Bool
 
 	mu     sync.Mutex
 	state  State
@@ -191,6 +218,16 @@ func New(cfg Config) (*Leaf, error) {
 			return nil, err
 		}
 		l.store = store
+	}
+	if cfg.WALDir != "" {
+		w, err := wal.Open(filepath.Join(cfg.WALDir, fmt.Sprintf("leaf%d", cfg.ID)), wal.Options{
+			SyncInterval: cfg.WALSyncInterval,
+			Metrics:      cfg.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.wal = w
 	}
 	return l, nil
 }
@@ -252,31 +289,32 @@ func (l *Leaf) Start() error {
 				return terr
 			}
 			sp := l.cfg.Obs.Start(obs.PhaseDiskRecovery)
-			if derr := l.recoverFromDisk(&info); derr != nil {
+			if derr := l.recoverCrash(&info); derr != nil {
 				sp.End(derr)
-				return fmt.Errorf("leaf: disk recovery after shm failure (%v): %w", err, derr)
+				return fmt.Errorf("leaf: crash recovery after shm failure (%v): %w", err, derr)
 			}
 			sp.End(nil)
-			info.Path = RecoveryDisk
+			if info.Path == RecoveryNone {
+				info.Path = RecoveryDisk
+			}
 		} else if ok {
 			// Path was set by restoreFromShm: memory on a clean restore,
 			// mixed/disk when tables were quarantined.
 		} else {
-			// Valid bit unset: revert to disk recovery (Figure 7) and
-			// free any shared memory in use.
+			// Valid bit unset — a crash, or a consumed backup. Free any
+			// shared memory in use, then recover from the WAL (snapshot
+			// images + log replay) when it has state, the disk backup
+			// otherwise (Figure 7).
 			l.shm.RemoveAll() //nolint:errcheck
 			if terr := l.transition(StateDiskRecovery); terr != nil {
 				return terr
 			}
 			sp := l.cfg.Obs.Start(obs.PhaseDiskRecovery)
-			if derr := l.recoverFromDisk(&info); derr != nil {
+			if derr := l.recoverCrash(&info); derr != nil {
 				sp.End(derr)
 				return derr
 			}
 			sp.End(nil)
-			if info.Blocks > 0 {
-				info.Path = RecoveryDisk
-			}
 		}
 	} else {
 		if err := l.transition(StateDiskRecovery); err != nil {
@@ -295,6 +333,11 @@ func (l *Leaf) Start() error {
 		}
 	}
 
+	if l.wal != nil {
+		if err := l.reconcileWAL(&info); err != nil {
+			return err
+		}
+	}
 	info.Duration = time.Since(begin)
 	l.cfg.Obs.Event(obs.EventNote, "restart.recovered",
 		fmt.Sprintf("path=%s tables=%d blocks=%d bytes=%d in %v",
@@ -571,11 +614,23 @@ func (l *Leaf) Shutdown() (ShutdownInfo, error) {
 	}
 	cm.End(nil)
 	l.dropAllTables()
+	l.closeWAL()
 	if err := l.transition(StateExit); err != nil {
 		return info, err
 	}
 	info.Duration = time.Since(begin)
 	return info, nil
+}
+
+// closeWAL flushes and closes the write-ahead log on the clean shutdown
+// paths. The log files are intentionally left on disk: if the process
+// crashes before (or during) the next restore, the WAL still covers
+// everything the shm backup does.
+func (l *Leaf) closeWAL() {
+	if l.wal != nil {
+		l.walReady.Store(false)
+		l.wal.Close() //nolint:errcheck // shutdown teardown; appends already acked are synced
+	}
 }
 
 // ShutdownToDisk performs a clean shutdown without shared memory: flush all
@@ -611,6 +666,7 @@ func (l *Leaf) ShutdownToDisk() (ShutdownInfo, error) {
 		return info, err
 	}
 	l.dropAllTables()
+	l.closeWAL()
 	if err := l.transition(StateExit); err != nil {
 		return info, err
 	}
@@ -657,6 +713,21 @@ func (l *Leaf) AddRows(tableName string, rows []rowblock.Row) error {
 	l.mu.Unlock()
 	if !ok {
 		l.attachCache(tableName, tbl)
+	}
+	// Log before apply: Append returns only after the record is fsynced
+	// (group commit), so an acked batch is always durable. If the table then
+	// rejects the batch mid-way, the log's row indexes no longer mirror the
+	// table — quarantine it, degrading that one table's crash recovery to
+	// the disk translate until the next restart resets its log.
+	if l.wal != nil && l.walReady.Load() {
+		if err := l.wal.Append(tableName, rows); err != nil {
+			return err
+		}
+		if err := tbl.AddRows(rows, l.cfg.Clock()); err != nil {
+			l.wal.Quarantine(tableName) //nolint:errcheck // best effort; recovery re-checks the marker
+			return err
+		}
+		return nil
 	}
 	return tbl.AddRows(rows, l.cfg.Clock())
 }
@@ -795,6 +866,11 @@ func (l *Leaf) ExpireAll(now int64) (int, error) {
 		}
 		if l.store != nil && l.cfg.Table.MaxAgeSeconds > 0 {
 			if _, err := l.store.ExpireTable(tbl.Name(), now-l.cfg.Table.MaxAgeSeconds); err != nil {
+				return dropped, err
+			}
+		}
+		if l.wal != nil && l.cfg.Table.MaxAgeSeconds > 0 {
+			if _, err := l.wal.ExpireSnapshots(tbl.Name(), now-l.cfg.Table.MaxAgeSeconds); err != nil {
 				return dropped, err
 			}
 		}

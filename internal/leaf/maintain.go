@@ -14,6 +14,10 @@ type MaintenanceConfig struct {
 	SyncInterval time.Duration
 	// ExpireInterval is how often retention runs (default 1m).
 	ExpireInterval time.Duration
+	// SnapshotInterval is how often newly sealed blocks are written as
+	// incremental snapshot images and the WAL truncated behind them
+	// (default 5s). Ignored when the leaf has no WAL.
+	SnapshotInterval time.Duration
 	// OnError receives background errors (nil = dropped). Shutdown killing
 	// an in-flight delete is not an error.
 	OnError func(error)
@@ -37,6 +41,9 @@ func (l *Leaf) StartMaintenance(cfg MaintenanceConfig) *Maintainer {
 	if cfg.ExpireInterval <= 0 {
 		cfg.ExpireInterval = time.Minute
 	}
+	if cfg.SnapshotInterval <= 0 {
+		cfg.SnapshotInterval = 5 * time.Second
+	}
 	m := &Maintainer{leaf: l, cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
 	go m.run()
 	return m
@@ -46,8 +53,10 @@ func (m *Maintainer) run() {
 	defer close(m.done)
 	syncT := time.NewTicker(m.cfg.SyncInterval)
 	expT := time.NewTicker(m.cfg.ExpireInterval)
+	snapT := time.NewTicker(m.cfg.SnapshotInterval)
 	defer syncT.Stop()
 	defer expT.Stop()
+	defer snapT.Stop()
 	for {
 		select {
 		case <-m.stop:
@@ -57,6 +66,13 @@ func (m *Maintainer) run() {
 				continue
 			}
 			if _, err := m.leaf.SyncToDisk(); err != nil {
+				m.report(err)
+			}
+		case <-snapT.C:
+			if m.leaf.State() != StateAlive {
+				continue
+			}
+			if _, err := m.leaf.SnapshotPass(); err != nil {
 				m.report(err)
 			}
 		case <-expT.C:

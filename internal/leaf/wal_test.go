@@ -1,0 +1,287 @@
+package leaf
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scuba/internal/query"
+	"scuba/internal/rowblock"
+)
+
+// walEnv extends env with the WAL directory that survives crashes.
+type walEnv struct {
+	env
+	walDir string
+}
+
+func newWALEnv(t *testing.T) walEnv {
+	t.Helper()
+	return walEnv{env: newEnv(t), walDir: t.TempDir()}
+}
+
+func (e walEnv) config(id int) Config {
+	cfg := e.env.config(id)
+	cfg.WALDir = e.walDir
+	// Inline fsync in tests: deterministic, and no flusher goroutine to leak
+	// from "crashed" (abandoned) leaf objects.
+	cfg.WALSyncInterval = 0
+	return cfg
+}
+
+// groupedResult runs a grouped aggregation and returns its rendered rows —
+// the byte-identical-results oracle for crash drills.
+func groupedResult(t *testing.T, l *Leaf, tableName string) []query.Row {
+	t.Helper()
+	q := &query.Query{Table: tableName, From: 0, To: 1 << 40,
+		GroupBy: []string{"service"},
+		Aggregations: []query.Aggregation{
+			{Op: query.AggCount},
+			{Op: query.AggSum, Column: "latency"},
+			{Op: query.AggMax, Column: "latency"},
+		}}
+	res, err := l.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows(q)
+}
+
+// TestWALCrashRecovery is the tentpole's keystone: snapshot images + WAL
+// tail replay bring back every acked row — sealed, snapshotted, and the
+// unsealed tail alike — with query results identical to pre-crash.
+func TestWALCrashRecovery(t *testing.T) {
+	e := newWALEnv(t)
+	old := startLeaf(t, e.config(0))
+	ingest(t, old, "events", 3000, 1000)
+	ingest(t, old, "errors", 500, 2000)
+	// Seal and snapshot the first wave, truncating the WAL behind it.
+	if err := old.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := old.SnapshotPass(); err != nil || n != 2 {
+		t.Fatalf("SnapshotPass = %d, %v", n, err)
+	}
+	// Second wave stays in the WAL tail (and partly in unsealed builders).
+	ingest(t, old, "events", 700, 5000)
+	wantEvents := groupedResult(t, old, "events")
+	wantErrors := groupedResult(t, old, "errors")
+
+	// Crash: no shutdown, no valid bit. The new process recovers from the
+	// WAL, not the disk translate.
+	l := startLeaf(t, e.config(0))
+	info := l.Recovery()
+	if info.Path != RecoveryWAL {
+		t.Fatalf("recovery path = %v, want wal (%+v)", info.Path, info)
+	}
+	if info.SnapshotBlocks != 2 {
+		t.Errorf("SnapshotBlocks = %d, want 2", info.SnapshotBlocks)
+	}
+	if info.WALRowsReplayed != 700 {
+		t.Errorf("WALRowsReplayed = %d, want 700", info.WALRowsReplayed)
+	}
+	if got := countRows(t, l, "events"); got != 3700 {
+		t.Fatalf("events count = %v, want 3700", got)
+	}
+	if got := groupedResult(t, l, "events"); !reflect.DeepEqual(got, wantEvents) {
+		t.Errorf("events results differ after crash recovery:\n got %+v\nwant %+v", got, wantEvents)
+	}
+	if got := groupedResult(t, l, "errors"); !reflect.DeepEqual(got, wantErrors) {
+		t.Errorf("errors results differ after crash recovery:\n got %+v\nwant %+v", got, wantErrors)
+	}
+	if src := l.tableRecoverySource("events"); src != "wal" {
+		t.Errorf("recovery source = %q, want wal", src)
+	}
+
+	// The recovered leaf keeps ingesting and survives a second crash: the
+	// reconciled cursor and rewritten disk backup must both line up.
+	ingest(t, l, "events", 300, 9000)
+	want2 := groupedResult(t, l, "events")
+	l2 := startLeaf(t, e.config(0))
+	if p := l2.Recovery().Path; p != RecoveryWAL {
+		t.Fatalf("second crash recovery path = %v, want wal", p)
+	}
+	if got := countRows(t, l2, "events"); got != 4000 {
+		t.Fatalf("events count after second crash = %v, want 4000", got)
+	}
+	if got := groupedResult(t, l2, "events"); !reflect.DeepEqual(got, want2) {
+		t.Errorf("results differ after second crash recovery")
+	}
+}
+
+// TestWALCorruptionFallsBackToDisk: mid-log corruption degrades that table
+// to the disk translate instead of failing the leaf.
+func TestWALCorruptionFallsBackToDisk(t *testing.T) {
+	e := newWALEnv(t)
+	old := startLeaf(t, e.config(0))
+	ingest(t, old, "events", 2000, 1000)
+	if err := old.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.SyncToDisk(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, old, "events", 500, 5000)
+
+	// Flip a byte in the middle of the first WAL segment.
+	tdir := filepath.Join(e.walDir, "leaf0", "events")
+	entries, err := os.ReadDir(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, ent := range entries {
+		if !strings.HasPrefix(ent.Name(), "wal-") {
+			continue
+		}
+		path := filepath.Join(tdir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[30] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted = true
+		break
+	}
+	if !corrupted {
+		t.Fatal("no WAL segment found to corrupt")
+	}
+
+	l := startLeaf(t, e.config(0))
+	info := l.Recovery()
+	if info.Path != RecoveryDisk {
+		t.Fatalf("recovery path = %v, want disk (%+v)", info.Path, info)
+	}
+	var tr *TableRecovery
+	for i := range info.PerTablePath {
+		if info.PerTablePath[i].Table == "events" {
+			tr = &info.PerTablePath[i]
+		}
+	}
+	if tr == nil || tr.Reason == "" {
+		t.Fatalf("per-table path missing fallback reason: %+v", info.PerTablePath)
+	}
+	// The synced rows survive; the WAL tail behind the corruption is lost
+	// (pre-WAL durability for this one table).
+	if got := countRows(t, l, "events"); got != 2000 {
+		t.Fatalf("events count = %v, want 2000 synced rows", got)
+	}
+}
+
+// TestWALResetAfterCleanRestart: a clean shm restart resets the old log
+// (it no longer mirrors memory); after the next snapshot pass, crash
+// recovery is WAL-backed again with nothing lost.
+func TestWALResetAfterCleanRestart(t *testing.T) {
+	e := newWALEnv(t)
+	first := startLeaf(t, e.config(0))
+	ingest(t, first, "events", 1200, 1000)
+	if _, err := first.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	second := startLeaf(t, e.config(0))
+	if p := second.Recovery().Path; p != RecoveryMemory {
+		t.Fatalf("clean restart path = %v, want memory", p)
+	}
+	ingest(t, second, "events", 300, 5000)
+	if err := second.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.SnapshotPass(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, second, "events", 50, 9000)
+	want := groupedResult(t, second, "events")
+
+	third := startLeaf(t, e.config(0))
+	if p := third.Recovery().Path; p != RecoveryWAL {
+		t.Fatalf("crash-after-clean-restart path = %v, want wal", p)
+	}
+	if got := countRows(t, third, "events"); got != 1550 {
+		t.Fatalf("events count = %v, want 1550", got)
+	}
+	if got := groupedResult(t, third, "events"); !reflect.DeepEqual(got, want) {
+		t.Errorf("results differ after crash recovery")
+	}
+}
+
+// TestWALQuarantineOnRejectedBatch: a batch the table rejects mid-apply
+// (type conflict) quarantines the table's log; crash recovery takes the
+// disk path for it instead of trusting drifted row indexes.
+func TestWALQuarantineOnRejectedBatch(t *testing.T) {
+	e := newWALEnv(t)
+	old := startLeaf(t, e.config(0))
+	ingest(t, old, "events", 1000, 1000)
+	if err := old.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.SyncToDisk(); err != nil {
+		t.Fatal(err)
+	}
+	// Seed the active builder so "latency" is registered as int64 there; a
+	// string value then conflicts and the batch dies mid-apply, after its
+	// WAL record was already written.
+	ingest(t, old, "events", 10, 4000)
+	bad := []rowblock.Row{{Time: 5000, Cols: map[string]rowblock.Value{
+		"latency": rowblock.StringValue("oops"),
+	}}}
+	if err := old.AddRows("events", bad); err == nil {
+		t.Fatal("conflicting batch unexpectedly accepted")
+	}
+	if !old.WAL().Quarantined("events") {
+		t.Fatal("rejected batch did not quarantine the table's log")
+	}
+
+	l := startLeaf(t, e.config(0))
+	info := l.Recovery()
+	if info.Path != RecoveryDisk {
+		t.Fatalf("recovery path = %v, want disk (%+v)", info.Path, info)
+	}
+	if got := countRows(t, l, "events"); got != 1000 {
+		t.Fatalf("events count = %v, want 1000", got)
+	}
+	// The reset cleared the quarantine: the WAL is trustworthy again.
+	if l.WAL().Quarantined("events") {
+		t.Fatal("quarantine survived recovery reset")
+	}
+	ingest(t, l, "events", 40, 9000)
+	if err := l.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.SnapshotPass(); err != nil {
+		t.Fatal(err)
+	}
+	l3 := startLeaf(t, e.config(0))
+	if p := l3.Recovery().Path; p != RecoveryWAL {
+		t.Fatalf("post-reset crash recovery path = %v, want wal", p)
+	}
+	if got := countRows(t, l3, "events"); got != 1040 {
+		t.Fatalf("events count = %v, want 1040", got)
+	}
+}
+
+// TestWALDisabledLeavesBehaviorUnchanged guards the default: no WALDir, no
+// WAL state, crashes recover from disk exactly as before.
+func TestWALDisabledLeavesBehaviorUnchanged(t *testing.T) {
+	e := newEnv(t)
+	old := startLeaf(t, e.config(0))
+	ingest(t, old, "events", 800, 1000)
+	if err := old.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.SyncToDisk(); err != nil {
+		t.Fatal(err)
+	}
+	l := startLeaf(t, e.config(0))
+	if p := l.Recovery().Path; p != RecoveryDisk {
+		t.Fatalf("recovery path = %v, want disk", p)
+	}
+	if l.WAL() != nil {
+		t.Fatal("WAL open without WALDir")
+	}
+}

@@ -52,6 +52,16 @@ type Table struct {
 	// only data changed since the last synchronization point is written
 	// again (§4.1). Expiration rebases it.
 	synced int
+	// starts[i] is the global row index of blocks[i]'s first row, and
+	// sealedEnd the index one past the last sealed row. Global indexes are
+	// cumulative over the table's whole life — expiration drops entries but
+	// never renumbers — so they key WAL records and snapshot images stably
+	// across restarts.
+	starts    []int64
+	sealedEnd int64
+	// snapped is the number of leading blocks already written as snapshot
+	// images, rebased like synced.
+	snapped int
 
 	rowsTotal  int64
 	bytesTotal int64
@@ -173,6 +183,8 @@ func (t *Table) sealActiveLocked() error {
 	}
 	t.active = nil
 	t.blocks = append(t.blocks, rb)
+	t.starts = append(t.starts, t.sealedEnd)
+	t.sealedEnd += int64(rb.Rows())
 	t.rowsTotal += int64(rb.Rows())
 	t.bytesTotal += rb.Header().Size
 	return nil
@@ -313,10 +325,14 @@ func (t *Table) Expire(now int64) (int, error) {
 			return len(droppedBlocks), nil
 		}
 		t.blocks = t.blocks[1:]
+		t.starts = t.starts[1:]
 		t.rowsTotal -= int64(oldest.Rows())
 		t.bytesTotal -= oldest.Header().Size
 		if t.synced > 0 {
 			t.synced--
+		}
+		if t.snapped > 0 {
+			t.snapped--
 		}
 		droppedBlocks = append(droppedBlocks, oldest)
 		t.mu.Unlock()
@@ -365,6 +381,38 @@ func (t *Table) MarkSynced(n int) {
 	}
 }
 
+// UnsnappedBlocks returns sealed blocks not yet written as snapshot images,
+// with their global row indexes — the incremental-snapshot analogue of
+// UnsyncedBlocks.
+func (t *Table) UnsnappedBlocks() ([]*rowblock.RowBlock, []int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	blocks := make([]*rowblock.RowBlock, len(t.blocks)-t.snapped)
+	starts := make([]int64, len(blocks))
+	copy(blocks, t.blocks[t.snapped:])
+	copy(starts, t.starts[t.snapped:])
+	return blocks, starts
+}
+
+// MarkSnapshotted advances the snapshot watermark by n blocks.
+func (t *Table) MarkSnapshotted(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.snapped += n
+	if t.snapped > len(t.blocks) {
+		t.snapped = len(t.blocks)
+	}
+}
+
+// SealedEnd returns the global row index one past the last sealed row —
+// equivalently, the number of rows ever sealed (expired rows included).
+// With an empty active builder this equals the table's WAL cursor.
+func (t *Table) SealedEnd() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sealedEnd
+}
+
 // RestoreBlock appends a recovered block during MEMORY_RECOVERY or
 // DISK_RECOVERY. Restored blocks count as already synced to disk: the
 // shutdown path flushed them before copying to shared memory, and the disk
@@ -378,9 +426,35 @@ func (t *Table) RestoreBlock(rb *rowblock.RowBlock) error {
 		return fmt.Errorf("%w: RestoreBlock in %v", ErrNotAccepting, t.state)
 	}
 	t.blocks = append(t.blocks, rb)
+	t.starts = append(t.starts, t.sealedEnd)
+	t.sealedEnd += int64(rb.Rows())
 	t.rowsTotal += int64(rb.Rows())
 	t.bytesTotal += rb.Header().Size
 	t.synced = len(t.blocks)
+	return nil
+}
+
+// RestoreBlockAt appends a block recovered from a snapshot image at a known
+// global row index (an expired prefix may leave start past sealedEnd, never
+// before it). Unlike RestoreBlock, the block does NOT count as synced: after
+// a crash the disk backup may be missing recently sealed blocks, so the leaf
+// wipes it and lets the next sync pass rewrite everything from here. The
+// caller advances the snapshot watermark with MarkSnapshotted once the
+// table's images are all loaded.
+func (t *Table) RestoreBlockAt(rb *rowblock.RowBlock, start int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateMemoryRecovery && t.state != StateDiskRecovery && t.state != StateInit {
+		return fmt.Errorf("%w: RestoreBlockAt in %v", ErrNotAccepting, t.state)
+	}
+	if start < t.sealedEnd {
+		return fmt.Errorf("table %s: snapshot block at row %d overlaps sealed rows (end %d)", t.name, start, t.sealedEnd)
+	}
+	t.blocks = append(t.blocks, rb)
+	t.starts = append(t.starts, start)
+	t.sealedEnd = start + int64(rb.Rows())
+	t.rowsTotal += int64(rb.Rows())
+	t.bytesTotal += rb.Header().Size
 	return nil
 }
 
@@ -451,9 +525,14 @@ func (t *Table) DropBlocksForShutdown(n int) ([]*rowblock.RowBlock, error) {
 	}
 	out := t.blocks[:n]
 	t.blocks = t.blocks[n:]
+	t.starts = t.starts[n:]
 	t.synced -= n
 	if t.synced < 0 {
 		t.synced = 0
+	}
+	t.snapped -= n
+	if t.snapped < 0 {
+		t.snapped = 0
 	}
 	t.mu.Unlock()
 	t.notifyEvict(out)

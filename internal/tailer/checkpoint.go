@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 )
 
 // Checkpoint persists a tailer's Scribe offset so a restarted tailer
@@ -39,17 +40,36 @@ func (c *Checkpoint) Load() int64 {
 	return off
 }
 
-// Save atomically records the offset.
+// Save atomically and durably records the offset: the temp file is fsynced
+// before the rename and the directory after it, so a machine crash (not just
+// a process crash) right after Save still finds this offset — a rename alone
+// survives only the process dying, not the page cache.
 func (c *Checkpoint) Save(offset int64) error {
 	var b [12]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(offset))
 	binary.LittleEndian.PutUint32(b[8:], crc32.Checksum(b[:8], cpTable))
 	tmp := c.path + ".tmp"
-	if err := os.WriteFile(tmp, b[:], 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("tailer: write checkpoint: %w", err)
+	}
+	if _, err := f.Write(b[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("tailer: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("tailer: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("tailer: close checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, c.path); err != nil {
 		return fmt.Errorf("tailer: install checkpoint: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(c.path)); err == nil {
+		d.Sync() //nolint:errcheck // best-effort on filesystems without dir fsync
+		d.Close()
 	}
 	return nil
 }

@@ -52,6 +52,32 @@ func TestCheckpointCorruption(t *testing.T) {
 	}
 }
 
+// TestCheckpointSaveOverTruncatedState replays a crash mid-Save: a stale,
+// truncated temp file and a truncated checkpoint are both on disk. Load must
+// treat the state as absent and the next Save must repair it atomically.
+func TestCheckpointSaveOverTruncatedState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tailer.ckpt")
+	cp := NewCheckpoint(path)
+	if err := os.WriteFile(path+".tmp", []byte{0x01, 0x02}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte{0x03}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.Load(); got != 0 {
+		t.Fatalf("truncated checkpoint loaded as %d", got)
+	}
+	if err := cp.Save(4242); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.Load(); got != 4242 {
+		t.Errorf("Load after repair = %d, want 4242", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived Save: %v", err)
+	}
+}
+
 // TestTailerRestartResumesFromCheckpoint replays the rollover scenario for
 // tailers: produce, drain with checkpointing, "restart" the tailer (new
 // instance, same checkpoint), produce more — nothing is replayed or lost.

@@ -1,0 +1,243 @@
+// Incremental columnar snapshots: each newly sealed row block is written
+// once as an RBK2 block image named by its global row range, and a persisted
+// watermark W records how far snapshots reach. Crash recovery loads images
+// up to W and replays the log from W, so the expensive row-format disk
+// translate only runs when the WAL itself cannot cover the gap.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scuba/internal/fault"
+	"scuba/internal/rowblock"
+)
+
+type snapFile struct {
+	start   int64
+	count   int
+	maxTime int64
+	name    string
+}
+
+func (sf snapFile) end() int64 { return sf.start + int64(sf.count) }
+
+func parseSnapFile(name string) (snapFile, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".col") {
+		return snapFile{}, false
+	}
+	parts := strings.Split(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".col"), "-")
+	if len(parts) != 3 {
+		return snapFile{}, false
+	}
+	start, err1 := strconv.ParseInt(parts[0], 10, 64)
+	count, err2 := strconv.Atoi(parts[1])
+	maxTime, err3 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return snapFile{}, false
+	}
+	return snapFile{start: start, count: count, maxTime: maxTime, name: name}, true
+}
+
+func listSnapshots(dir string) ([]snapFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []snapFile
+	for _, e := range entries {
+		if sf, ok := parseSnapFile(e.Name()); ok {
+			out = append(out, sf)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	return out, nil
+}
+
+// WriteSnapshot persists one sealed block as an RBK2 image covering global
+// rows [start, start+rb.Rows()). Fsynced temp-file + rename + dir sync, so
+// a crash mid-write leaves either no image or a complete one.
+func (l *Log) WriteSnapshot(table string, rb *rowblock.RowBlock, start int64) error {
+	if err := fault.Inject(fault.SiteSnapWrite); err != nil {
+		return fmt.Errorf("wal: snapshot %s: %w", table, err)
+	}
+	dir := l.tableDir(table)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	img := rb.AppendImage(nil)
+	// Chaos runs corrupt the image in flight; recovery must fall back.
+	fault.CorruptBytes(fault.SiteSnapWrite, img)
+	name := fmt.Sprintf("snap-%016d-%d-%d.col", start, rb.Rows(), rb.Header().MaxTime)
+	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after a successful rename
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	addCount(l.counter("wal.snapshot_blocks"), 1)
+	return nil
+}
+
+// LoadSnapshots streams one table's snapshot images in row order and
+// returns the watermark W the log replays from. The images must tile
+// contiguously up to W — an expired prefix is fine (retention deleted it
+// along with the heap blocks), but a hole below W means rows exist in
+// neither snapshots nor the log, so recovery must take the disk path.
+func (l *Log) LoadSnapshots(table string, fn func(rb *rowblock.RowBlock, start int64) error) (int64, error) {
+	dir := l.tableDir(table)
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	w, err := l.loadWatermark(table)
+	if err != nil {
+		return 0, err
+	}
+	var pos int64 = -1
+	for _, sf := range snaps {
+		if pos >= 0 && sf.start != pos {
+			return 0, fmt.Errorf("wal: %s snapshots not contiguous: have rows up to %d, next image starts at %d", table, pos, sf.start)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, sf.name))
+		if err != nil {
+			return 0, err
+		}
+		// Fresh ReadFile slices are never reused: the block may alias them.
+		rb, _, err := rowblock.DecodeImage(data, false)
+		if err != nil {
+			return 0, fmt.Errorf("wal: %s snapshot %s: %w", table, sf.name, err)
+		}
+		if rb.Rows() != sf.count {
+			return 0, fmt.Errorf("wal: %s snapshot %s: %d rows, name says %d", table, sf.name, rb.Rows(), sf.count)
+		}
+		if err := fn(rb, sf.start); err != nil {
+			return 0, err
+		}
+		pos = sf.end()
+	}
+	if n := len(snaps); n > 0 {
+		if end := snaps[n-1].end(); end > w {
+			// Images past the persisted watermark: the crash hit between
+			// WriteSnapshot and SaveWatermark. The images are still valid.
+			w = end
+		} else if end < w {
+			return 0, fmt.Errorf("wal: %s watermark %d past last snapshot row %d", table, w, end)
+		}
+	}
+	// With zero images, a positive W means retention expired them all: the
+	// rows below W are legitimately gone, and the log replays from W.
+	return w, nil
+}
+
+const watermarkFile = "watermark"
+
+const watermarkMagic uint32 = 0x314B4D57 // "WMK1"
+
+// SaveWatermark durably records that every row below w is snapshotted (or
+// expired). Monotone: saving a smaller w than the file already holds is a
+// no-op, so an old in-flight snapshot pass can never roll coverage back.
+func (l *Log) SaveWatermark(table string, w int64) error {
+	cur, err := l.loadWatermark(table)
+	if err != nil {
+		return err
+	}
+	if w <= cur {
+		return nil
+	}
+	dir := l.tableDir(table)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, watermarkMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	tmp, err := os.CreateTemp(dir, ".tmp-wmk-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, watermarkFile)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadWatermark reads the persisted watermark; missing or damaged files
+// load as 0 (the rename is atomic, so damage means pre-WAL state, and 0 is
+// always safe — it only forces a longer replay or the disk fallback).
+func (l *Log) loadWatermark(table string) (int64, error) {
+	data, err := os.ReadFile(filepath.Join(l.tableDir(table), watermarkFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(data) != 16 || binary.LittleEndian.Uint32(data) != watermarkMagic {
+		return 0, nil
+	}
+	if crc32.Checksum(data[:12], crcTable) != binary.LittleEndian.Uint32(data[12:]) {
+		return 0, nil
+	}
+	return int64(binary.LittleEndian.Uint64(data[4:])), nil
+}
+
+// ExpireSnapshots deletes snapshot images whose every row is older than
+// cutoff, mirroring heap-block retention. Only a prefix may be deleted —
+// images must stay contiguous below the watermark — so expiry stops at the
+// first image that is still fresh, exactly like Table.Expire.
+func (l *Log) ExpireSnapshots(table string, cutoff int64) (int, error) {
+	dir := l.tableDir(table)
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, sf := range snaps {
+		if sf.maxTime >= cutoff {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, sf.name)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

@@ -1,0 +1,712 @@
+// Package wal gives a leaf crash-path parity with its clean-restart path: a
+// per-table write-ahead log on the ingest path plus incremental columnar
+// snapshots of sealed blocks, so crash recovery is "load snapshots + replay
+// the log tail" instead of the full row-format disk translate the paper
+// reports costing hours (§1).
+//
+// Layout, per table, under the log root:
+//
+//	<enc(table)>/wal-<seq>-<start>.log    log segments; <start> is the global
+//	                                      row index of the segment's first
+//	                                      record, so truncation and replay
+//	                                      never parse a segment to place it
+//	<enc(table)>/snap-<start>-<count>-<maxtime>.col
+//	                                      RBK2 block images of sealed blocks
+//	<enc(table)>/watermark                monotone snapshot watermark W: every
+//	                                      row below W is in a snapshot image
+//	                                      or expired by retention
+//	<enc(table)>/quarantined              marker: this table's log stopped
+//	                                      mirroring memory (a batch was
+//	                                      rejected mid-apply); crash recovery
+//	                                      takes the disk path until the next
+//	                                      restart resets the log
+//
+// Appends are group-committed: records are written to the active segment
+// immediately, and the appender blocks until a background flusher fsyncs the
+// segment (SyncInterval cadence; <=0 fsyncs inline). The caller only acks
+// its client after Append returns, so acked rows are always durable; a batch
+// lost to a torn tail write was by construction never acked.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"scuba/internal/disk"
+	"scuba/internal/fault"
+	"scuba/internal/metrics"
+	"scuba/internal/rowblock"
+)
+
+// Options configure a Log.
+type Options struct {
+	// SyncInterval is the group-commit cadence: appenders wait for the next
+	// background fsync at most this far away. <=0 fsyncs on every append.
+	SyncInterval time.Duration
+	// SegmentBytes rotates the active segment past this size (default 4 MB).
+	// Truncation deletes whole closed segments, so smaller segments reclaim
+	// space sooner at the cost of more files.
+	SegmentBytes int64
+	// Metrics, when non-nil, receives wal.* counters (append rows, fsyncs,
+	// truncated segments, snapshot blocks, replayed rows).
+	Metrics *metrics.Registry
+}
+
+// ErrClosed is returned for operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrGap means the log tail does not reach back to the snapshot watermark:
+// rows in between are in neither a snapshot image nor the log (the window
+// between a non-WAL restore and the first snapshot pass). Recovery falls
+// back to the disk translate.
+var ErrGap = errors.New("wal: gap between snapshot watermark and log tail")
+
+// Log is one leaf's write-ahead log and snapshot store.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	tables map[string]*tableLog
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// tableLog is one table's active segment and group-commit state.
+type tableLog struct {
+	dir string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File // active segment; nil until the first append
+	size int64    // bytes written to the active segment
+	seq  int      // active segment sequence number
+	next int64    // global row index the next append starts at
+
+	appendSeq   int64 // records written
+	syncedSeq   int64 // records durably fsynced
+	flushGen    int64 // flush attempts; pairs with flushErr for waiters
+	flushErr    error // outcome of the newest flush attempt
+	dirty       bool
+	quarantined bool
+	closed      bool
+}
+
+// Open opens (creating if needed) the log rooted at dir.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create root: %w", err)
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	l := &Log{
+		dir:    dir,
+		opts:   opts,
+		tables: make(map[string]*tableLog),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if opts.SyncInterval > 0 {
+		go l.flushLoop()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+// Dir returns the log root.
+func (l *Log) Dir() string { return l.dir }
+
+func (l *Log) tableDir(table string) string {
+	return filepath.Join(l.dir, disk.EncodeTableName(table))
+}
+
+func (l *Log) counter(name string) *metrics.Counter {
+	if l.opts.Metrics == nil {
+		return nil
+	}
+	return l.opts.Metrics.Counter(name)
+}
+
+func addCount(c *metrics.Counter, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+// ---- Segment and snapshot file naming ----
+
+type segFile struct {
+	seq   int
+	start int64
+	name  string
+}
+
+func parseSegFile(name string) (segFile, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return segFile{}, false
+	}
+	core := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	seqStr, startStr, ok := strings.Cut(core, "-")
+	if !ok {
+		return segFile{}, false
+	}
+	seq, err1 := strconv.Atoi(seqStr)
+	start, err2 := strconv.ParseInt(startStr, 10, 64)
+	if err1 != nil || err2 != nil {
+		return segFile{}, false
+	}
+	return segFile{seq: seq, start: start, name: name}, true
+}
+
+func listSegments(dir string) ([]segFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []segFile
+	for _, e := range entries {
+		if sf, ok := parseSegFile(e.Name()); ok {
+			out = append(out, sf)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// syncDir fsyncs a directory so renames and newly created files in it are
+// durable, not just their contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- Append path ----
+
+// tableLogFor returns (creating if needed) the table's log state. A new
+// tableLog continues after the highest existing segment; its cursor comes
+// from cursors set by recovery (SetCursor) or, for a table with existing
+// segments and no cursor, from scanning the newest segment's records.
+func (l *Log) tableLogFor(table string) (*tableLog, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if tl, ok := l.tables[table]; ok {
+		return tl, nil
+	}
+	dir := l.tableDir(table)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: table dir: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	tl := &tableLog{dir: dir}
+	tl.cond = sync.NewCond(&tl.mu)
+	if _, err := os.Stat(filepath.Join(dir, quarantineMarker)); err == nil {
+		tl.quarantined = true
+	}
+	if n := len(segs); n > 0 {
+		tl.seq = segs[n-1].seq
+		end, err := scanSegmentEnd(filepath.Join(dir, segs[n-1].name), segs[n-1].start)
+		if err != nil {
+			return nil, err
+		}
+		tl.next = end
+	}
+	l.tables[table] = tl
+	return tl, nil
+}
+
+// scanSegmentEnd walks a segment's records to find the row index after its
+// last intact record (a torn tail is skipped, matching replay).
+func scanSegmentEnd(path string, start int64) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	end := start
+	for off := 0; off < len(data); {
+		s, rows, used, err := decodeRecord(data[off:])
+		if err != nil {
+			break // torn or corrupt tail: appends continue after the last good record
+		}
+		end = s + int64(len(rows))
+		off += used
+	}
+	return end, nil
+}
+
+// Append durably logs one batch for the table and returns once the record
+// is fsynced (group commit). The record's start index is the log's cursor,
+// which mirrors the table's cumulative accepted-row count. Appends to a
+// quarantined table are dropped — its log already stopped mirroring memory
+// and crash recovery will take the disk path.
+func (l *Log) Append(table string, rows []rowblock.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if err := fault.Inject(fault.SiteWALAppend); err != nil {
+		return fmt.Errorf("wal: append %s: %w", table, err)
+	}
+	tl, err := l.tableLogFor(table)
+	if err != nil {
+		return err
+	}
+	if err := tl.append(rows, l.opts); err != nil {
+		return fmt.Errorf("wal: append %s: %w", table, err)
+	}
+	addCount(l.counter("wal.append_rows"), int64(len(rows)))
+	addCount(l.counter("wal.append_records"), 1)
+	return nil
+}
+
+func (tl *tableLog) append(rows []rowblock.Row, opts Options) error {
+	tl.mu.Lock()
+	if tl.closed {
+		tl.mu.Unlock()
+		return ErrClosed
+	}
+	if tl.quarantined {
+		tl.mu.Unlock()
+		return nil
+	}
+	if tl.f == nil || tl.size >= opts.SegmentBytes {
+		if err := tl.rotateLocked(); err != nil {
+			tl.mu.Unlock()
+			return err
+		}
+	}
+	rec := appendRecord(nil, tl.next, rows)
+	// Chaos runs corrupt the framed record in flight; replay must refuse it.
+	fault.CorruptBytes(fault.SiteWALAppend, rec)
+	if _, err := tl.f.Write(rec); err != nil {
+		tl.mu.Unlock()
+		return err
+	}
+	tl.size += int64(len(rec))
+	tl.next += int64(len(rows))
+	tl.appendSeq++
+	my := tl.appendSeq
+
+	if opts.SyncInterval <= 0 {
+		err := tl.syncLocked()
+		tl.mu.Unlock()
+		return err
+	}
+	// Group commit: wait for a flush attempt that covers this record. A
+	// failed attempt nacks every waiter it strands; the client retries.
+	tl.dirty = true
+	gen := tl.flushGen
+	for tl.syncedSeq < my && !tl.closed {
+		if tl.flushGen > gen {
+			if tl.flushErr != nil {
+				err := tl.flushErr
+				tl.mu.Unlock()
+				return err
+			}
+			gen = tl.flushGen
+		}
+		tl.cond.Wait()
+	}
+	var err error
+	if tl.syncedSeq < my {
+		err = ErrClosed
+	}
+	tl.mu.Unlock()
+	return err
+}
+
+// syncLocked fsyncs the active segment. Called with tl.mu held.
+func (tl *tableLog) syncLocked() error {
+	if err := fault.Inject(fault.SiteWALSync); err != nil {
+		return err
+	}
+	if tl.f == nil {
+		return nil
+	}
+	if err := tl.f.Sync(); err != nil {
+		return err
+	}
+	tl.syncedSeq = tl.appendSeq
+	return nil
+}
+
+// rotateLocked fsyncs and closes the active segment (closed segments are
+// always durable) and opens the next one, named by its first row index.
+func (tl *tableLog) rotateLocked() error {
+	if tl.f != nil {
+		if err := tl.syncLocked(); err != nil {
+			return err
+		}
+		if err := tl.f.Close(); err != nil {
+			return err
+		}
+		tl.f = nil
+		tl.cond.Broadcast() // rotation synced; release any group-commit waiters
+	}
+	tl.seq++
+	name := fmt.Sprintf("wal-%08d-%d.log", tl.seq, tl.next)
+	f, err := os.OpenFile(filepath.Join(tl.dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	tl.f = f
+	tl.size = 0
+	return syncDir(tl.dir)
+}
+
+// flushLoop is the group-commit flusher: every SyncInterval it fsyncs each
+// dirty table's active segment and wakes that table's waiting appenders.
+func (l *Log) flushLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.flushAll()
+		}
+	}
+}
+
+func (l *Log) flushAll() {
+	l.mu.Lock()
+	tls := make([]*tableLog, 0, len(l.tables))
+	for _, tl := range l.tables {
+		tls = append(tls, tl)
+	}
+	l.mu.Unlock()
+	for _, tl := range tls {
+		tl.mu.Lock()
+		if tl.dirty && tl.appendSeq > tl.syncedSeq && !tl.closed {
+			err := tl.syncLocked()
+			tl.flushErr = err
+			tl.flushGen++
+			if err == nil {
+				tl.dirty = false
+				addCount(l.counter("wal.fsyncs"), 1)
+			}
+			tl.cond.Broadcast()
+		}
+		tl.mu.Unlock()
+	}
+}
+
+// ---- Truncation ----
+
+// Truncate deletes closed segments whose every record is below the snapshot
+// watermark w: a segment is disposable once its successor's first row index
+// is <= w. The active (newest) segment is never deleted. Returns the number
+// of segments removed.
+func (l *Log) Truncate(table string, w int64) (int, error) {
+	if err := fault.Inject(fault.SiteWALTruncate); err != nil {
+		return 0, fmt.Errorf("wal: truncate %s: %w", table, err)
+	}
+	dir := l.tableDir(table)
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].start > w {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, segs[i].name)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		addCount(l.counter("wal.truncated_segments"), int64(removed))
+	}
+	return removed, nil
+}
+
+// ---- Cursor and lifecycle management ----
+
+// SetCursor installs the table's next row index after a recovery decided
+// where the log resumes (the end of replay, or the restored row count after
+// a non-WAL restore). Appends continue into a fresh segment.
+func (l *Log) SetCursor(table string, next int64) error {
+	tl, err := l.tableLogFor(table)
+	if err != nil {
+		return err
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.next = next
+	return nil
+}
+
+// Cursor returns the table's next row index (0 for unknown tables).
+func (l *Log) Cursor(table string) int64 {
+	l.mu.Lock()
+	tl, ok := l.tables[table]
+	l.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.next
+}
+
+const quarantineMarker = "quarantined"
+
+// Quarantine marks a table's log as no longer mirroring memory (a batch was
+// rejected mid-apply, so row indexes diverged). Crash recovery of the table
+// takes the disk path until a restart resets the log. The marker is a file,
+// so it survives the crash it is protecting against.
+func (l *Log) Quarantine(table string) error {
+	tl, err := l.tableLogFor(table)
+	if err != nil {
+		return err
+	}
+	tl.mu.Lock()
+	tl.quarantined = true
+	tl.cond.Broadcast()
+	tl.mu.Unlock()
+	f, err := os.Create(filepath.Join(l.tableDir(table), quarantineMarker))
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(l.tableDir(table))
+}
+
+// Quarantined reports whether the table's log is quarantined.
+func (l *Log) Quarantined(table string) bool {
+	l.mu.Lock()
+	if tl, ok := l.tables[table]; ok {
+		l.mu.Unlock()
+		tl.mu.Lock()
+		defer tl.mu.Unlock()
+		return tl.quarantined
+	}
+	l.mu.Unlock()
+	_, err := os.Stat(filepath.Join(l.tableDir(table), quarantineMarker))
+	return err == nil
+}
+
+// Tables lists tables with any log state, sorted.
+func (l *Log) Tables() ([]string, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if st, err := l.hasTableState(filepath.Join(l.dir, e.Name())); err != nil {
+			return nil, err
+		} else if st {
+			out = append(out, disk.DecodeTableName(e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Log) hasTableState(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if _, ok := parseSegFile(name); ok {
+			return true, nil
+		}
+		if _, ok := parseSnapFile(name); ok {
+			return true, nil
+		}
+		if name == watermarkFile || name == quarantineMarker {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// HasState reports whether any table has log or snapshot state — the signal
+// Start uses to pick WAL recovery over the disk translate.
+func (l *Log) HasState() bool {
+	tables, err := l.Tables()
+	return err == nil && len(tables) > 0
+}
+
+// ResetTable discards one table's log and snapshot state (the table was
+// restored by a non-WAL path, so the old log no longer matches memory) and
+// re-creates it with the cursor at next.
+func (l *Log) ResetTable(table string, next int64) error {
+	l.mu.Lock()
+	if tl, ok := l.tables[table]; ok {
+		tl.closeFile()
+		delete(l.tables, table)
+	}
+	l.mu.Unlock()
+	if err := os.RemoveAll(l.tableDir(table)); err != nil {
+		return err
+	}
+	return l.SetCursor(table, next)
+}
+
+// Reset discards all log and snapshot state. Callers re-seed cursors with
+// SetCursor afterwards.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	for name, tl := range l.tables {
+		tl.closeFile()
+		delete(l.tables, name)
+	}
+	l.mu.Unlock()
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(l.dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tl *tableLog) closeFile() {
+	tl.mu.Lock()
+	if tl.f != nil {
+		tl.f.Sync()  //nolint:errcheck // best effort on teardown
+		tl.f.Close() //nolint:errcheck
+		tl.f = nil
+	}
+	tl.closed = true
+	tl.cond.Broadcast()
+	tl.mu.Unlock()
+}
+
+// Close flushes and closes every table log and stops the flusher. The Log
+// is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	tls := make([]*tableLog, 0, len(l.tables))
+	for _, tl := range l.tables {
+		tls = append(tls, tl)
+	}
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	for _, tl := range tls {
+		tl.mu.Lock()
+		if tl.f != nil && tl.appendSeq > tl.syncedSeq {
+			tl.syncLocked() //nolint:errcheck // waiters are nacked below
+		}
+		tl.mu.Unlock()
+		tl.closeFile()
+	}
+	return nil
+}
+
+// ---- Replay ----
+
+// ReplayFrom streams the log tail of one table, in order, starting at row
+// index from (records straddling it are sliced). fn receives each batch;
+// returning an error aborts the replay. A torn record at a segment's tail
+// is discarded (it was never acked); bad records anywhere else return
+// ErrCorrupt. A log whose tail starts after from returns ErrGap.
+// Returns (records applied, rows applied, next row index).
+func (l *Log) ReplayFrom(table string, from int64, fn func([]rowblock.Row) error) (int, int64, int64, error) {
+	dir := l.tableDir(table)
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, 0, from, err
+	}
+	pos := from
+	records, rowsApplied := 0, int64(0)
+	for i, sg := range segs {
+		// A segment is skippable when its successor starts at or below pos:
+		// every record in it is then below the watermark.
+		if i+1 < len(segs) && segs[i+1].start <= pos {
+			continue
+		}
+		if err := fault.Inject(fault.SiteWALReplay); err != nil {
+			return records, rowsApplied, pos, fmt.Errorf("wal: replay %s: %w", table, err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, sg.name))
+		if err != nil {
+			return records, rowsApplied, pos, err
+		}
+		for off := 0; off < len(data); {
+			start, rows, used, derr := decodeRecord(data[off:])
+			if derr != nil {
+				// A record that runs past EOF (used == 0) or CRC-fails as the
+				// file's final record is a torn tail: its fsync never
+				// completed, the batch was never acked, drop it and move to
+				// the next segment (the continuity check below catches any
+				// real loss). A bad record with intact records after it is
+				// corruption — data past it may be acked, so replay aborts.
+				if errors.Is(derr, errTorn) && (used == 0 || off+used >= len(data)) {
+					break
+				}
+				return records, rowsApplied, pos, fmt.Errorf("wal: %s %s at offset %d: %w", table, sg.name, off, ErrCorrupt)
+			}
+			off += used
+			end := start + int64(len(rows))
+			if end <= pos {
+				continue
+			}
+			if start > pos {
+				return records, rowsApplied, pos, fmt.Errorf("%w: %s needs row %d, log resumes at %d", ErrGap, table, pos, start)
+			}
+			if start < pos {
+				rows = rows[pos-start:]
+			}
+			if err := fn(rows); err != nil {
+				return records, rowsApplied, pos, err
+			}
+			pos = end
+			records++
+			rowsApplied += int64(len(rows))
+		}
+	}
+	addCount(l.counter("wal.replay_rows"), rowsApplied)
+	return records, rowsApplied, pos, nil
+}

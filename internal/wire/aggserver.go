@@ -37,7 +37,9 @@ func NewAggServer(leafAddrs []string, addr string) (*AggServer, error) {
 func NewAggServerOn(leafAddrs []string, addr string, reg *metrics.Registry) (*AggServer, error) {
 	targets := make([]aggregator.LeafTarget, len(leafAddrs))
 	for i, a := range leafAddrs {
-		targets[i] = Dial(a)
+		// The registry rides into each leaf client so retry storms during a
+		// rollover land in wire.retries / wire.retry_exhausted.
+		targets[i] = DialOptions(a, Options{Metrics: reg})
 	}
 	agg := aggregator.New(targets)
 	agg.Metrics = reg

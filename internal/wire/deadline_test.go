@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"scuba/internal/fault"
+	"scuba/internal/metrics"
 	"scuba/internal/query"
 )
 
@@ -125,6 +126,59 @@ func TestIdempotentRetryWithBackoff(t *testing.T) {
 	}
 	if got := fault.Hits(fault.SiteWireRead); got != 3 {
 		t.Fatalf("wire.read hits = %d, want 3 (two failures + success)", got)
+	}
+}
+
+// TestRetryCountersInRegistry pins the client-side retry observability:
+// every retried attempt bumps wire.retries, and a call that fails after its
+// last retry bumps wire.retry_exhausted — signals no server-side counter can
+// provide, because the server never saw the failed attempts.
+func TestRetryCountersInRegistry(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+	_, c, _ := newServer(t, 84)
+
+	reg := metrics.NewRegistry()
+	c.opts.Metrics = reg
+	c.opts.RetryBase = time.Millisecond
+	c.opts.RetryMax = 4 * time.Millisecond
+
+	// Two transport failures, then success: two retries, none exhausted.
+	fault.Arm(fault.Point{Site: fault.SiteWireRead, Action: fault.ActError, Count: 2})
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping with 2 injected transport errors = %v", err)
+	}
+	if got := reg.Counter("wire.retries").Value(); got != 2 {
+		t.Errorf("wire.retries = %d, want 2", got)
+	}
+	if got := reg.Counter("wire.retry_exhausted").Value(); got != 0 {
+		t.Errorf("wire.retry_exhausted = %d, want 0", got)
+	}
+
+	// Every attempt fails: MaxRetries more retries, one exhaustion.
+	fault.Reset()
+	fault.Arm(fault.Point{Site: fault.SiteWireRead, Action: fault.ActError})
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping with all attempts failing succeeded")
+	}
+	if got := reg.Counter("wire.retries").Value(); got != 2+int64(c.opts.MaxRetries) {
+		t.Errorf("wire.retries = %d, want %d", got, 2+c.opts.MaxRetries)
+	}
+	if got := reg.Counter("wire.retry_exhausted").Value(); got != 1 {
+		t.Errorf("wire.retry_exhausted = %d, want 1", got)
+	}
+
+	// A mutation is never retried, so its failure counts in neither.
+	fault.Reset()
+	fault.Arm(fault.Point{Site: fault.SiteWireWrite, Action: fault.ActError, Count: 1})
+	if err := c.AddRows("events", mkRows(1, 0)); err == nil {
+		t.Fatal("AddRows with injected transport error succeeded")
+	}
+	if got := reg.Counter("wire.retries").Value(); got != 2+int64(c.opts.MaxRetries) {
+		t.Errorf("wire.retries after mutation failure = %d (mutation was retried?)", got)
+	}
+	if got := reg.Counter("wire.retry_exhausted").Value(); got != 1 {
+		t.Errorf("wire.retry_exhausted after mutation failure = %d", got)
 	}
 }
 

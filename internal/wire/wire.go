@@ -333,6 +333,11 @@ type Options struct {
 	// reuse (default 2). Concurrent callers beyond the pool dial extra
 	// connections rather than queueing behind a slow RPC.
 	MaxIdle int
+	// Metrics, when set, receives client-side retry counters: wire.retries
+	// (every retried attempt) and wire.retry_exhausted (calls that failed
+	// after the last retry). Retry storms during a rollover are invisible
+	// in server-side counters — the server never saw the failed attempts.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -443,9 +448,15 @@ func (c *Client) Call(req *Request) (*Response, error) {
 		if err == nil || attempt >= retries {
 			break
 		}
+		if c.opts.Metrics != nil {
+			c.opts.Metrics.Counter("wire.retries").Add(1)
+		}
 		time.Sleep(backoff(c.opts, attempt))
 	}
 	if err != nil {
+		if c.opts.Metrics != nil && retries > 0 {
+			c.opts.Metrics.Counter("wire.retry_exhausted").Add(1)
+		}
 		return nil, err
 	}
 	if resp.Err != "" {

@@ -28,16 +28,20 @@ func buildScubadBinary(t *testing.T) string {
 // startRolloverCluster boots machines x leavesPer scubad subprocesses with
 // R=2 shard routing and loads rows of service_logs through the dual-writing
 // placer.
-func startRolloverCluster(t *testing.T, machines, leavesPer, rows int) *scuba.ProcCluster {
+func startRolloverCluster(t *testing.T, machines, leavesPer, rows int, opts ...func(*scuba.ProcConfig)) *scuba.ProcCluster {
 	t.Helper()
-	pc, err := scuba.StartProcCluster(scuba.ProcConfig{
+	cfg := scuba.ProcConfig{
 		BinPath:          buildScubadBinary(t),
 		Machines:         machines,
 		LeavesPerMachine: leavesPer,
 		Replication:      2,
 		WorkDir:          t.TempDir(),
 		Namespace:        "avail",
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	pc, err := scuba.StartProcCluster(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +185,10 @@ func TestRolloverDiskPathAvailability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping subprocess rollover drill")
 	}
-	pc := startRolloverCluster(t, 2, 2, 5000)
+	// WAL off: this drill measures the pre-WAL disk-translate baseline, and
+	// with a log present even a disk-drained replacement would recover via
+	// WAL replay instead.
+	pc := startRolloverCluster(t, 2, 2, 5000, func(cfg *scuba.ProcConfig) { cfg.DisableWAL = true })
 	q := rolloverQuery()
 	agg := pc.AggClient()
 	baseline, err := agg.Query(q)

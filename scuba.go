@@ -124,6 +124,9 @@ const (
 	// RecoveryMixed: the shm restore succeeded for most tables but one or
 	// more corrupt segments were quarantined and reloaded from disk.
 	RecoveryMixed = leaf.RecoveryMixed
+	// RecoveryWAL: crash recovery via incremental columnar snapshots plus
+	// write-ahead-log tail replay — crash-path parity with the shm restart.
+	RecoveryWAL = leaf.RecoveryWAL
 )
 
 // Queries.
