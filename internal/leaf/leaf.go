@@ -184,6 +184,12 @@ type Leaf struct {
 	mu     sync.Mutex
 	state  State
 	tables map[string]*table.Table
+	// ingest holds one lock per table, spanning WAL record reservation and
+	// the table apply in AddRows: WAL record order must equal table row
+	// order or crash replay splices batches wrongly around the snapshot
+	// watermark. The fsync wait happens outside the lock, so group commit
+	// still batches concurrent appenders.
+	ingest map[string]*sync.Mutex
 	// caches holds each table's decoded-column cache (nil entries/absent
 	// when Config.DecodeCacheBytes is 0). A table's cache is created when
 	// the table is installed and its evict hook invalidates cache entries
@@ -210,6 +216,7 @@ func New(cfg Config) (*Leaf, error) {
 		shm:    shm.NewManager(cfg.ID, cfg.Shm),
 		state:  StateInit,
 		tables: make(map[string]*table.Table),
+		ingest: make(map[string]*sync.Mutex),
 		caches: make(map[string]*query.DecodeCache),
 	}
 	if cfg.DiskRoot != "" {
@@ -554,6 +561,7 @@ func (l *Leaf) dropAllTables() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.tables = make(map[string]*table.Table)
+	l.ingest = make(map[string]*sync.Mutex)
 	l.caches = make(map[string]*query.DecodeCache)
 }
 
@@ -710,26 +718,52 @@ func (l *Leaf) AddRows(tableName string, rows []rowblock.Row) error {
 		tbl = table.New(tableName, l.cfg.Table)
 		l.tables[tableName] = tbl
 	}
+	useWAL := l.wal != nil && l.walReady.Load()
+	var ing *sync.Mutex
+	if useWAL {
+		if ing = l.ingest[tableName]; ing == nil {
+			ing = new(sync.Mutex)
+			l.ingest[tableName] = ing
+		}
+	}
 	l.mu.Unlock()
 	if !ok {
 		l.attachCache(tableName, tbl)
 	}
-	// Log before apply: Append returns only after the record is fsynced
-	// (group commit), so an acked batch is always durable. If the table then
-	// rejects the batch mid-way, the log's row indexes no longer mirror the
-	// table — quarantine it, degrading that one table's crash recovery to
-	// the disk translate until the next restart resets its log.
-	if l.wal != nil && l.walReady.Load() {
-		if err := l.wal.Append(tableName, rows); err != nil {
-			return err
+	if !useWAL {
+		return tbl.AddRows(rows, l.cfg.Clock())
+	}
+	// Log before apply, under the table's ingest lock: the lock makes WAL
+	// record order equal table apply order (concurrent batches to one table
+	// otherwise interleave the two differently, and crash replay would
+	// splice them wrongly around the snapshot watermark). The durability
+	// wait happens after the lock drops, so concurrent appenders still
+	// share group-commit fsyncs.
+	ing.Lock()
+	commit, err := l.wal.Begin(tableName, rows)
+	if err != nil {
+		ing.Unlock()
+		return err
+	}
+	err = tbl.AddRows(rows, l.cfg.Clock())
+	ing.Unlock()
+	if err != nil {
+		// The table rejected the batch mid-apply: the log's row indexes no
+		// longer mirror the table. Quarantine it, degrading that one table's
+		// crash recovery to the disk translate until the next restart resets
+		// its log. If even the quarantine marker cannot be persisted, the
+		// WAL keeps nacking the table — surface that too.
+		if qerr := l.wal.Quarantine(tableName); qerr != nil {
+			return errors.Join(err, qerr)
 		}
-		if err := tbl.AddRows(rows, l.cfg.Clock()); err != nil {
-			l.wal.Quarantine(tableName) //nolint:errcheck // best effort; recovery re-checks the marker
-			return err
-		}
+		return err
+	}
+	if commit == nil {
+		// Quarantined log: the batch is applied but not WAL-covered; acked
+		// under the degraded pre-WAL durability model (disk write-behind).
 		return nil
 	}
-	return tbl.AddRows(rows, l.cfg.Clock())
+	return commit.Wait()
 }
 
 // Query executes a query against this leaf's fraction of the table. A leaf

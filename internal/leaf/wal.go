@@ -206,7 +206,11 @@ func (l *Leaf) recoverTableFromWAL(name string, info *RecoveryInfo) (TableCopySt
 	if err != nil {
 		return st, fmt.Errorf("snapshots: %w", err)
 	}
-	tbl.MarkSnapshotted(snapBlocks)
+	// With zero images (retention expired them all) the watermark alone
+	// carries the table's row base; align sealedEnd so replayed rows seal at
+	// their true global indexes. No-op when images were loaded.
+	tbl.AlignSealedEnd(w)
+	tbl.MarkSnapshottedThrough(w)
 	info.SnapshotBlocks += snapBlocks
 	info.Blocks += snapBlocks
 	info.BytesRestored += st.Bytes
@@ -290,7 +294,7 @@ func (l *Leaf) SnapshotPass() (int, error) {
 			if err := l.wal.WriteSnapshot(name, rb, starts[i]); err != nil {
 				return written, err
 			}
-			tbl.MarkSnapshotted(1)
+			tbl.MarkSnapshottedThrough(starts[i] + int64(rb.Rows()))
 			written++
 		}
 		if len(blocks) == 0 {

@@ -1,12 +1,16 @@
 package leaf
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"scuba/internal/fault"
 	"scuba/internal/query"
 	"scuba/internal/rowblock"
 )
@@ -262,6 +266,186 @@ func TestWALQuarantineOnRejectedBatch(t *testing.T) {
 	}
 	if got := countRows(t, l3, "events"); got != 1040 {
 		t.Fatalf("events count = %v, want 1040", got)
+	}
+}
+
+// TestWALConcurrentIngestCrashRecovery hammers one table from many
+// goroutines under group commit, with snapshot passes racing the ingest —
+// the production shape the wire server produces (one goroutine per
+// connection). The per-table ingest lock must keep WAL record order equal
+// to table apply order, or a snapshot watermark falling between two
+// reordered batches makes replay duplicate one and drop the other.
+func TestWALConcurrentIngestCrashRecovery(t *testing.T) {
+	e := newWALEnv(t)
+	cfg := e.config(0)
+	cfg.WALSyncInterval = time.Millisecond // group commit, not inline fsync
+	old := startLeaf(t, cfg)
+
+	const (
+		writers   = 16
+		batches   = 150
+		batchRows = 4
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				rows := make([]rowblock.Row, batchRows)
+				for i := range rows {
+					// Globally unique latency values: any duplicated or lost
+					// batch shifts the sum, not just the count.
+					rows[i] = rowblock.Row{
+						Time: int64(1000 + g),
+						Cols: map[string]rowblock.Value{
+							"service": rowblock.StringValue(fmt.Sprintf("svc-%d", g%4)),
+							"latency": rowblock.Int64Value(int64(g*1000000 + b*1000 + i)),
+						},
+					}
+				}
+				if err := old.AddRows("events", rows); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	// Snapshot passes race the ingest, moving the watermark through the
+	// middle of the concurrent batches.
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-snapDone:
+				return
+			default:
+			}
+			old.SealAll()      //nolint:errcheck
+			old.SnapshotPass() //nolint:errcheck
+		}
+	}()
+	wg.Wait()
+	snapDone <- struct{}{}
+	<-snapDone
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", g, err)
+		}
+	}
+	want := groupedResult(t, old, "events")
+	// Stop the abandoned leaf's flusher; its WAL files stay for the crash.
+	if err := old.WAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l := startLeaf(t, e.config(0))
+	if p := l.Recovery().Path; p != RecoveryWAL {
+		t.Fatalf("recovery path = %v, want wal (%+v)", p, l.Recovery())
+	}
+	if got := countRows(t, l, "events"); got != writers*batches*batchRows {
+		t.Fatalf("row count = %v, want %d", got, writers*batches*batchRows)
+	}
+	if got := groupedResult(t, l, "events"); !reflect.DeepEqual(got, want) {
+		t.Errorf("results differ after concurrent-ingest crash recovery:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWALSyncFailureQuarantines: an fsync failure leaves the un-synced
+// record bytes mid-segment, so the log can never be trusted again — the
+// table must be durably quarantined (batch acked under the degraded
+// pre-WAL model), not left with the cursor ahead of the applied rows.
+func TestWALSyncFailureQuarantines(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	e := newWALEnv(t)
+	l := startLeaf(t, e.config(0))
+	ingest(t, l, "events", 1000, 1000)
+	if err := l.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.SyncToDisk(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.ArmSpec("wal.sync=error;count=1"); err != nil {
+		t.Fatal(err)
+	}
+	// The batch is still acked: WAL coverage is waived by the quarantine,
+	// exactly like appends to an already-quarantined table.
+	ingest(t, l, "events", 10, 5000)
+	fault.Reset()
+	if !l.WAL().Quarantined("events") {
+		t.Fatal("fsync failure did not quarantine the table's log")
+	}
+	if _, err := os.Stat(filepath.Join(e.walDir, "leaf0", "events", "quarantined")); err != nil {
+		t.Fatalf("quarantine marker not persisted: %v", err)
+	}
+	// Later batches keep flowing under the degraded model.
+	ingest(t, l, "events", 10, 6000)
+
+	// Crash: recovery must take the disk path — the WAL stopped mirroring
+	// memory at the failed fsync.
+	nu := startLeaf(t, e.config(0))
+	if p := nu.Recovery().Path; p != RecoveryDisk {
+		t.Fatalf("recovery path = %v, want disk (%+v)", p, nu.Recovery())
+	}
+	if got := countRows(t, nu, "events"); got != 1000 {
+		t.Fatalf("row count = %v, want the 1000 synced rows", got)
+	}
+}
+
+// TestWALRecoveryAfterSnapshotsExpire: when retention has expired every
+// snapshot image below the watermark, replay must still seal rows at their
+// true global indexes (the watermark carries the base), or the rebuilt
+// log and watermark disagree with the table and the NEXT crash loses the
+// fast path.
+func TestWALRecoveryAfterSnapshotsExpire(t *testing.T) {
+	e := newWALEnv(t)
+	now := int64(2000)
+	cfg := e.config(0)
+	cfg.Table.MaxAgeSeconds = 1000
+	cfg.Clock = func() int64 { return now }
+	l := startLeaf(t, cfg)
+	ingest(t, l, "events", 1000, 100) // times 100..1099
+	if err := l.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.SnapshotPass(); err != nil {
+		t.Fatal(err)
+	}
+	// Age everything out: heap blocks and snapshot images both expire.
+	now = 5000
+	if _, err := l.ExpireAll(now); err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, l, "events", 300, 4990)
+
+	l2cfg := e.config(0)
+	l2cfg.Table.MaxAgeSeconds = 1000
+	l2cfg.Clock = cfg.Clock
+	l2 := startLeaf(t, l2cfg)
+	if p := l2.Recovery().Path; p != RecoveryWAL {
+		t.Fatalf("recovery path = %v, want wal (%+v)", p, l2.Recovery())
+	}
+	if got := countRows(t, l2, "events"); got != 300 {
+		t.Fatalf("row count = %v, want 300", got)
+	}
+	// The replayed rows must have sealed at their true global indexes: a
+	// snapshot pass and a second crash keep the WAL path (a misaligned base
+	// would wedge the watermark above the images forever).
+	if err := l2.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.SnapshotPass(); err != nil {
+		t.Fatal(err)
+	}
+	l3 := startLeaf(t, l2cfg)
+	if p := l3.Recovery().Path; p != RecoveryWAL {
+		t.Fatalf("second crash recovery path = %v, want wal (%+v)", p, l3.Recovery())
+	}
+	if got := countRows(t, l3, "events"); got != 300 {
+		t.Fatalf("row count after second crash = %v, want 300", got)
 	}
 }
 

@@ -59,9 +59,11 @@ type Table struct {
 	// across restarts.
 	starts    []int64
 	sealedEnd int64
-	// snapped is the number of leading blocks already written as snapshot
-	// images, rebased like synced.
-	snapped int
+	// snapped is the global row index below which sealed rows are covered by
+	// snapshot images (or expired by retention). Tracked as an index, not a
+	// block count, so concurrent expiry of leading blocks can never shift
+	// coverage onto a block that was never imaged.
+	snapped int64
 
 	rowsTotal  int64
 	bytesTotal int64
@@ -331,9 +333,6 @@ func (t *Table) Expire(now int64) (int, error) {
 		if t.synced > 0 {
 			t.synced--
 		}
-		if t.snapped > 0 {
-			t.snapped--
-		}
 		droppedBlocks = append(droppedBlocks, oldest)
 		t.mu.Unlock()
 	}
@@ -383,24 +382,31 @@ func (t *Table) MarkSynced(n int) {
 
 // UnsnappedBlocks returns sealed blocks not yet written as snapshot images,
 // with their global row indexes — the incremental-snapshot analogue of
-// UnsyncedBlocks.
+// UnsyncedBlocks. A block counts as snapshotted when its whole row range is
+// below the index-based cursor, so a leading block expired mid-pass never
+// makes a later block look covered.
 func (t *Table) UnsnappedBlocks() ([]*rowblock.RowBlock, []int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	blocks := make([]*rowblock.RowBlock, len(t.blocks)-t.snapped)
+	i := 0
+	for i < len(t.blocks) && t.starts[i]+int64(t.blocks[i].Rows()) <= t.snapped {
+		i++
+	}
+	blocks := make([]*rowblock.RowBlock, len(t.blocks)-i)
 	starts := make([]int64, len(blocks))
-	copy(blocks, t.blocks[t.snapped:])
-	copy(starts, t.starts[t.snapped:])
+	copy(blocks, t.blocks[i:])
+	copy(starts, t.starts[i:])
 	return blocks, starts
 }
 
-// MarkSnapshotted advances the snapshot watermark by n blocks.
-func (t *Table) MarkSnapshotted(n int) {
+// MarkSnapshottedThrough records that every sealed row below end is covered
+// by a snapshot image. Monotone, like the persisted watermark: an older
+// in-flight pass can never roll coverage back.
+func (t *Table) MarkSnapshottedThrough(end int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.snapped += n
-	if t.snapped > len(t.blocks) {
-		t.snapped = len(t.blocks)
+	if end > t.snapped {
+		t.snapped = end
 	}
 }
 
@@ -439,7 +445,7 @@ func (t *Table) RestoreBlock(rb *rowblock.RowBlock) error {
 // before it). Unlike RestoreBlock, the block does NOT count as synced: after
 // a crash the disk backup may be missing recently sealed blocks, so the leaf
 // wipes it and lets the next sync pass rewrite everything from here. The
-// caller advances the snapshot watermark with MarkSnapshotted once the
+// caller advances the snapshot cursor with MarkSnapshottedThrough once the
 // table's images are all loaded.
 func (t *Table) RestoreBlockAt(rb *rowblock.RowBlock, start int64) error {
 	t.mu.Lock()
@@ -456,6 +462,21 @@ func (t *Table) RestoreBlockAt(rb *rowblock.RowBlock, start int64) error {
 	t.rowsTotal += int64(rb.Rows())
 	t.bytesTotal += rb.Header().Size
 	return nil
+}
+
+// AlignSealedEnd advances an empty recovering table's global row base to
+// start. When retention expired every snapshot image below the watermark,
+// WAL replay begins at the watermark with no block to carry the index —
+// without this, replayed rows would seal starting at 0 and the table's row
+// numbering would disagree with its log and watermark forever. No-op once
+// any block is restored (the block carries the index) or if start is not
+// ahead of the current end.
+func (t *Table) AlignSealedEnd(start int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.blocks) == 0 && start > t.sealedEnd {
+		t.sealedEnd = start
+	}
 }
 
 // Stats describes a table's current contents.
@@ -529,10 +550,6 @@ func (t *Table) DropBlocksForShutdown(n int) ([]*rowblock.RowBlock, error) {
 	t.synced -= n
 	if t.synced < 0 {
 		t.synced = 0
-	}
-	t.snapped -= n
-	if t.snapped < 0 {
-		t.snapped = 0
 	}
 	t.mu.Unlock()
 	t.notifyEvict(out)

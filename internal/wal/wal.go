@@ -21,11 +21,23 @@
 //	                                      takes the disk path until the next
 //	                                      restart resets the log
 //
-// Appends are group-committed: records are written to the active segment
-// immediately, and the appender blocks until a background flusher fsyncs the
-// segment (SyncInterval cadence; <=0 fsyncs inline). The caller only acks
-// its client after Append returns, so acked rows are always durable; a batch
-// lost to a torn tail write was by construction never acked.
+// Appends are group-committed in two stages so the caller can order the log
+// and its in-memory apply under one lock without serializing on fsyncs:
+// Begin writes the record to the active segment and assigns its row indexes,
+// and the returned Commit's Wait blocks until a flusher fsync covers the
+// record (SyncInterval cadence; <=0 fsyncs inline, driven by the waiters
+// themselves). The caller only acks its client after Wait returns, so acked
+// rows are always durable; a batch lost to a torn tail write was by
+// construction never acked.
+//
+// Any write or fsync failure on the append path quarantines the table: the
+// failed record's bytes may sit mid-segment and become durable on a later
+// successful fsync of the same fd, so the log can never be trusted to mirror
+// the table again. Quarantine is only honored once its marker file is
+// durable — if the marker itself cannot be persisted the table log enters a
+// failed state and every subsequent append is refused, because acking
+// without either durable WAL coverage or a durable quarantine marker risks
+// silent acked-row loss after a crash.
 package wal
 
 import (
@@ -94,11 +106,14 @@ type tableLog struct {
 
 	appendSeq   int64 // records written
 	syncedSeq   int64 // records durably fsynced
-	flushGen    int64 // flush attempts; pairs with flushErr for waiters
-	flushErr    error // outcome of the newest flush attempt
 	dirty       bool
 	quarantined bool
-	closed      bool
+	// failed is set when the quarantine marker itself could not be persisted
+	// (disk full, say): the quarantine exists only in memory, so a crashed
+	// successor would take the WAL path and silently drop the acked tail.
+	// Every append and wait is refused with this error instead.
+	failed error
+	closed bool
 }
 
 // Open opens (creating if needed) the log rooted at dir.
@@ -260,99 +275,167 @@ func scanSegmentEnd(path string, start int64) (int64, error) {
 	return end, nil
 }
 
-// Append durably logs one batch for the table and returns once the record
-// is fsynced (group commit). The record's start index is the log's cursor,
-// which mirrors the table's cumulative accepted-row count. Appends to a
-// quarantined table are dropped — its log already stopped mirroring memory
-// and crash recovery will take the disk path.
+// Commit is the durability handle for one record Begin reserved: the record
+// is in the active segment and the cursor advanced; Wait blocks until an
+// fsync covers it.
+type Commit struct {
+	log *Log
+	tl  *tableLog
+	seq int64
+}
+
+// Append logs one batch and returns once the record is durable — Begin plus
+// Wait, for callers with no apply step to order in between.
 func (l *Log) Append(table string, rows []rowblock.Row) error {
+	c, err := l.Begin(table, rows)
+	if err != nil || c == nil {
+		return err
+	}
+	return c.Wait()
+}
+
+// Begin writes one batch's record into the table's active segment at the
+// log cursor — which mirrors the table's cumulative accepted-row count —
+// and returns a Commit to Wait on for durability. The caller must apply the
+// batch to the table in the same order it calls Begin (hold a per-table
+// lock across both), or record row indexes stop matching the table's row
+// order and crash replay splices batches wrongly around the snapshot
+// watermark. A nil Commit with nil error means the batch is not covered:
+// empty, or the table is quarantined (its log already stopped mirroring
+// memory; crash recovery takes the disk path, so there is nothing to wait
+// for).
+func (l *Log) Begin(table string, rows []rowblock.Row) (*Commit, error) {
 	if len(rows) == 0 {
-		return nil
+		return nil, nil
 	}
 	if err := fault.Inject(fault.SiteWALAppend); err != nil {
-		return fmt.Errorf("wal: append %s: %w", table, err)
+		return nil, fmt.Errorf("wal: append %s: %w", table, err)
 	}
 	tl, err := l.tableLogFor(table)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if err := tl.append(rows, l.opts); err != nil {
-		return fmt.Errorf("wal: append %s: %w", table, err)
+	seq, err := tl.begin(rows, l.opts)
+	if err != nil {
+		return nil, fmt.Errorf("wal: append %s: %w", table, err)
+	}
+	if seq == 0 {
+		return nil, nil // quarantined: dropped, caller acks under degraded durability
 	}
 	addCount(l.counter("wal.append_rows"), int64(len(rows)))
 	addCount(l.counter("wal.append_records"), 1)
-	return nil
+	return &Commit{log: l, tl: tl, seq: seq}, nil
 }
 
-func (tl *tableLog) append(rows []rowblock.Row, opts Options) error {
+// begin reserves and writes one record, returning its commit sequence (0
+// when the quarantined table dropped it).
+func (tl *tableLog) begin(rows []rowblock.Row, opts Options) (int64, error) {
 	tl.mu.Lock()
+	defer tl.mu.Unlock()
 	if tl.closed {
-		tl.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
+	}
+	if tl.failed != nil {
+		return 0, tl.failed
 	}
 	if tl.quarantined {
-		tl.mu.Unlock()
-		return nil
+		return 0, nil
 	}
 	if tl.f == nil || tl.size >= opts.SegmentBytes {
 		if err := tl.rotateLocked(); err != nil {
-			tl.mu.Unlock()
-			return err
+			return 0, err
 		}
 	}
 	rec := appendRecord(nil, tl.next, rows)
 	// Chaos runs corrupt the framed record in flight; replay must refuse it.
 	fault.CorruptBytes(fault.SiteWALAppend, rec)
 	if _, err := tl.f.Write(rec); err != nil {
-		tl.mu.Unlock()
-		return err
+		// A short write may have landed part of the record; nothing written
+		// after it could be replayed safely, so the log is done mirroring
+		// memory.
+		if qerr := tl.quarantineLocked(); qerr != nil {
+			err = errors.Join(err, qerr)
+		}
+		return 0, err
 	}
 	tl.size += int64(len(rec))
 	tl.next += int64(len(rows))
 	tl.appendSeq++
-	my := tl.appendSeq
-
-	if opts.SyncInterval <= 0 {
-		err := tl.syncLocked()
-		tl.mu.Unlock()
-		return err
-	}
-	// Group commit: wait for a flush attempt that covers this record. A
-	// failed attempt nacks every waiter it strands; the client retries.
 	tl.dirty = true
-	gen := tl.flushGen
-	for tl.syncedSeq < my && !tl.closed {
-		if tl.flushGen > gen {
-			if tl.flushErr != nil {
-				err := tl.flushErr
-				tl.mu.Unlock()
-				return err
-			}
-			gen = tl.flushGen
+	return tl.appendSeq, nil
+}
+
+// Wait blocks until the reserved record is durable. A nil return means the
+// caller may ack: either the fsync covering the record completed, or the
+// table was quarantined with a durable marker — WAL coverage is waived and
+// the rows fall back to the pre-WAL durability model (disk write-behind),
+// exactly like every later append to a quarantined table. A non-nil return
+// (log closed, or quarantine marker unpersistable) means the batch must be
+// nacked.
+func (c *Commit) Wait() error {
+	tl, opts := c.tl, c.log.opts
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	for tl.syncedSeq < c.seq {
+		if tl.failed != nil {
+			return tl.failed
+		}
+		if tl.quarantined {
+			return nil
+		}
+		if tl.closed {
+			return ErrClosed
+		}
+		if opts.SyncInterval <= 0 {
+			// Inline commit: the waiter drives the fsync itself (concurrent
+			// waiters still share it — whoever gets the lock first syncs for
+			// all). A failure quarantines or fails the table; the loop
+			// re-checks both.
+			tl.syncLocked() //nolint:errcheck
+			continue
 		}
 		tl.cond.Wait()
 	}
-	var err error
-	if tl.syncedSeq < my {
-		err = ErrClosed
-	}
-	tl.mu.Unlock()
-	return err
+	return nil
 }
 
-// syncLocked fsyncs the active segment. Called with tl.mu held.
+// syncLocked fsyncs the active segment; on success every written record is
+// durable. On failure the table is quarantined: the un-synced record bytes
+// stay mid-segment and a later successful fsync of the same fd would make
+// them durable anyway, misaligned with what the caller was told — so the
+// log must never be trusted again. Called with tl.mu held.
 func (tl *tableLog) syncLocked() error {
-	if err := fault.Inject(fault.SiteWALSync); err != nil {
-		return err
+	err := fault.Inject(fault.SiteWALSync)
+	if err == nil && tl.f != nil {
+		err = tl.f.Sync()
 	}
-	if tl.f == nil {
-		return nil
-	}
-	if err := tl.f.Sync(); err != nil {
+	if err != nil {
+		if qerr := tl.quarantineLocked(); qerr != nil {
+			err = errors.Join(err, qerr)
+		}
 		return err
 	}
 	tl.syncedSeq = tl.appendSeq
+	tl.dirty = false
 	return nil
+}
+
+// quarantineLocked marks the table's log as no longer mirroring memory and
+// persists the marker. It wakes group-commit waiters (Wait acks them under
+// the degraded model once the marker is durable). If the marker cannot be
+// persisted, the tableLog enters the failed state — returned here and by
+// every later append — because an in-memory-only quarantine would let a
+// post-crash recovery take the WAL path and silently lose the acked tail.
+// Called with tl.mu held.
+func (tl *tableLog) quarantineLocked() error {
+	if !tl.quarantined {
+		tl.quarantined = true
+		if err := persistQuarantine(tl.dir); err != nil {
+			tl.failed = fmt.Errorf("wal: quarantine marker: %w", err)
+		}
+	}
+	tl.cond.Broadcast()
+	return tl.failed
 }
 
 // rotateLocked fsyncs and closes the active segment (closed segments are
@@ -404,12 +487,10 @@ func (l *Log) flushAll() {
 	l.mu.Unlock()
 	for _, tl := range tls {
 		tl.mu.Lock()
-		if tl.dirty && tl.appendSeq > tl.syncedSeq && !tl.closed {
-			err := tl.syncLocked()
-			tl.flushErr = err
-			tl.flushGen++
-			if err == nil {
-				tl.dirty = false
+		if tl.dirty && tl.appendSeq > tl.syncedSeq && !tl.closed && !tl.quarantined && tl.failed == nil {
+			// A failed sync quarantines the table inside syncLocked, which
+			// also wakes the waiters.
+			if err := tl.syncLocked(); err == nil {
 				addCount(l.counter("wal.fsyncs"), 1)
 			}
 			tl.cond.Broadcast()
@@ -483,17 +564,24 @@ const quarantineMarker = "quarantined"
 // Quarantine marks a table's log as no longer mirroring memory (a batch was
 // rejected mid-apply, so row indexes diverged). Crash recovery of the table
 // takes the disk path until a restart resets the log. The marker is a file,
-// so it survives the crash it is protecting against.
+// so it survives the crash it is protecting against. A non-nil return means
+// the marker could not be persisted: the caller must nack (and the log
+// refuses all further appends to the table), because an in-memory-only
+// quarantine would not survive a crash and recovery would take the WAL path
+// missing the acked tail.
 func (l *Log) Quarantine(table string) error {
 	tl, err := l.tableLogFor(table)
 	if err != nil {
 		return err
 	}
 	tl.mu.Lock()
-	tl.quarantined = true
-	tl.cond.Broadcast()
-	tl.mu.Unlock()
-	f, err := os.Create(filepath.Join(l.tableDir(table), quarantineMarker))
+	defer tl.mu.Unlock()
+	return tl.quarantineLocked()
+}
+
+// persistQuarantine durably creates the quarantine marker file.
+func persistQuarantine(dir string) error {
+	f, err := os.Create(filepath.Join(dir, quarantineMarker))
 	if err != nil {
 		return err
 	}
@@ -504,7 +592,7 @@ func (l *Log) Quarantine(table string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return syncDir(l.tableDir(table))
+	return syncDir(dir)
 }
 
 // Quarantined reports whether the table's log is quarantined.

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"scuba/internal/fault"
 	"scuba/internal/metrics"
 	"scuba/internal/rowblock"
 )
@@ -407,6 +408,74 @@ func TestCursorContinuesAcrossReopen(t *testing.T) {
 	}
 	if !l2.HasState() {
 		t.Fatal("HasState false with segments on disk")
+	}
+}
+
+// TestSyncFailureQuarantines: a failed fsync leaves un-synced record bytes
+// mid-segment with the cursor already advanced; a later successful fsync
+// would make them durable and break the cursor==row-count invariant. The
+// log must durably quarantine the table instead, and the batch is still
+// acked — WAL coverage is waived, same as appends to an already-quarantined
+// table.
+func TestSyncFailureQuarantines(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("events", testRows(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.ArmSpec("wal.sync=error;count=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("events", testRows(5, 5)); err != nil {
+		t.Fatalf("append nacked on sync failure: %v", err)
+	}
+	fault.Reset()
+	if !l.Quarantined("events") {
+		t.Fatal("sync failure did not quarantine the table")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "events", "quarantined")); err != nil {
+		t.Fatalf("quarantine marker not persisted: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !l2.Quarantined("events") {
+		t.Fatal("quarantine lost across reopen")
+	}
+}
+
+// TestQuarantineMarkerFailureNacks: if the quarantine marker itself cannot
+// be persisted, appends must nack — acking without durable WAL coverage
+// AND without a durable marker would silently lose the acked tail after a
+// crash (recovery would trust the stale log).
+func TestQuarantineMarkerFailureNacks(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append("events", testRows(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the table directory so the marker cannot be created.
+	if err := os.RemoveAll(filepath.Join(dir, "events")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Quarantine("events"); err == nil {
+		t.Fatal("Quarantine reported success with the marker unpersisted")
+	}
+	if err := l.Append("events", testRows(5, 5)); err == nil {
+		t.Fatal("append acked after the quarantine marker failed to persist")
 	}
 }
 
