@@ -38,17 +38,23 @@ def medians(samples):
 
 
 def compare(base_text, head_text, threshold_pct, name_filter):
-    """Return (failures, report_lines). A failure is a >threshold regression."""
+    """Return (failures, report_lines, compared).
+
+    A failure is a >threshold regression; compared counts head benchmarks
+    that actually had a baseline to regress against.
+    """
     base = medians(parse(base_text))
     head = medians(parse(head_text))
     failures = []
     lines = []
+    compared = 0
     for name in sorted(head):
         if name_filter and not name.startswith(name_filter):
             continue
         if name not in base:
             lines.append(f"  {name}: new benchmark (no baseline), skipped")
             continue
+        compared += 1
         delta = 100.0 * (head[name] - base[name]) / base[name]
         verdict = "ok"
         if delta > threshold_pct:
@@ -60,7 +66,7 @@ def compare(base_text, head_text, threshold_pct, name_filter):
         )
     if not lines:
         lines.append("  (no matching benchmarks in head output)")
-    return failures, lines
+    return failures, lines, compared
 
 
 def self_test(threshold_pct):
@@ -77,17 +83,21 @@ def self_test(threshold_pct):
     unchanged = fake({"BenchmarkScanSerialCold": 1010000, "BenchmarkScanZonePruned": 49000})
     added = fake({"BenchmarkScanSerialCold": 1000000, "BenchmarkScanBrandNew": 77})
 
-    fails, _ = compare(base, regressed, threshold_pct, "BenchmarkScan")
+    fails, _, _ = compare(base, regressed, threshold_pct, "BenchmarkScan")
     if fails != ["BenchmarkScanSerialCold"]:
         print(f"self-test: gate MISSED a 20% regression (failures={fails})")
         return 1
-    fails, _ = compare(base, unchanged, threshold_pct, "BenchmarkScan")
+    fails, _, _ = compare(base, unchanged, threshold_pct, "BenchmarkScan")
     if fails:
         print(f"self-test: gate false-positived on a 1% change ({fails})")
         return 1
-    fails, _ = compare(base, added, threshold_pct, "BenchmarkScan")
+    fails, _, _ = compare(base, added, threshold_pct, "BenchmarkScan")
     if fails:
         print(f"self-test: gate failed a benchmark with no baseline ({fails})")
+        return 1
+    fails, _, compared = compare("", added, threshold_pct, "BenchmarkScan")
+    if fails or compared != 0:
+        print(f"self-test: empty baseline was not neutral (fails={fails}, compared={compared})")
         return 1
     print("self-test: gate fails the injected regression and passes the rest")
     return 0
@@ -107,16 +117,28 @@ def main():
     if not args.base or not args.head:
         ap.error("base and head files are required (or use --self-test)")
 
-    with open(args.base) as f:
-        base_text = f.read()
+    # A merge-base that predates a benchmark produces an empty or missing
+    # baseline file (the base bench step is `|| true`). That is a normal
+    # state for a PR adding its own benchmark under the gate, not an error:
+    # stay neutral instead of crashing or failing the PR.
+    base_text = ""
+    try:
+        with open(args.base) as f:
+            base_text = f.read()
+    except OSError:
+        print(f"benchgate: base file {args.base!r} unreadable, treating as empty baseline")
     with open(args.head) as f:
         head_text = f.read()
-    failures, lines = compare(base_text, head_text, args.threshold, args.filter)
+    failures, lines, compared = compare(base_text, head_text, args.threshold, args.filter)
     print(f"benchgate: comparing medians, threshold {args.threshold:.0f}%, filter {args.filter!r}")
     print("\n".join(lines))
     if failures:
         print(f"benchgate: FAIL — {len(failures)} benchmark(s) regressed: {', '.join(failures)}")
         sys.exit(1)
+    if compared == 0:
+        print("benchgate: NEUTRAL — no baseline benchmark found at the merge-base "
+              "for this filter (benchmark added by this PR); nothing to gate")
+        sys.exit(0)
     print("benchgate: PASS")
 
 

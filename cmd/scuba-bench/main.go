@@ -29,7 +29,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e21) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e22) or 'all'")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -53,6 +53,7 @@ func main() {
 		{"e18", "tracing overhead on the hot query path (BENCH_e18.json)", runE18},
 		{"e20", "self-telemetry sink overhead on the scan path (BENCH_e20.json)", runE20},
 		{"e21", "crash recovery: snapshots + WAL replay vs disk translate (BENCH_e21.json)", runE21},
+		{"e22", "instant-on restart: availability gap + query health during promotion (BENCH_e22.json)", runE22},
 	}
 
 	ran := 0

@@ -311,6 +311,10 @@ func printRecovery(v any) {
 	fmt.Printf("recovery: path=%s tables=%d blocks=%d %.1f MB in %v (workers=%d quarantined=%d fellBack=%v)\n",
 		rec.Path, rec.Tables, rec.Blocks, float64(rec.BytesRestored)/(1<<20),
 		rec.Duration.Round(time.Millisecond), rec.Workers, rec.Quarantined, rec.FellBack)
+	if rec.Path == scuba.RecoveryShmView || rec.ServedFromShm > 0 || rec.PromotedBlocks > 0 {
+		fmt.Printf("  instant-on: %d blocks still served from shm, %d promoted to heap\n",
+			rec.ServedFromShm, rec.PromotedBlocks)
+	}
 	for _, tr := range rec.PerTablePath {
 		line := fmt.Sprintf("  table %-20q %s", tr.Table, tr.Path)
 		if tr.Reason != "" {

@@ -1,0 +1,225 @@
+package scuba_test
+
+// The instant-on availability gate: a rolling restart with -instant-on must
+// bring every scubad replacement back serving correct results in a small
+// fraction of the copy-in barrier's time. CI's instant-on-smoke job runs
+// this on every PR under -race; it is the enforcement half of experiment
+// E22's availability-gap measurement.
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"scuba"
+)
+
+// instantOnSmokeRows is sized so the copy-in restore is long enough
+// (milliseconds, more under -race) that the <10% ratio measures the
+// restart paths and not fixed leaf-boot overhead or scheduler noise.
+const instantOnSmokeRows = 1000000
+
+func TestInstantOnRolloverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess instant-on smoke")
+	}
+	// Race-instrumented daemons: the promoter, scan pins, and view refcounts
+	// run under the detector inside scubad itself, not just in this harness.
+	raceBin, err := scuba.BuildScubadRace(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One promote worker keeps each replacement's promotion window open long
+	// enough for the probe to catch queries mid-promotion.
+	pc := startRolloverCluster(t, 1, 2, instantOnSmokeRows,
+		func(cfg *scuba.ProcConfig) {
+			cfg.BinPath = raceBin
+			cfg.PromoteWorkers = 1
+		})
+	n := len(pc.Leaves())
+	q := rolloverQuery()
+	agg := pc.AggClient()
+
+	baseline, err := agg.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRows := baseline.Rows(q)
+	if len(baseRows) == 0 {
+		t.Fatal("baseline returned no rows")
+	}
+
+	roll := scuba.ProcRolloverConfig{
+		BatchFraction: 0.5,
+		MaxPerMachine: 1,
+		UseShm:        true,
+		KillTimeout:   time.Minute,
+		Tables:        []string{"service_logs"},
+	}
+
+	// Rollover 1: the copy-in barrier (E15's restart path). Each leaf's
+	// recovery duration is the time Start spent restoring before the
+	// process could serve — the denominator of the availability ratio.
+	rep1, err := pc.ProcRollover(roll)
+	if err != nil {
+		t.Fatalf("copy-in rollover: %v", err)
+	}
+	if rep1.MemoryRecoveries != n {
+		t.Fatalf("copy-in rollover: memory recoveries = %d, want %d (report: %+v)",
+			rep1.MemoryRecoveries, n, rep1)
+	}
+	// The copy-in time is the restore's data-proportional part (the table
+	// copy), not whole-Start: fixed leaf-boot costs (WAL open, disk store)
+	// are identical on both paths and independent of data size, so at
+	// production scale they vanish — at smoke scale they'd drown the signal.
+	// Minimum over the leaves (every leaf holds all rows at R=2): restarts
+	// happen one batch at a time, so each leaf measures the same restore and
+	// noise (scheduler preemption, GC, the previous batch's background work
+	// on a starved runner) can only inflate a sample. The min is the
+	// standard noise-robust estimator of the intrinsic time on both sides
+	// of the ratio.
+	var copyIn time.Duration
+	for _, l := range pc.Leaves() {
+		rec, err := l.Recovery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := rec.RestoreDuration()
+		t.Logf("leaf %d copy-in restore %v", l.ID, d)
+		if d <= 0 {
+			t.Fatalf("leaf %d reported no copy-in restore duration", l.ID)
+		}
+		if copyIn == 0 || d < copyIn {
+			copyIn = d
+		}
+	}
+
+	// Rollover 2: instant-on over the same data, unprobed — the ratio
+	// measurement. Like the E22 harness, the gap rollover and the probed
+	// rollover are separate: a probe's race-instrumented scans timeslice
+	// against a restoring leaf's validation on a small box and would turn a
+	// ~250µs validation into scheduler noise.
+	pc.SetInstantOn(true)
+	roll.MaxAvailabilityGap = 30 * time.Second // sanity bound, not the gate
+	rep2, err := pc.ProcRollover(roll)
+	if err != nil {
+		t.Fatalf("instant-on rollover: %v", err)
+	}
+	if rep2.ShmViewRecoveries != n {
+		t.Fatalf("instant-on rollover: shm-view recoveries = %d, want %d (report: %+v)",
+			rep2.ShmViewRecoveries, n, rep2)
+	}
+	waitPromotionDrained(t, pc)
+
+	// Same statistic as copyIn: the fastest clean measurement of the
+	// validation gap. (The later batch's validation can timeslice against
+	// the earlier batch's background promotion on a starved runner — by
+	// design promotion is backgrounded, but it pollutes that sample.)
+	var gap time.Duration
+	for _, l := range pc.Leaves() {
+		rec, err := l.Recovery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Path != string(scuba.RecoveryShmView) {
+			t.Errorf("leaf %d recovered via %q, want shm-view", l.ID, rec.Path)
+		}
+		if rec.PromotedBlocks == 0 {
+			t.Errorf("leaf %d promoted no blocks", l.ID)
+		}
+		d := rec.RestoreDuration()
+		t.Logf("leaf %d instant-on restore %v", l.ID, d)
+		if d <= 0 {
+			t.Fatalf("leaf %d reported no instant-on restore duration", l.ID)
+		}
+		if gap == 0 || d < gap {
+			gap = d
+		}
+	}
+
+	// The gate's ratio half: the instant-on restore (validation only) under
+	// 10% of the copy-in restore. The 10% contract assumes the validation
+	// CRC can spread across ≥2 cores (checksumParallel) while the copy-in
+	// decode stays serial per table — true on CI runners. A single-core box
+	// runs the CRC serially, where the intrinsic asm-CRC-to-race-decode
+	// ratio is already ~9%, so the gate falls back to 20% there rather than
+	// asserting on scheduler noise.
+	barDiv := time.Duration(10)
+	if runtime.NumCPU() == 1 {
+		barDiv = 5
+	}
+	if gap*barDiv >= copyIn {
+		t.Errorf("instant-on restore %v is not <1/%d of the copy-in restore %v",
+			gap, barDiv, copyIn)
+	}
+
+	// Rollover 3: instant-on again, under a continuous byte-identical query
+	// probe that keeps running until every leaf's background promotion
+	// drains — zero wrong results during restart, serving-from-shm,
+	// promotion, and the handoff is the correctness half of the gate.
+	probe := scuba.StartAvailabilityProbe(agg, scuba.ProbeConfig{
+		Query: q,
+		Check: func(res *scuba.Result) error {
+			if !reflect.DeepEqual(res.Rows(q), baseRows) {
+				return errors.New("result drifted from baseline")
+			}
+			return nil
+		},
+	})
+	rep3, err := pc.ProcRollover(roll)
+	if err != nil {
+		probe.Stop()
+		t.Fatalf("probed instant-on rollover: %v", err)
+	}
+	if rep3.ShmViewRecoveries != n {
+		t.Fatalf("probed instant-on rollover: shm-view recoveries = %d, want %d (report: %+v)",
+			rep3.ShmViewRecoveries, n, rep3)
+	}
+	waitPromotionDrained(t, pc)
+	avail := probe.Stop()
+
+	if avail.Queries == 0 {
+		t.Fatal("no queries completed during the instant-on rollover")
+	}
+	if avail.Errors != 0 {
+		t.Errorf("%d of %d queries failed during the instant-on rollover", avail.Errors, avail.Queries)
+	}
+	if avail.Wrong != 0 {
+		t.Errorf("%d of %d queries returned non-baseline results during promotion", avail.Wrong, avail.Queries)
+	}
+	after, err := agg.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.Rows(q), baseRows) {
+		t.Error("post-promotion result differs from baseline")
+	}
+	t.Logf("copy-in restore %v vs instant-on gap %v (%.1f%%); %d probe queries, %d wrong; max boot-to-ping gap %v",
+		copyIn, gap, 100*float64(gap)/float64(copyIn), avail.Queries, avail.Wrong, rep3.MaxGap)
+}
+
+// waitPromotionDrained polls /debug/recovery until no leaf still serves any
+// block from a mapped shm view.
+func waitPromotionDrained(t *testing.T, pc *scuba.ProcCluster) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resident := int64(0)
+		for _, l := range pc.Leaves() {
+			rec, err := l.Recovery()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resident += rec.ServedFromShm
+		}
+		if resident == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("promotion never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -376,52 +376,103 @@ func (a *Aggregator) queryTarget(ft fanTarget, q *query.Query, tc obs.TraceConte
 	return res, nil, err
 }
 
-// failover re-fetches a failed slot's shards from each shard's next ACTIVE
-// owner (excluding the failed leaf), merging whatever the replicas answer.
-// It returns the merged partial and how many shards it covered. The retry is
-// untraced — the trace shows the original span's error, annotated with the
-// failover outcome.
+// failoverPasses bounds how many times failover re-plans still-uncovered
+// shards against a fresh shard-map status. One pass handles the common case
+// (a draining owner's replica answers); the later passes handle a slow query
+// that straddles multiple rollover batches — by the time the replica's
+// attempt fails too, the originally-failed leaf is often back ACTIVE, and a
+// re-plan against current status recovers the shard instead of dropping it.
+const failoverPasses = 3
+
+// failover re-fetches a failed slot's shards from each shard's ACTIVE
+// owners, merging whatever the replicas answer. The first pass excludes the
+// failed leaf; each later pass re-reads the shard map's status, so an owner
+// that came back mid-query is eligible again. It returns the merged partial
+// and how many shards it covered. The retry is untraced — the trace shows
+// the original span's error, annotated with the failover outcome.
 func (a *Aggregator) failover(q *query.Query, ft fanTarget) (*query.Result, int) {
 	r := a.Router
 	if r == nil {
 		return nil, 0
 	}
-	m, status := r.Map(), r.Status()
-	perLeaf := make(map[int][]int)
-	for _, s := range ft.shards {
-		for _, o := range m.Owners(q.Table, s) {
-			if o != ft.idx && o < len(status) && status[o] == shard.StatusActive {
-				perLeaf[o] = append(perLeaf[o], s)
-				break
-			}
-		}
-	}
-	idxs := make([]int, 0, len(perLeaf))
-	for o := range perLeaf {
-		idxs = append(idxs, o)
-	}
-	sort.Ints(idxs)
 	merged := query.NewResult()
 	n := 0
-	for _, o := range idxs {
-		if o >= len(a.leaves) {
+	pending := ft.shards
+	exclude := ft.idx
+	for pass := 0; pass < failoverPasses && len(pending) > 0; pass++ {
+		m, status := r.Map(), r.Status()
+		perLeaf := make(map[int][]int)
+		unplanned := 0
+		for _, s := range pending {
+			planned := false
+			for _, o := range m.Owners(q.Table, s) {
+				if o != exclude && o < len(status) && status[o] == shard.StatusActive {
+					perLeaf[o] = append(perLeaf[o], s)
+					planned = true
+					break
+				}
+			}
+			if !planned {
+				unplanned++
+			}
+		}
+		if len(perLeaf) == 0 {
+			// No ACTIVE alternative owner right now (mid-batch): the next
+			// pass re-reads status, where a restarted owner may be back.
+			exclude = -1
 			continue
 		}
-		st, ok := a.leaves[o].(ShardTarget)
-		if !ok {
-			continue
+		idxs := make([]int, 0, len(perLeaf))
+		for o := range perLeaf {
+			idxs = append(idxs, o)
 		}
-		res, _, err := st.QueryShards(q, perLeaf[o], obs.TraceContext{})
-		if err != nil {
-			continue
+		sort.Ints(idxs)
+		failed := make([]int, 0, unplanned)
+		for _, o := range idxs {
+			if o >= len(a.leaves) {
+				failed = append(failed, perLeaf[o]...)
+				continue
+			}
+			st, ok := a.leaves[o].(ShardTarget)
+			if !ok {
+				failed = append(failed, perLeaf[o]...)
+				continue
+			}
+			res, _, err := st.QueryShards(q, perLeaf[o], obs.TraceContext{})
+			if err != nil {
+				failed = append(failed, perLeaf[o]...)
+				continue
+			}
+			merged.Merge(res)
+			n += len(perLeaf[o])
 		}
-		merged.Merge(res)
-		n += len(perLeaf[o])
+		for _, s := range pending {
+			if !planned(perLeaf, s) {
+				failed = append(failed, s)
+			}
+		}
+		pending = failed
+		// After the first pass every currently-ACTIVE owner is fair game:
+		// the excluded leaf being ACTIVE again means it restarted and serves
+		// the restored data.
+		exclude = -1
 	}
 	if n == 0 {
 		return nil, 0
 	}
 	return merged, n
+}
+
+// planned reports whether shard s was assigned to any leaf in the plan.
+func planned(perLeaf map[int][]int, s int) bool {
+	for _, shards := range perLeaf {
+		for _, v := range shards {
+			if v == s {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (a *Aggregator) leafLabel(i int) string {

@@ -359,3 +359,69 @@ func (f *fakeLeafPlain) Query(q *query.Query) (*query.Result, error) {
 	f.calls++
 	return query.NewResult(), nil
 }
+
+// hookShard lets a test fail specific QueryShards calls (by inspecting the
+// requested shards) while delegating everything else to shardFake.
+type hookShard struct {
+	shardFake
+	hook func(shards []int) error
+}
+
+func (h *hookShard) QueryShards(q *query.Query, shards []int, tc obs.TraceContext) (*query.Result, *obs.ExecStats, error) {
+	if err := h.hook(shards); err != nil {
+		return nil, nil, err
+	}
+	return h.shardFake.QueryShards(q, shards, tc)
+}
+
+// TestShardQueryFailoverRetriesRestartedOwner pins the multi-pass failover:
+// a slow query straddles two rollover batches, so the primary's scan dies
+// with the first restart and the replica's failover attempt dies with the
+// second. By then the primary is back ACTIVE, and a re-plan against fresh
+// shard-map status must recover the shards instead of reporting them
+// missing.
+func TestShardQueryFailoverRetriesRestartedOwner(t *testing.T) {
+	leaves := []shard.Leaf{{Name: "leaf0", Machine: 0}, {Name: "leaf1", Machine: 1}}
+	r := shard.NewRouter(shard.NewMap(leaves, 2, 4))
+	asn := r.Assign("events")
+	own1 := fmt.Sprint(append([]int(nil), asn.PerLeaf[1]...))
+
+	var failed0, failed1 sync.Once
+	var died0, died1 bool
+	h0 := &hookShard{hook: func(shards []int) error {
+		// The primary call dies (leaf killed mid-scan); later calls succeed
+		// (the restarted process serves the restored data).
+		var err error
+		failed0.Do(func() { died0 = true; err = fmt.Errorf("leaf0 restarting") })
+		return err
+	}}
+	h1 := &hookShard{hook: func(shards []int) error {
+		// Fail only the failover fetch of leaf0's shards (the second batch
+		// kills this leaf mid-scan too); its own primary slot succeeds.
+		s := fmt.Sprint(shards)
+		var err error
+		if s != own1 {
+			failed1.Do(func() { died1 = true; err = fmt.Errorf("leaf1 restarting") })
+		}
+		return err
+	}}
+	a := New([]LeafTarget{h0, h1})
+	a.Router = r
+	a.Labels = []string{"leaf0", "leaf1"}
+
+	res, err := a.Query(countQ("events"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !died0 || !died1 {
+		t.Fatalf("harness bug: kill hooks fired = %v/%v, want both", died0, died1)
+	}
+	if res.ShardsAnswered != 4 {
+		t.Fatalf("shard coverage %d/4 after double failover, want 4/4", res.ShardsAnswered)
+	}
+	// Every shard's rows present exactly once: the retried shards were not
+	// double-merged with any earlier partial.
+	if res.RowsScanned != 4 {
+		t.Fatalf("RowsScanned = %d, want 4", res.RowsScanned)
+	}
+}

@@ -50,6 +50,11 @@ type Config struct {
 	// NumShards is the per-table shard count under Replication (0 = 2x the
 	// leaf count).
 	NumShards int
+	// InstantOn makes every leaf restart serve zero-copy from its mmap'd shm
+	// backup while background promotion copies blocks heap-side.
+	InstantOn bool
+	// PromoteWorkers sizes the instant-on promotion pool (0 = NumCPU).
+	PromoteWorkers int
 }
 
 // Node is one leaf slot: the process comes and goes across restarts, the
@@ -109,13 +114,15 @@ func (n *Node) Name() string { return fmt.Sprintf("node%d", n.GlobalID) }
 
 func (n *Node) leafConfig() leaf.Config {
 	return leaf.Config{
-		ID:           n.GlobalID,
-		Shm:          shm.Options{Dir: n.cfg.ShmDir, Namespace: n.cfg.Namespace},
-		DiskRoot:     n.cfg.DiskRoot,
-		DiskFormat:   n.cfg.Format,
-		Table:        n.cfg.Table,
-		MemoryBudget: n.cfg.MemoryBudgetPerLeaf,
-		Clock:        n.cfg.Clock,
+		ID:             n.GlobalID,
+		Shm:            shm.Options{Dir: n.cfg.ShmDir, Namespace: n.cfg.Namespace},
+		DiskRoot:       n.cfg.DiskRoot,
+		DiskFormat:     n.cfg.Format,
+		Table:          n.cfg.Table,
+		MemoryBudget:   n.cfg.MemoryBudgetPerLeaf,
+		Clock:          n.cfg.Clock,
+		InstantOn:      n.cfg.InstantOn,
+		PromoteWorkers: n.cfg.PromoteWorkers,
 	}
 }
 

@@ -35,8 +35,25 @@ import (
 // path. It builds by package path, so it works from any directory inside
 // the module.
 func BuildScubad(dir string) (string, error) {
+	return buildScubad(dir, false)
+}
+
+// BuildScubadRace compiles scubad with the race detector, so rollover
+// drills exercise the daemon's own restart concurrency — the instant-on
+// promoter against live scans, most of all — under instrumentation, not
+// just the test harness.
+func BuildScubadRace(dir string) (string, error) {
+	return buildScubad(dir, true)
+}
+
+func buildScubad(dir string, race bool) (string, error) {
 	bin := dir + "/scubad"
-	cmd := exec.Command("go", "build", "-o", bin, "scuba/cmd/scubad")
+	args := []string{"build"}
+	if race {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "scuba/cmd/scubad")
+	cmd := exec.Command("go", args...)
 	if out, err := cmd.CombinedOutput(); err != nil {
 		return "", fmt.Errorf("cluster: building scubad: %w\n%s", err, out)
 	}
@@ -80,6 +97,12 @@ type ProcConfig struct {
 	// self-telemetry sink (its -telemetry-interval flag): metric snapshots
 	// and flight-recorder events flow into that leaf's __system tables.
 	TelemetryInterval time.Duration
+	// InstantOn starts every leaf with -instant-on: a restarting leaf serves
+	// queries zero-copy from its mmap'd shm backup as soon as validation
+	// passes, and the copy-in runs as background promotion.
+	InstantOn bool
+	// PromoteWorkers is each leaf's -promote-workers (0 = NumCPU).
+	PromoteWorkers int
 }
 
 // ProcLeaf is one leaf slot of a subprocess cluster: the OS process comes
@@ -156,6 +179,53 @@ func (l *ProcLeaf) recoveryPath() string {
 		return ""
 	}
 	return dump.Recovery.Path
+}
+
+// ProcRecovery is the slice of a leaf's /debug/recovery answer that restart
+// tooling acts on.
+type ProcRecovery struct {
+	Path     string
+	Duration time.Duration
+	// PerTable breaks the restore down by table; on an instant-on restart a
+	// table's Duration is its view validation (metadata + CRC) time, on a
+	// copy-in restart the full shm-to-heap copy.
+	PerTable []struct {
+		Table    string
+		Duration time.Duration
+	}
+	ServedFromShm  int64 `json:"served_from_shm"`
+	PromotedBlocks int64 `json:"promoted_blocks"`
+}
+
+// RestoreDuration returns the longest single-table restore within the
+// recovery — the data-proportional part of the availability gap, net of
+// fixed leaf-boot costs that both restart paths pay identically.
+func (r ProcRecovery) RestoreDuration() time.Duration {
+	var d time.Duration
+	for _, t := range r.PerTable {
+		if t.Duration > d {
+			d = t.Duration
+		}
+	}
+	return d
+}
+
+// Recovery fetches the leaf's live /debug/recovery state: which path the
+// last restart took, how long recovery ran before the leaf could serve, and
+// — during an instant-on restart — how many blocks are still shm-resident.
+func (l *ProcLeaf) Recovery() (ProcRecovery, error) {
+	resp, err := http.Get("http://" + l.HTTPAddr + "/debug/recovery")
+	if err != nil {
+		return ProcRecovery{}, err
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		Recovery ProcRecovery `json:"recovery"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return ProcRecovery{}, err
+	}
+	return dump.Recovery, nil
 }
 
 // ProcCluster is a set of scubad subprocesses plus one shard-routing
@@ -277,6 +347,12 @@ func (pc *ProcCluster) startLeaf(l *ProcLeaf) error {
 	if pc.cfg.TelemetryInterval > 0 {
 		args = append(args, "-telemetry-interval", pc.cfg.TelemetryInterval.String())
 	}
+	if pc.cfg.InstantOn {
+		args = append(args, "-instant-on")
+		if pc.cfg.PromoteWorkers > 0 {
+			args = append(args, "-promote-workers", strconv.Itoa(pc.cfg.PromoteWorkers))
+		}
+	}
 	cmd := exec.Command(pc.cfg.BinPath, args...)
 	if pc.cfg.Logs != nil {
 		cmd.Stdout = pc.cfg.Logs
@@ -303,7 +379,7 @@ func (pc *ProcCluster) waitReady(l *ProcLeaf) error {
 		if err := l.client.Ping(); err == nil {
 			return nil
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
 	}
 	return fmt.Errorf("cluster: leaf %d (%s) not ready after %v", l.ID, l.Addr, pc.cfg.ReadyTimeout)
 }
@@ -313,6 +389,12 @@ func (pc *ProcCluster) Leaves() []*ProcLeaf { return pc.leaves }
 
 // Leaf returns one leaf slot by ID.
 func (pc *ProcCluster) Leaf(id int) *ProcLeaf { return pc.leaves[id] }
+
+// SetInstantOn flips whether leaves spawned from here on boot with
+// -instant-on. Running processes keep their flags until their next restart;
+// a rollover respawns every leaf, so flipping this between two rollovers
+// compares the copy-in barrier and the instant-on path over identical data.
+func (pc *ProcCluster) SetInstantOn(on bool) { pc.cfg.InstantOn = on }
 
 // Router exposes the aggregator's shard router.
 func (pc *ProcCluster) Router() *shard.Router { return pc.router }
@@ -390,6 +472,12 @@ type ProcRolloverConfig struct {
 	// are flipped to DRAINING and before any shutdown RPC — the hook chaos
 	// drills use to kill a leaf mid-batch.
 	OnBatch func(batch int, draining []string)
+	// MaxAvailabilityGap, when positive, aborts the rollover if any restarted
+	// leaf takes longer than this from replacement exec to first successful
+	// Ping (scubad only listens once recovery completes, so a Ping answer
+	// means queries are being served). This is the instant-on gate: a leaf
+	// that blocks availability on its full copy-in blows the budget.
+	MaxAvailabilityGap time.Duration
 }
 
 // ProcRestart records one subprocess restart.
@@ -403,6 +491,8 @@ type ProcRestart struct {
 	Crashed bool
 	// RecoveryPath is the replacement's /debug/recovery answer.
 	RecoveryPath string
+	// Gap is the availability gap: replacement exec to first successful Ping.
+	Gap time.Duration
 	// Err is set when the slot was quarantined (replacement never ready).
 	Err      string
 	Duration time.Duration
@@ -420,6 +510,11 @@ type ProcRolloverReport struct {
 	MixedRecoveries  int
 	DiskRecoveries   int
 	WALRecoveries    int
+	// ShmViewRecoveries counts replacements that came up instant-on, serving
+	// zero-copy from the shm backup while promotion ran in the background.
+	ShmViewRecoveries int
+	// MaxGap is the largest availability gap any successful restart paid.
+	MaxGap time.Duration
 	// Quarantined leaves were left DOWN: their replacement process never
 	// became ready, so their shards keep serving from replicas.
 	Quarantined []int
@@ -506,6 +601,18 @@ func (pc *ProcCluster) ProcRollover(cfg ProcRolloverConfig) (*ProcRolloverReport
 				report.DiskRecoveries++
 			case "wal":
 				report.WALRecoveries++
+			case "shm-view":
+				report.ShmViewRecoveries++
+			}
+			if rep.Gap > report.MaxGap {
+				report.MaxGap = rep.Gap
+			}
+			if cfg.MaxAvailabilityGap > 0 && rep.Gap > cfg.MaxAvailabilityGap {
+				report.Aborted = true
+				report.Duration = time.Since(begin)
+				sortRestarts(report.Restarts)
+				return report, fmt.Errorf("%w: leaf %d availability gap %v exceeds budget %v",
+					ErrRolloverAborted, rep.Leaf, rep.Gap, cfg.MaxAvailabilityGap)
 			}
 		}
 		report.Batches++
@@ -582,12 +689,14 @@ func (pc *ProcCluster) restartLeaf(l *ProcLeaf, cfg ProcRolloverConfig) ProcRest
 		pc.aggCli.SetLeafStatus(l.Addr, shard.StatusDown) //nolint:errcheck
 		return rep
 	}
+	bootBegin := time.Now()
 	if err := pc.startLeaf(l); err != nil {
 		return quarantine(err)
 	}
 	if err := pc.waitReady(l); err != nil {
 		return quarantine(err)
 	}
+	rep.Gap = time.Since(bootBegin)
 	rep.RecoveryPath = l.recoveryPath()
 	if err := pc.aggCli.SetLeafStatus(l.Addr, shard.StatusActive); err != nil {
 		return quarantine(err)

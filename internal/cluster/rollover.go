@@ -82,6 +82,9 @@ type RolloverReport struct {
 	MemoryRecoveries int
 	MixedRecoveries  int
 	DiskRecoveries   int
+	// ShmViewRecoveries counts instant-on restarts: the node came back
+	// serving zero-copy from its shm backup.
+	ShmViewRecoveries int
 	// Aborted is set when the MaxDiskFallback guard stopped the rollover.
 	Aborted bool
 }
@@ -186,6 +189,11 @@ func (c *Cluster) Rollover(cfg RolloverConfig) (*RolloverReport, error) {
 					report.DiskRecoveries++
 					if cfg.Metrics != nil {
 						cfg.Metrics.Counter("rollover.recovery.disk").Add(1)
+					}
+				case "shm-view":
+					report.ShmViewRecoveries++
+					if cfg.Metrics != nil {
+						cfg.Metrics.Counter("rollover.recovery.shm_view").Add(1)
 					}
 				}
 			}(n)

@@ -78,6 +78,12 @@ const (
 	SiteShmCopyOut = "shm.copy_out"
 	// SiteShmCopyIn is the per-block shm-to-heap copy of Figure 7.
 	SiteShmCopyIn = "shm.copy_in"
+	// SiteShmView is the instant-on mapped-view open: metadata + CRC
+	// validation before the leaf starts serving zero-copy from the mapping.
+	SiteShmView = "shm.view"
+	// SitePromoteCopy is the per-block background promotion copy that moves
+	// a shm-resident block heap-side while queries keep running.
+	SitePromoteCopy = "promote.copy"
 	// SiteDiskRead is the disk backup read that recovery falls back to.
 	SiteDiskRead = "disk.read"
 	// SiteWireDial is the client-side TCP dial to a leaf or aggregator.
@@ -110,6 +116,7 @@ const (
 func Sites() []string {
 	s := []string{
 		SiteShmMap, SiteShmCommit, SiteShmCopyOut, SiteShmCopyIn,
+		SiteShmView, SitePromoteCopy,
 		SiteDiskRead, SiteWireDial, SiteWireWrite, SiteWireRead,
 		SiteLeafQuery,
 		SiteWALAppend, SiteWALSync, SiteWALTruncate, SiteWALReplay,

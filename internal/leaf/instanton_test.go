@@ -1,0 +1,392 @@
+package leaf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scuba/internal/fault"
+	"scuba/internal/metrics"
+	"scuba/internal/obs"
+	"scuba/internal/query"
+	"scuba/internal/rowblock"
+	"scuba/internal/shm"
+	"scuba/internal/table"
+)
+
+// instantConfig is env.config with the instant-on restore enabled.
+func (e env) instantConfig(id int) Config {
+	cfg := e.config(id)
+	cfg.InstantOn = true
+	return cfg
+}
+
+// queryFingerprint runs a grouped multi-aggregate query and returns its full
+// result as a canonical string, so tests can assert byte-identical answers
+// across restarts and promotion states rather than just matching counts.
+func queryFingerprint(t *testing.T, l *Leaf, tableName string) string {
+	t.Helper()
+	q := &query.Query{
+		Table: tableName, From: 0, To: 1 << 40,
+		GroupBy: []string{"service"},
+		Aggregations: []query.Aggregation{
+			{Op: query.AggCount},
+			{Op: query.AggSum, Column: "latency"},
+			{Op: query.AggMax, Column: "latency"},
+		},
+	}
+	res, err := l.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res.Rows(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// waitPromoted polls until every shm-resident block has been promoted to the
+// heap (ServedFromShm reaches zero).
+func waitPromoted(t *testing.T, l *Leaf) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Recovery().ServedFromShm == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("promotion never drained: %+v", l.Recovery())
+}
+
+// segmentFiles lists this namespace's segment files still on "tmpfs"
+// (excluding the flight recorder's, which lives outside the restore).
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.Contains(e.Name(), "tbl-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestInstantOnRestartCycle(t *testing.T) {
+	e := newEnv(t)
+	old := startLeaf(t, e.config(0))
+	// Several sealed blocks per table so promotion has real work.
+	for i := 0; i < 3; i++ {
+		ingest(t, old, "events", 400, int64(1000+400*i))
+		ingest(t, old, "errors", 200, int64(5000+200*i))
+		if err := old.SealAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantEvents := queryFingerprint(t, old, "events")
+	wantErrors := queryFingerprint(t, old, "errors")
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	nu := startLeaf(t, e.instantConfig(0))
+	defer nu.stopPromoter()
+	rec := nu.Recovery()
+	if rec.Path != RecoveryShmView {
+		t.Fatalf("recovery path = %v (%+v)", rec.Path, rec)
+	}
+	if rec.Tables != 2 || rec.Blocks == 0 {
+		t.Errorf("recovery = %+v", rec)
+	}
+	// Metadata is consumed at restore time: a crash mid-promotion must go to
+	// WAL/disk, never to a half-consumed backup.
+	m := shm.NewManager(0, shm.Options{Dir: e.shmDir, Namespace: "test"})
+	if _, err := m.ReadMetadata(); err == nil {
+		t.Error("metadata still present after instant-on restore")
+	}
+	// Results are correct immediately, while blocks are still shm-resident.
+	if got := queryFingerprint(t, nu, "events"); got != wantEvents {
+		t.Errorf("events during promotion:\ngot  %s\nwant %s", got, wantEvents)
+	}
+	if got := queryFingerprint(t, nu, "errors"); got != wantErrors {
+		t.Errorf("errors during promotion:\ngot  %s\nwant %s", got, wantErrors)
+	}
+
+	waitPromoted(t, nu)
+	if rec := nu.Recovery(); rec.PromotedBlocks == 0 {
+		t.Errorf("no promoted blocks recorded: %+v", rec)
+	}
+	// Identical again once everything is heap-side...
+	if got := queryFingerprint(t, nu, "events"); got != wantEvents {
+		t.Errorf("events after promotion:\ngot  %s\nwant %s", got, wantEvents)
+	}
+	// ...and the drained segments delete their files.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if files := segmentFiles(t, e.shmDir); len(files) == 0 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("segment files still present after promotion: %v", files)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The promoted leaf shuts down to shm and restarts like any other.
+	if _, err := nu.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	third := startLeaf(t, e.config(0))
+	if third.Recovery().Path != RecoveryMemory {
+		t.Fatalf("post-promotion restart = %+v", third.Recovery())
+	}
+	if got := queryFingerprint(t, third, "events"); got != wantEvents {
+		t.Errorf("events after second restart:\ngot  %s\nwant %s", got, wantEvents)
+	}
+}
+
+func TestInstantOnIngestAfterRestore(t *testing.T) {
+	e := newEnv(t)
+	old := startLeaf(t, e.config(0))
+	ingest(t, old, "events", 300, 1000)
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	nu := startLeaf(t, e.instantConfig(0))
+	defer nu.stopPromoter()
+	// New rows land in fresh builders beside the shm-resident blocks.
+	ingest(t, nu, "events", 50, 9000)
+	if got := countRows(t, nu, "events"); got != 350 {
+		t.Errorf("count = %v, want 350", got)
+	}
+}
+
+// TestInstantOnViewFaultDegradesToEagerCopy arms the shm.view fault site:
+// every view open fails, so each table degrades to the eager copy-in and the
+// leaf reports the plain memory path — same data, no instant-on.
+func TestInstantOnViewFaultDegradesToEagerCopy(t *testing.T) {
+	e := newEnv(t)
+	old := startLeaf(t, e.config(0))
+	ingest(t, old, "events", 500, 1000)
+	want := queryFingerprint(t, old, "events")
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Cleanup(fault.Reset)
+	if err := fault.ArmSpec(fault.SiteShmView + "=error"); err != nil {
+		t.Fatal(err)
+	}
+	nu := startLeaf(t, e.instantConfig(0))
+	fault.Reset()
+	rec := nu.Recovery()
+	if rec.Path != RecoveryMemory {
+		t.Fatalf("recovery path = %v, want %v (degraded eager copy): %+v", rec.Path, RecoveryMemory, rec)
+	}
+	if rec.ServedFromShm != 0 {
+		t.Errorf("served_from_shm = %d after degradation", rec.ServedFromShm)
+	}
+	if got := queryFingerprint(t, nu, "events"); got != want {
+		t.Errorf("degraded restore:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestInstantOnPromotionFaultKeepsServingFromShm arms promote.copy: every
+// promotion attempt fails, blocks stay shm-resident, and queries keep
+// answering correctly from the mapping.
+func TestInstantOnPromotionFaultKeepsServingFromShm(t *testing.T) {
+	e := newEnv(t)
+	old := startLeaf(t, e.config(0))
+	ingest(t, old, "events", 500, 1000)
+	want := queryFingerprint(t, old, "events")
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Cleanup(fault.Reset)
+	if err := fault.ArmSpec(fault.SitePromoteCopy + "=error"); err != nil {
+		t.Fatal(err)
+	}
+	nu := startLeaf(t, e.instantConfig(0))
+	defer nu.stopPromoter()
+	rec := nu.Recovery()
+	if rec.Path != RecoveryShmView || rec.ServedFromShm == 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	// Give the (failing) promoter time to try every block, then verify the
+	// blocks are all still shm-resident and still correct.
+	time.Sleep(50 * time.Millisecond)
+	if rec := nu.Recovery(); rec.ServedFromShm == 0 || rec.PromotedBlocks != 0 {
+		t.Errorf("blocks moved despite armed promote.copy: %+v", rec)
+	}
+	if got := queryFingerprint(t, nu, "events"); got != want {
+		t.Errorf("shm-resident serve:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestInstantOnScanPinsViewAcrossExpiry is the refcount race: a scan
+// snapshots a shm-resident block, then retention expires that block (and
+// promotion finishes everything else) while the scan is still reading. The
+// segment must stay mapped — and its file alive — until the scan drains,
+// and only then unmap and delete.
+func TestInstantOnScanPinsViewAcrossExpiry(t *testing.T) {
+	e := newEnv(t)
+	clock := int64(10_000)
+	cfg := e.config(0)
+	cfg.Clock = func() int64 { return clock }
+	cfg.Table = table.Options{MaxAgeSeconds: 1 << 30}
+	old := startLeaf(t, cfg)
+	ingest(t, old, "events", 400, 1000)
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	nucfg := cfg
+	nucfg.InstantOn = true
+	// Park promotion so the block under test stays shm-resident until expiry
+	// gets to it.
+	t.Cleanup(fault.Reset)
+	if err := fault.ArmSpec(fault.SitePromoteCopy + "=error"); err != nil {
+		t.Fatal(err)
+	}
+	nu := startLeaf(t, nucfg)
+	defer nu.stopPromoter()
+
+	nu.mu.Lock()
+	tbl := nu.tables["events"]
+	nu.mu.Unlock()
+	if tbl == nil || tbl.ForeignBlocks() == 0 {
+		t.Fatalf("no shm-resident blocks to pin")
+	}
+	src := tbl.Blocks()[0].Source()
+	if src == nil {
+		t.Fatal("block has no source")
+	}
+	view := src.(*shm.MappedView)
+
+	scanning := make(chan struct{})
+	release := make(chan struct{})
+	scanDone := make(chan error, 1)
+	go func() {
+		scanDone <- tbl.ScanBlocks(0, 1<<40, func([]*rowblock.RowBlock) error {
+			close(scanning)
+			<-release
+			return nil
+		})
+	}()
+	<-scanning
+
+	// Expire everything: the rows are ancient relative to the advanced clock.
+	clock += 1 << 31
+	if _, err := tbl.Expire(clock); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.Blocks()); got != 0 {
+		t.Fatalf("expiry left %d blocks", got)
+	}
+	// The scan still pins the view: mapped, refs held, file on disk.
+	if view.Refs() == 0 {
+		t.Fatal("view drained while a scan still reads it")
+	}
+	if files := segmentFiles(t, e.shmDir); len(files) == 0 {
+		t.Fatal("segment file deleted while a scan still reads it")
+	}
+
+	close(release)
+	if err := <-scanDone; err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for view.Refs() != 0 || len(segmentFiles(t, e.shmDir)) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("view not reclaimed after scan drained: refs=%d files=%v",
+				view.Refs(), segmentFiles(t, e.shmDir))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestInstantOnCrashMidPromotionRecovers abandons an instant-on leaf without
+// any shutdown (the in-process stand-in for kill -9 while promotion still
+// has shm-resident blocks). The metadata's valid bit was consumed at restore
+// time, so the replacement must come up via the normal crash paths with
+// nothing lost and no stale segment files.
+func TestInstantOnCrashMidPromotionRecovers(t *testing.T) {
+	e := newEnv(t)
+	cfg := e.config(0)
+	cfg.WALDir = filepath.Join(e.diskDir, "wal")
+	old := startLeaf(t, cfg)
+	ingest(t, old, "events", 600, 1000)
+	want := queryFingerprint(t, old, "events")
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Cleanup(fault.Reset)
+	if err := fault.ArmSpec(fault.SitePromoteCopy + "=error"); err != nil {
+		t.Fatal(err)
+	}
+	crashCfg := cfg
+	crashCfg.InstantOn = true
+	crashed := startLeaf(t, crashCfg)
+	if rec := crashed.Recovery(); rec.Path != RecoveryShmView || rec.ServedFromShm == 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	crashed.stopPromoter()
+	fault.Reset()
+	// No shutdown: the "process" dies here with every block still in shm.
+
+	repl := startLeaf(t, cfg)
+	rec := repl.Recovery()
+	if rec.Path != RecoveryWAL && rec.Path != RecoveryDisk {
+		t.Fatalf("replacement path = %v, want wal or disk: %+v", rec.Path, rec)
+	}
+	if got := queryFingerprint(t, repl, "events"); got != want {
+		t.Errorf("post-crash recovery:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestInstantOnEmptyLeaf exercises a restore with zero tables and checks the
+// first-query availability-gap timer fires exactly once.
+func TestInstantOnEmptyLeaf(t *testing.T) {
+	e := newEnv(t)
+	old := startLeaf(t, e.config(0))
+	if _, err := old.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.instantConfig(0)
+	cfg.Metrics = metrics.NewRegistry()
+	nu := startLeaf(t, cfg)
+	if got := countRows(t, nu, "missing"); got != 0 {
+		t.Errorf("count = %v", got)
+	}
+	if got := countRows(t, nu, "missing"); got != 0 {
+		t.Errorf("count = %v", got)
+	}
+	if n := cfg.Metrics.Timer(obs.TimerFirstQueryGap).Stats().Count; n != 1 {
+		t.Errorf("first_query_gap observations = %d, want exactly 1", n)
+	}
+}
+
+// TestSegmentGenerationNames: copy-out names segments with a generation
+// suffix so consecutive backups never truncate a mapped file.
+func TestSegmentGenerationNames(t *testing.T) {
+	for _, tc := range []struct {
+		gen  int64
+		want string
+	}{
+		{0, shm.SegmentNameForTable("x")},
+		{-1, shm.SegmentNameForTable("x")},
+		{42, shm.SegmentNameForTable("x") + ".g42"},
+	} {
+		if got := shm.SegmentNameForTableGen("x", tc.gen); got != tc.want {
+			t.Errorf("SegmentNameForTableGen(x, %d) = %q, want %q", tc.gen, got, tc.want)
+		}
+	}
+}

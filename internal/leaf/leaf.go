@@ -75,6 +75,16 @@ type Config struct {
 	// sealed blocks out during execution. 0 means runtime.GOMAXPROCS, 1
 	// preserves the serial block-at-a-time scan.
 	ScanWorkers int
+	// InstantOn turns the shm restore from a barrier into serve-from-shm:
+	// segments are mapped read-only, tables serve queries zero-copy from the
+	// mappings the moment metadata + CRC validation pass, and blocks move
+	// heap-side in the background in query-heat order. Off, the restore is
+	// the paper's eager copy-in.
+	InstantOn bool
+	// PromoteWorkers bounds the background promotion pool that copies
+	// shm-resident blocks heap-side after an instant-on restore. 0 resolves
+	// like CopyWorkers (runtime.NumCPU()).
+	PromoteWorkers int
 	// DecodeCacheBytes budgets the per-table LRU of decoded columns that
 	// lets repeated queries (dashboards) skip LZ4/dictionary decode. 0
 	// disables the cache.
@@ -110,6 +120,10 @@ const (
 	// plus write-ahead-log replay — crash-path parity with the fast clean
 	// restart, instead of the full disk translate.
 	RecoveryWAL RecoveryPath = "wal"
+	// RecoveryShmView means an instant-on restore: the leaf went ALIVE
+	// serving queries zero-copy from mmap'd shm views after only metadata +
+	// CRC validation, with the heap copy still running in the background.
+	RecoveryShmView RecoveryPath = "shm-view"
 )
 
 // TableRecovery reports how one table came back during a mixed recovery.
@@ -148,6 +162,13 @@ type RecoveryInfo struct {
 	WALRecords      int   `json:",omitempty"`
 	WALRowsReplayed int64 `json:",omitempty"`
 	SnapshotBlocks  int   `json:",omitempty"`
+	// ServedFromShm counts blocks currently served zero-copy from mmap'd shm
+	// views (instant-on); it drains toward zero as promotion moves blocks
+	// heap-side. Recovery() reports the live value.
+	ServedFromShm int64 `json:"served_from_shm"`
+	// PromotedBlocks counts view blocks the background promoter has moved
+	// heap-side since the last instant-on restore. Live value.
+	PromotedBlocks int64 `json:"promoted_blocks"`
 }
 
 // ShutdownInfo reports what a clean shutdown did.
@@ -197,6 +218,15 @@ type Leaf struct {
 	caches map[string]*query.DecodeCache
 
 	recovery RecoveryInfo
+
+	// promo is the background promotion pool after an instant-on restore
+	// (nil otherwise); promoted counts blocks it has moved heap-side.
+	promo    *promoter
+	promoted atomic.Int64
+	// restartBegin anchors the first-query availability-gap timer; the flag
+	// arms it so exactly the first successful post-Start query observes it.
+	restartBegin   time.Time
+	firstQueryOpen atomic.Bool
 
 	// copyBlockHook / restoreBlockHook are test-only fault-injection
 	// points, called before each block copy with the table name and block
@@ -249,11 +279,27 @@ func (l *Leaf) State() State {
 	return l.state
 }
 
-// Recovery returns what the last Start did.
+// Recovery returns what the last Start did. ServedFromShm and
+// PromotedBlocks are live: an instant-on restore keeps promoting in the
+// background, so dashboards polling /debug/recovery watch the residual shm
+// residency drain to zero.
 func (l *Leaf) Recovery() RecoveryInfo {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.recovery
+	info := l.recovery
+	tbls := make([]*table.Table, 0, len(l.tables))
+	for _, t := range l.tables {
+		tbls = append(tbls, t)
+	}
+	l.mu.Unlock()
+	if info.Path == RecoveryShmView || info.ServedFromShm > 0 {
+		var resident int64
+		for _, t := range tbls {
+			resident += int64(t.ForeignBlocks())
+		}
+		info.ServedFromShm = resident
+		info.PromotedBlocks = l.promoted.Load()
+	}
+	return info
 }
 
 func (l *Leaf) transition(to State) error {
@@ -276,6 +322,8 @@ func (l *Leaf) transitionLocked(to State) error {
 // state machine of Figure 5(b) and the pseudocode of Figure 7.
 func (l *Leaf) Start() error {
 	begin := time.Now()
+	l.restartBegin = begin
+	l.firstQueryOpen.Store(true)
 	info := RecoveryInfo{Path: RecoveryNone}
 
 	tryMemory := !l.cfg.DisableMemoryRecovery
@@ -361,6 +409,12 @@ func (l *Leaf) Start() error {
 	}
 	err := l.transitionLocked(StateAlive)
 	l.mu.Unlock()
+	if err == nil && info.ServedFromShm > 0 {
+		// Promotion starts only after the leaf is ALIVE: queries are already
+		// being answered from the views, and the copy the paper blocked
+		// availability on happens here, in the background.
+		l.startPromoter()
+	}
 	return err
 }
 
@@ -405,6 +459,15 @@ func (l *Leaf) restoreFromShm(info *RecoveryInfo) (bool, error) {
 		return false, err
 	}
 	ms.End(nil)
+	if l.cfg.InstantOn {
+		// Instant-on: map the segments read-only and serve zero-copy views
+		// instead of blocking availability on the full copy-in; the copy
+		// happens in the background after Start returns (startPromoter).
+		if err := l.viewRestore(md, info); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
 	ci := l.cfg.Obs.Start(obs.PhaseCopyIn)
 	restored, stats, errs, workers := l.copyInAll(md.Segments)
 	info.Workers = workers
@@ -559,10 +622,19 @@ func (l *Leaf) attachCache(name string, tbl *table.Table) {
 
 func (l *Leaf) dropAllTables() {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	tables := l.tables
 	l.tables = make(map[string]*table.Table)
 	l.ingest = make(map[string]*sync.Mutex)
 	l.caches = make(map[string]*query.DecodeCache)
+	l.mu.Unlock()
+	// Tables still holding shm-resident blocks (an instant-on restore that
+	// failed partway, or a disk-bound shutdown before promotion drained)
+	// release their residency references here so the mappings unmap once the
+	// last in-flight scan finishes. The shm-backed Shutdown path drained all
+	// blocks through DropBlocksForShutdown already, so this sees none.
+	for _, t := range tables {
+		rowblock.ReleaseSources(t.Blocks())
+	}
 }
 
 // ---- Backup path (Figure 6) ----
@@ -576,6 +648,9 @@ func (l *Leaf) dropAllTables() {
 func (l *Leaf) Shutdown() (ShutdownInfo, error) {
 	begin := time.Now()
 	info := ShutdownInfo{ToShm: true}
+	// Stop background promotion before touching any table: a promotion
+	// mid-copy must not race the copy-out's block drain.
+	l.stopPromoter()
 	if err := l.transition(StateCopyToShm); err != nil {
 		return info, err
 	}
@@ -647,6 +722,7 @@ func (l *Leaf) closeWAL() {
 func (l *Leaf) ShutdownToDisk() (ShutdownInfo, error) {
 	begin := time.Now()
 	info := ShutdownInfo{ToShm: false}
+	l.stopPromoter()
 	if err := l.transition(StateCopyToShm); err != nil {
 		return info, err
 	}
@@ -791,10 +867,30 @@ func (l *Leaf) Query(q *query.Query) (*query.Result, error) {
 		if err := q.Validate(); err != nil {
 			return nil, err
 		}
+		l.observeFirstQuery()
 		return query.NewResult(), nil
 	}
 	opts := query.ExecOptions{Workers: l.cfg.ScanWorkers, Cache: dc}
-	return query.ExecuteTableObservedOpts(tbl, q, l.queryRegistry(), opts)
+	res, err := query.ExecuteTableObservedOpts(tbl, q, l.queryRegistry(), opts)
+	if err == nil {
+		l.observeFirstQuery()
+	}
+	return res, err
+}
+
+// observeFirstQuery records restart.first_query_gap exactly once per Start:
+// the time from the restart's first instruction to the first successfully
+// answered query. This is the availability gap the paper's restarts pay in
+// full copy-in time and the instant-on path collapses to the view-open cost.
+func (l *Leaf) observeFirstQuery() {
+	if !l.firstQueryOpen.CompareAndSwap(true, false) {
+		return
+	}
+	gap := time.Since(l.restartBegin)
+	if reg := l.queryRegistry(); reg != nil {
+		reg.Timer(obs.TimerFirstQueryGap).Observe(gap)
+	}
+	l.cfg.Obs.Event(obs.EventNote, obs.TimerFirstQueryGap, gap.String())
 }
 
 // RecoveryQuarantined is the recovery source QueryTraced reports for a

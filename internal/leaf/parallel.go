@@ -84,8 +84,11 @@ func (l *Leaf) recordTableCopy(half string, st TableCopyStat, err error) {
 		fmt.Sprintf("worker %d, %d blocks, %d bytes in %v", st.Worker, st.Blocks, st.Bytes, st.Duration))
 	if reg := o.Registry(); reg != nil {
 		name := "restart.copy_out.table_us"
-		if half == "copy-in" {
+		switch half {
+		case "copy-in":
 			name = "restart.copy_in.table_us"
+		case "view":
+			name = "restart.view.table_us"
 		}
 		reg.Histogram(name).ObserveDuration(st.Duration)
 	}
@@ -128,6 +131,13 @@ func (l *Leaf) copyOutAll(tables []*table.Table, md *shm.Metadata) ([]TableCopyS
 		writers = append(writers, w)
 		writersMu.Unlock()
 	}
+	// One generation stamp for the whole shutdown: segment files are named
+	// tbl-<name>.g<gen> so this backup never O_TRUNCs a file an instant-on
+	// view from the previous generation may still have mapped (truncating a
+	// live mapping would SIGBUS every reader). Restore finds the segments by
+	// the full names recorded in the metadata; stale generations are swept as
+	// orphans.
+	gen := time.Now().UnixNano()
 	jobs := make(chan *table.Table)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -142,7 +152,7 @@ func (l *Leaf) copyOutAll(tables []*table.Table, md *shm.Metadata) ([]TableCopyS
 				}
 				l.cfg.Obs.Event(obs.EventBegin, obs.PerTablePhase("copy-out", tbl.Name()),
 					fmt.Sprintf("worker %d", worker))
-				st, err := l.copyTableOut(ctx, tbl, md, &mdMu, track)
+				st, err := l.copyTableOut(ctx, tbl, md, &mdMu, track, gen)
 				st.Worker = worker
 				l.recordTableCopy("copy-out", st, err)
 				if err != nil {
@@ -177,7 +187,7 @@ func (l *Leaf) copyOutAll(tables []*table.Table, md *shm.Metadata) ([]TableCopyS
 // copyTableOut runs one table through the Figure 6 backup steps: PREPARE,
 // disk sync, COPY_TO_SHM, segment create + registration, block-at-a-time
 // copy (releasing heap as it goes), Finish, DONE.
-func (l *Leaf) copyTableOut(ctx context.Context, tbl *table.Table, md *shm.Metadata, mdMu *sync.Mutex, track func(*shm.TableSegmentWriter)) (TableCopyStat, error) {
+func (l *Leaf) copyTableOut(ctx context.Context, tbl *table.Table, md *shm.Metadata, mdMu *sync.Mutex, track func(*shm.TableSegmentWriter), gen int64) (TableCopyStat, error) {
 	st := TableCopyStat{Table: tbl.Name()}
 	start := time.Now()
 	// PREPARE: reject new requests, kill deletes, wait for in-flight
@@ -194,7 +204,7 @@ func (l *Leaf) copyTableOut(ctx context.Context, tbl *table.Table, md *shm.Metad
 	if err := tbl.Transition(table.StateCopyToShm); err != nil {
 		return st, err
 	}
-	segName := shm.SegmentNameForTable(tbl.Name())
+	segName := shm.SegmentNameForTableGen(tbl.Name(), gen)
 	// Figure 6: estimate size of table, create table segment.
 	w, err := shm.CreateTableSegment(l.shm, segName, tbl.Name(), tbl.Bytes()+4096)
 	if err != nil {
@@ -231,9 +241,16 @@ func (l *Leaf) copyTableOut(ctx context.Context, tbl *table.Table, md *shm.Metad
 		if len(blocks) == 0 {
 			break
 		}
-		if err := w.WriteBlock(blocks[0], true); err != nil {
+		werr := w.WriteBlock(blocks[0], true)
+		// An un-promoted shm-resident block just had its bytes copied into
+		// the new generation's segment (or failed); either way it leaves the
+		// table here, so release its residency reference on the old mapping.
+		if src := blocks[0].Source(); src != nil {
+			src.Release()
+		}
+		if werr != nil {
 			w.Abort() //nolint:errcheck
-			return st, err
+			return st, werr
 		}
 		st.Blocks++
 	}

@@ -103,6 +103,16 @@ const (
 	// PhaseDiskRecovery is the fallback path: read the disk backup and
 	// translate it into memory.
 	PhaseDiskRecovery = "restart.disk_recovery"
+	// PhaseView is the instant-on mapped-view open: metadata + CRC validation
+	// after which the leaf serves queries zero-copy from the mapping.
+	PhaseView = "restart.view"
+	// PhasePromote is the background promotion of shm-resident blocks to the
+	// heap (whole-leaf span; each block lands in restart.promote.block_us).
+	PhasePromote = "restart.promote"
+	// TimerFirstQueryGap is the registry timer observing the time from Start
+	// begin to the first successful query after a restart — the paper's
+	// headline availability-gap metric, collapsed by instant-on.
+	TimerFirstQueryGap = "restart.first_query_gap"
 )
 
 // PerTablePhase names the flight-recorder phase for one table's share of a

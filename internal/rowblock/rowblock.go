@@ -80,6 +80,28 @@ type Header struct {
 	Created  int64 // when the row block was first created
 }
 
+// Source is the foreign memory a zero-copy block's RBC blobs alias — for
+// instant-on restarts, a refcounted mmap'd shm segment view. Retain pins the
+// memory for a reader and reports false when the source is already gone (the
+// last reference dropped); Release undoes one Retain. A block with a nil
+// source owns its memory outright.
+type Source interface {
+	Retain() bool
+	Release()
+}
+
+// ReleaseSources drops the residency reference of every foreign-memory block
+// in blocks (no-op for heap-owned blocks). Removers call it exactly once per
+// block they take out of circulation — see the refcount discipline on
+// shm.MappedView.
+func ReleaseSources(blocks []*RowBlock) {
+	for _, rb := range blocks {
+		if rb != nil && rb.src != nil {
+			rb.src.Release()
+		}
+	}
+}
+
 // RowBlock is a sealed, immutable block.
 type RowBlock struct {
 	hdr    Header
@@ -89,6 +111,35 @@ type RowBlock struct {
 	// restored from v1 images or the row-format disk backup: such blocks are
 	// always scanned.
 	zones []ZoneMap
+	// src is non-nil while the RBC blobs alias foreign memory (a mapped shm
+	// segment). Readers must hold a Retain on it across any column access.
+	src Source
+}
+
+// SetSource marks the block's columns as aliasing foreign memory owned by s.
+func (b *RowBlock) SetSource(s Source) { b.src = s }
+
+// Source returns the foreign memory owner, or nil for heap-owned blocks.
+func (b *RowBlock) Source() Source { return b.src }
+
+// CloneToHeap deep-copies the block's RBC blobs into fresh heap memory and
+// returns a source-free block with the same header, schema, and zone maps.
+// The promotion path uses it to move a shm-resident block heap-side; the
+// blobs were CRC-verified when the view decoded them, so the re-parse is
+// trusted.
+func (b *RowBlock) CloneToHeap() (*RowBlock, error) {
+	cols := make([]*layout.RBC, len(b.cols))
+	for i, c := range b.cols {
+		if c == nil {
+			return nil, fmt.Errorf("rowblock: cloning released column %d", i)
+		}
+		rbc, err := layout.ParseTrusted(append([]byte(nil), c.Blob()...))
+		if err != nil {
+			return nil, fmt.Errorf("rowblock: clone column %q: %w", b.schema[i].Name, err)
+		}
+		cols[i] = rbc
+	}
+	return &RowBlock{hdr: b.hdr, schema: b.schema, cols: cols, zones: b.zones}, nil
 }
 
 // Header returns the block header.
@@ -488,8 +539,21 @@ func (w *ImageWriter) Done() bool { return w.next >= len(w.block.cols) }
 // DecodeImage parses a block image. When copyBlobs is true the RBC bytes are
 // copied into fresh heap allocations (the restore path: shared memory will
 // be unmapped); when false the RBCs alias img (zero-copy reads). Column
-// checksums are always verified — images come from shm or disk.
+// checksums are verified — images come from shm or disk.
 func DecodeImage(img []byte, copyBlobs bool) (*RowBlock, int, error) {
+	return decodeImage(img, copyBlobs, true)
+}
+
+// DecodeImageVerified parses a block image zero-copy, skipping the
+// per-column checksum pass. Only for callers that have already verified a
+// covering checksum over every image byte — the instant-on view, whose
+// segment-wide payload CRC includes all column blobs. Skipping the second
+// pass roughly halves the bytes touched before a restarted leaf can serve.
+func DecodeImageVerified(img []byte) (*RowBlock, int, error) {
+	return decodeImage(img, false, false)
+}
+
+func decodeImage(img []byte, copyBlobs, verifyCols bool) (*RowBlock, int, error) {
 	if len(img) < 48 {
 		return nil, 0, fmt.Errorf("%w: %d bytes", ErrImageCorrupt, len(img))
 	}
@@ -566,7 +630,11 @@ func DecodeImage(img []byte, copyBlobs bool) (*RowBlock, int, error) {
 		if copyBlobs {
 			blob = append([]byte(nil), blob...)
 		}
-		rbc, err := layout.Parse(blob)
+		parse := layout.Parse
+		if !verifyCols {
+			parse = layout.ParseTrusted
+		}
+		rbc, err := parse(blob)
 		if err != nil {
 			return nil, 0, fmt.Errorf("rowblock: column %d (%s): %w", i, schema[i].Name, err)
 		}

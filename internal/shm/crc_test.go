@@ -1,0 +1,60 @@
+package shm
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// The parallel checksum must agree bit-for-bit with the sequential one at
+// every size class: empty, sub-chunk (sequential fallback), chunk-aligned,
+// ragged tail, and many-chunk.
+func TestChecksumParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sizes := []int{0, 1, 100, crcParallelMinChunk - 1, crcParallelMinChunk,
+		2*crcParallelMinChunk + 17, 8*crcParallelMinChunk + 3, 32 * crcParallelMinChunk}
+	for _, n := range sizes {
+		b := make([]byte, n)
+		rng.Read(b) //nolint:errcheck // never fails
+		want := crc32.Checksum(b, segCRCTable)
+		if got := checksumParallel(b); got != want {
+			t.Errorf("size %d: parallel crc %08x, sequential %08x", n, got, want)
+		}
+	}
+}
+
+// crc32Combine must satisfy crc(a||b) = combine(crc(a), crc(b), len(b)) for
+// arbitrary split points, including empty halves.
+func TestCRC32Combine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := make([]byte, 100000)
+	rng.Read(b) //nolint:errcheck
+	whole := crc32.Checksum(b, segCRCTable)
+	for _, split := range []int{0, 1, 13, 4096, 50000, 99999, 100000} {
+		c1 := crc32.Checksum(b[:split], segCRCTable)
+		c2 := crc32.Checksum(b[split:], segCRCTable)
+		if got := crc32Combine(c1, c2, int64(len(b)-split)); got != whole {
+			t.Errorf("split %d: combined crc %08x, whole %08x", split, got, whole)
+		}
+	}
+}
+
+func BenchmarkChecksumSequential(b *testing.B) {
+	buf := make([]byte, 32<<20)
+	rand.New(rand.NewSource(1)).Read(buf) //nolint:errcheck
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		crc32.Checksum(buf, segCRCTable)
+	}
+}
+
+func BenchmarkChecksumParallel(b *testing.B) {
+	buf := make([]byte, 32<<20)
+	rand.New(rand.NewSource(1)).Read(buf) //nolint:errcheck
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checksumParallel(buf)
+	}
+}

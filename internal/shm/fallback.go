@@ -32,6 +32,12 @@ func (s *Segment) storeFallback() error {
 	if s.data == nil {
 		return nil
 	}
+	if s.ro {
+		// Read-only views never dirty the buffer; skip the write-back (the
+		// fd was opened O_RDONLY and would reject it anyway).
+		s.data = nil
+		return nil
+	}
 	if _, err := s.f.WriteAt(s.data[:min(int64(len(s.data)), s.size)], 0); err != nil {
 		return fmt.Errorf("shm: write segment %s: %w", s.name, err)
 	}

@@ -12,8 +12,20 @@ func (s *Segment) mapIn() error {
 	if !s.useMmap {
 		return s.loadFallback()
 	}
+	prot := syscall.PROT_READ | syscall.PROT_WRITE
+	flags := syscall.MAP_SHARED
+	if s.ro {
+		prot = syscall.PROT_READ
+		// Restore-side mappings are read end to end immediately (the CRC
+		// validation pass touches every byte), and on the instant-on path
+		// that pass IS the availability gap. Prefault the whole mapping in
+		// one kernel sweep instead of eating a minor fault per page mid-CRC
+		// — on tmpfs the pages are already resident, so MAP_POPULATE only
+		// builds page tables.
+		flags |= syscall.MAP_POPULATE
+	}
 	data, err := syscall.Mmap(int(s.f.Fd()), 0, int(s.size),
-		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+		prot, flags)
 	if err != nil {
 		return fmt.Errorf("shm: mmap %s (%d bytes): %w", s.name, s.size, err)
 	}

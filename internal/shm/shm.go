@@ -90,6 +90,19 @@ func (m *Manager) segmentPath(name string) string {
 	return filepath.Join(m.dir, fmt.Sprintf("%s-leaf%d-%s", m.namespace, m.leafID, name))
 }
 
+// SegmentNameForTableGen derives a per-generation segment name: the plain
+// table name plus a ".g<gen>" suffix. Instant-on restarts keep old-generation
+// segments mapped (live query views) while a new shutdown writes fresh ones;
+// a generation suffix keeps CreateSegment from O_TRUNC-ing a file a live view
+// still has mapped, which would SIGBUS every reader. Metadata records the
+// full segment name, so restore never needs to reverse this.
+func SegmentNameForTableGen(table string, gen int64) string {
+	if gen <= 0 {
+		return SegmentNameForTable(table)
+	}
+	return fmt.Sprintf("%s.g%d", SegmentNameForTable(table), gen)
+}
+
 // SegmentNameForTable derives a filesystem-safe segment name for a table.
 func SegmentNameForTable(table string) string {
 	var b strings.Builder
@@ -286,6 +299,45 @@ func (m *Manager) RemoveAll() error {
 	return firstErr
 }
 
+// RemoveMetadata deletes only the leaf metadata file, leaving segment files
+// in place. The instant-on restore path uses it: segments stay mapped (and
+// on tmpfs) until their last reader drains, but the metadata must go so a
+// crash mid-promotion reverts to disk/WAL recovery, never to a half-consumed
+// backup.
+func (m *Manager) RemoveMetadata() error {
+	err := os.Remove(m.metadataPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// RemoveOtherSegments deletes every segment file with this leaf's prefix
+// except the metadata file and the named segments. The instant-on restore
+// calls it after mapping the current generation's views, sweeping orphans
+// left by a previous generation that exited before its views drained.
+func (m *Manager) RemoveOtherSegments(keep []string) error {
+	keepName := make(map[string]bool, len(keep)+1)
+	keepName[filepath.Base(m.metadataPath())] = true
+	for _, k := range keep {
+		keepName[filepath.Base(m.segmentPath(k))] = true
+	}
+	prefix := fmt.Sprintf("%s-leaf%d-", m.namespace, m.leafID)
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) && !keepName[e.Name()] {
+			if err := os.Remove(filepath.Join(m.dir, e.Name())); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
 // RemoveSegment deletes one segment file.
 func (m *Manager) RemoveSegment(name string) error {
 	err := os.Remove(m.segmentPath(name))
@@ -344,6 +396,36 @@ func (m *Manager) OpenSegment(name string) (*Segment, error) {
 	return s, nil
 }
 
+// OpenSegmentRO maps an existing segment read-only. Writes through the
+// returned mapping fault; Grow/Truncate/Sync are rejected by the read-only
+// flag at the mapping layer. Instant-on views use it so a stray store can
+// never damage the backup other readers depend on.
+func (m *Manager) OpenSegmentRO(name string) (*Segment, error) {
+	path := m.segmentPath(name)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrSegmentGone
+		}
+		return nil, fmt.Errorf("shm: open segment %s: %w", name, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: segment %s is empty", ErrSegmentSize, name)
+	}
+	s := &Segment{name: name, path: path, f: f, size: fi.Size(), useMmap: !m.noMmap, ro: true}
+	if err := s.mapIn(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
 // SegmentExists reports whether the named segment file is present.
 func (m *Manager) SegmentExists(name string) bool {
 	_, err := os.Stat(m.segmentPath(name))
@@ -358,6 +440,7 @@ type Segment struct {
 	size    int64
 	data    []byte
 	useMmap bool
+	ro      bool
 	closed  bool
 }
 
@@ -378,6 +461,9 @@ func (s *Segment) Grow(newSize int64) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.ro {
+		return fmt.Errorf("shm: grow %s: segment is read-only", s.name)
+	}
 	if newSize <= s.size {
 		return nil
 	}
@@ -397,6 +483,9 @@ func (s *Segment) Grow(newSize int64) error {
 func (s *Segment) Truncate(newSize int64) error {
 	if s.closed {
 		return ErrClosed
+	}
+	if s.ro {
+		return fmt.Errorf("shm: truncate %s: segment is read-only", s.name)
 	}
 	if newSize >= s.size {
 		return nil
@@ -432,6 +521,9 @@ func (s *Segment) Close() error {
 func (s *Segment) Sync() error {
 	if s.closed {
 		return ErrClosed
+	}
+	if s.ro {
+		return fmt.Errorf("shm: sync %s: segment is read-only", s.name)
 	}
 	return s.sync()
 }

@@ -219,15 +219,28 @@ func OpenTableSegment(m *Manager, segName string) (*TableSegmentReader, error) {
 }
 
 func (r *TableSegmentReader) parseHeader() error {
-	b := r.seg.Bytes()
+	tableName, offsets, err := parseTableSegment(r.seg.Bytes())
+	if err != nil {
+		return err
+	}
+	r.tableName = tableName
+	r.offsets = offsets
+	r.remaining = len(offsets)
+	return nil
+}
+
+// parseTableSegment validates a table segment's header, footer, and
+// whole-payload CRC, returning the table name and the block image offsets.
+// Shared by the draining reader (copy-in) and the mapped view (instant-on).
+func parseTableSegment(b []byte) (string, []int64, error) {
 	if len(b) < segHeaderFixed {
-		return fmt.Errorf("%w: %d bytes", ErrSegCorrupt, len(b))
+		return "", nil, fmt.Errorf("%w: %d bytes", ErrSegCorrupt, len(b))
 	}
 	if m := binary.LittleEndian.Uint32(b[0:]); m != SegMagic {
-		return fmt.Errorf("%w: magic %08x", ErrSegCorrupt, m)
+		return "", nil, fmt.Errorf("%w: magic %08x", ErrSegCorrupt, m)
 	}
 	if v := binary.LittleEndian.Uint32(b[4:]); v != LayoutVersion {
-		return fmt.Errorf("%w: segment version %d, code version %d", ErrVersionSkew, v, LayoutVersion)
+		return "", nil, fmt.Errorf("%w: segment version %d, code version %d", ErrVersionSkew, v, LayoutVersion)
 	}
 	payloadStart := int64(binary.LittleEndian.Uint64(b[8:]))
 	footerOff := int64(binary.LittleEndian.Uint64(b[16:]))
@@ -237,26 +250,25 @@ func (r *TableSegmentReader) parseHeader() error {
 	if payloadStart != int64(segHeaderFixed+nameLen) ||
 		footerOff < payloadStart ||
 		footerOff+int64(8*nblocks) > int64(len(b)) {
-		return fmt.Errorf("%w: payload=%d footer=%d blocks=%d len=%d",
+		return "", nil, fmt.Errorf("%w: payload=%d footer=%d blocks=%d len=%d",
 			ErrSegCorrupt, payloadStart, footerOff, nblocks, len(b))
 	}
-	if sum := crc32.Checksum(b[payloadStart:footerOff+int64(8*nblocks)], segCRCTable); sum != payloadCRC {
-		return fmt.Errorf("%w: payload checksum %08x, header says %08x",
+	if sum := checksumParallel(b[payloadStart : footerOff+int64(8*nblocks)]); sum != payloadCRC {
+		return "", nil, fmt.Errorf("%w: payload checksum %08x, header says %08x",
 			ErrSegCorrupt, sum, payloadCRC)
 	}
-	r.tableName = string(b[segHeaderFixed : segHeaderFixed+nameLen])
-	r.offsets = make([]int64, nblocks)
+	tableName := string(b[segHeaderFixed : segHeaderFixed+nameLen])
+	offsets := make([]int64, nblocks)
 	prev := payloadStart
 	for i := 0; i < nblocks; i++ {
 		off := int64(binary.LittleEndian.Uint64(b[footerOff+int64(8*i):]))
 		if off < prev || off >= footerOff {
-			return fmt.Errorf("%w: block %d offset %d", ErrSegCorrupt, i, off)
+			return "", nil, fmt.Errorf("%w: block %d offset %d", ErrSegCorrupt, i, off)
 		}
-		r.offsets[i] = off
+		offsets[i] = off
 		prev = off
 	}
-	r.remaining = nblocks
-	return nil
+	return tableName, offsets, nil
 }
 
 // TableName returns the table this segment belongs to.

@@ -1,0 +1,134 @@
+package shm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"scuba/internal/fault"
+	"scuba/internal/rowblock"
+)
+
+// MappedView serves a table segment's row blocks zero-copy from a read-only
+// mmap (instant-on restarts, ROADMAP "Instant-on restart"). Where the
+// draining TableSegmentReader copies each block to the heap and truncates
+// the segment behind it, a view decodes every block image in place — the RBC
+// blobs alias the mapping — and keeps the segment mapped until the last
+// reference drains.
+//
+// References: the view opens holding one reference per decoded block (the
+// table's residency), and every in-flight scan that snapshots a view block
+// takes one more via Retain. Whoever removes a block from circulation —
+// expiry, background promotion, shutdown copy-out, table teardown — releases
+// the block's residency reference; the scan that pinned a block releases its
+// own when it drains. When the count hits zero the segment is unmapped and
+// its file deleted, and Retain can never resurrect it (CAS from nonzero
+// only), so a reader either pins live memory or is told the view is gone.
+type MappedView struct {
+	m         *Manager
+	seg       *Segment
+	tableName string
+	blocks    []*rowblock.RowBlock
+	bytes     int64
+	refs      atomic.Int64
+}
+
+// OpenTableSegmentView maps a table segment read-only and decodes every
+// block image in place. Validation is the same up-front gauntlet as the
+// copy-in path — header, footer, whole-payload CRC, then per-column CRCs as
+// each block decodes — so a view that opens successfully is exactly as
+// trustworthy as a completed eager copy-in. Any failure closes the mapping
+// and returns an error; the caller degrades the table to eager copy-in.
+//
+// A segment with zero blocks yields (nil, nil): there is nothing to serve,
+// the mapping is closed, and the segment file is left for the caller.
+func OpenTableSegmentView(m *Manager, segName string) (*MappedView, error) {
+	if err := fault.Inject(fault.SiteShmView); err != nil {
+		return nil, fmt.Errorf("shm: view segment %s: %w", segName, err)
+	}
+	seg, err := m.OpenSegmentRO(segName)
+	if err != nil {
+		return nil, err
+	}
+	// No CorruptBytes hook here: the mapping is PROT_READ, so flipping bytes
+	// in place would fault. Rot coverage comes from arming shm.copy_out with
+	// corrupt — the view's CRC validation is what must catch it.
+	b := seg.Bytes()
+	tableName, offsets, err := parseTableSegment(b)
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	if len(offsets) == 0 {
+		seg.Close()
+		return nil, nil
+	}
+	v := &MappedView{m: m, seg: seg, tableName: tableName}
+	for i, off := range offsets {
+		// The segment-wide payload CRC just verified every image byte, so the
+		// per-column checksum pass would re-read the same memory for nothing.
+		rb, n, err := rowblock.DecodeImageVerified(b[off:])
+		if err != nil {
+			seg.Close()
+			return nil, fmt.Errorf("shm: view block %d of %s: %w", i, tableName, err)
+		}
+		rb.SetSource(v)
+		v.blocks = append(v.blocks, rb)
+		v.bytes += int64(n)
+	}
+	v.refs.Store(int64(len(v.blocks)))
+	return v, nil
+}
+
+// TableName returns the table this segment belongs to.
+func (v *MappedView) TableName() string { return v.tableName }
+
+// SegmentName returns the mapped segment's name.
+func (v *MappedView) SegmentName() string { return v.seg.Name() }
+
+// Blocks returns the decoded zero-copy blocks in segment (arrival) order.
+// Each aliases the mapping and carries the view as its Source.
+func (v *MappedView) Blocks() []*rowblock.RowBlock { return v.blocks }
+
+// Bytes returns the total payload bytes the view serves.
+func (v *MappedView) Bytes() int64 { return v.bytes }
+
+// Refs returns the current reference count (tests and telemetry).
+func (v *MappedView) Refs() int64 { return v.refs.Load() }
+
+// Retain pins the mapping for a reader. It reports false when the view has
+// already drained to zero — the memory is unmapped or about to be — in which
+// case the caller must not touch any view block's columns.
+func (v *MappedView) Retain() bool {
+	for {
+		n := v.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if v.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Discard closes the mapping WITHOUT deleting the segment file, for callers
+// rejecting a freshly opened view (e.g. a table-name mismatch against the
+// metadata) whose file a fallback path may still want to read. Legal only
+// while the caller holds every reference — before any block has been handed
+// out to a table or scan.
+func (v *MappedView) Discard() error {
+	v.refs.Store(0)
+	return v.seg.Close()
+}
+
+// Release drops one reference. The releaser that takes the count to zero
+// unmaps the segment and deletes its file — removal errors are deliberately
+// swallowed (a leftover file is swept by the next restore's orphan pass;
+// there is no caller positioned to act on the error mid-scan-drain).
+func (v *MappedView) Release() {
+	if n := v.refs.Add(-1); n == 0 {
+		v.seg.Close()                   //nolint:errcheck
+		v.m.RemoveSegment(v.seg.Name()) //nolint:errcheck
+	} else if n < 0 {
+		panic(fmt.Sprintf("shm: view %s over-released (refs=%d)", v.seg.Name(), n))
+	}
+}

@@ -1,0 +1,139 @@
+package shm
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func writeViewSegment(t *testing.T, m *Manager, seg, table string, nblocks int) {
+	t.Helper()
+	blocks := buildBlocks(t, nblocks, 200)
+	var total int64
+	for _, rb := range blocks {
+		total += int64(rb.ImageSize())
+	}
+	w, err := CreateTableSegment(m, seg, table, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rb := range blocks {
+		if err := w.WriteBlock(rb, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappedViewServesAndDrains(t *testing.T) {
+	runBothModes(t, func(t *testing.T, noMmap bool) {
+		m := newTestManager(t, 1, noMmap)
+		writeViewSegment(t, m, "tbl-events.g7", "events", 3)
+
+		v, err := OpenTableSegmentView(m, "tbl-events.g7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.TableName() != "events" || v.SegmentName() != "tbl-events.g7" {
+			t.Fatalf("view identity = %q %q", v.TableName(), v.SegmentName())
+		}
+		if len(v.Blocks()) != 3 {
+			t.Fatalf("blocks = %d", len(v.Blocks()))
+		}
+		if v.Refs() != 3 {
+			t.Fatalf("initial refs = %d, want one per block", v.Refs())
+		}
+		rows := 0
+		for _, rb := range v.Blocks() {
+			if rb.Source() != v {
+				t.Fatal("block does not carry the view as its source")
+			}
+			rows += rb.Rows()
+		}
+		if rows != 600 {
+			t.Fatalf("rows = %d", rows)
+		}
+
+		// A scan pin keeps the view alive after all residency refs drop.
+		if !v.Retain() {
+			t.Fatal("Retain failed on live view")
+		}
+		for range v.Blocks() {
+			v.Release()
+		}
+		if v.Refs() != 1 {
+			t.Fatalf("refs after residency drain = %d", v.Refs())
+		}
+		path := m.segmentPath("tbl-events.g7")
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("segment file gone while pinned: %v", err)
+		}
+		v.Release()
+		if v.Refs() != 0 {
+			t.Fatalf("refs = %d after final release", v.Refs())
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("segment file survived the last release: %v", err)
+		}
+		// Retain cannot resurrect a drained view.
+		if v.Retain() {
+			t.Fatal("Retain succeeded on drained view")
+		}
+	})
+}
+
+func TestMappedViewDiscardKeepsFile(t *testing.T) {
+	runBothModes(t, func(t *testing.T, noMmap bool) {
+		m := newTestManager(t, 1, noMmap)
+		writeViewSegment(t, m, "tbl-a", "a", 1)
+		v, err := OpenTableSegmentView(m, "tbl-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Discard(); err != nil {
+			t.Fatal(err)
+		}
+		// The file survives for a fallback reader.
+		r, err := OpenTableSegment(m, "tbl-a")
+		if err != nil {
+			t.Fatalf("eager open after Discard: %v", err)
+		}
+		r.Close(true) //nolint:errcheck
+	})
+}
+
+func TestMappedViewValidation(t *testing.T) {
+	m := newTestManager(t, 1, false)
+
+	// Corrupt payload: flip one byte, CRC must reject the view.
+	writeViewSegment(t, m, "tbl-c", "c", 1)
+	path := m.segmentPath("tbl-c")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-20] ^= 0xff
+	if err := os.WriteFile(path, b, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTableSegmentView(m, "tbl-c"); !errors.Is(err, ErrSegCorrupt) {
+		t.Fatalf("corrupt view open = %v, want ErrSegCorrupt", err)
+	}
+
+	// Missing segment.
+	if _, err := OpenTableSegmentView(m, "tbl-missing"); !errors.Is(err, ErrSegmentGone) {
+		t.Fatalf("missing view open = %v, want ErrSegmentGone", err)
+	}
+
+	// Zero-block segment: (nil, nil), file left in place.
+	writeViewSegment(t, m, "tbl-empty", "empty", 0)
+	v, err := OpenTableSegmentView(m, "tbl-empty")
+	if err != nil || v != nil {
+		t.Fatalf("empty view = %v, %v; want nil, nil", v, err)
+	}
+	if _, err := os.Stat(m.segmentPath("tbl-empty")); err != nil {
+		t.Fatalf("empty segment file removed: %v", err)
+	}
+}

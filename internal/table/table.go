@@ -257,13 +257,33 @@ func (t *Table) ScanBlocks(from, to int64, fn func([]*rowblock.RowBlock) error) 
 	}
 	t.inflightQry++
 	snapshot := make([]*rowblock.RowBlock, 0, len(t.blocks))
+	// pinned collects the foreign-memory sources (mmap'd shm views) of
+	// snapshotted blocks, each retained here UNDER the table lock. A remover
+	// (expiry, promotion, shutdown) can only release a block's residency
+	// reference after popping it from t.blocks under this same lock, so any
+	// block the snapshot sees still holds its reference and the Retain cannot
+	// fail; the pin then keeps the mapping alive until fn drains.
+	var pinned []rowblock.Source
 	for _, rb := range t.blocks {
-		if rb.Overlaps(from, to) {
-			snapshot = append(snapshot, rb)
+		if !rb.Overlaps(from, to) {
+			continue
 		}
+		if src := rb.Source(); src != nil {
+			if !src.Retain() {
+				// Unreachable while the residency invariant holds; skipping
+				// the block (rather than reading unmapped memory) is the
+				// safe degradation if it ever breaks.
+				continue
+			}
+			pinned = append(pinned, src)
+		}
+		snapshot = append(snapshot, rb)
 	}
 	t.mu.Unlock()
 	defer func() {
+		for _, src := range pinned {
+			src.Release()
+		}
 		t.mu.Lock()
 		t.inflightQry--
 		t.cond.Broadcast()
@@ -271,6 +291,33 @@ func (t *Table) ScanBlocks(from, to int64, fn func([]*rowblock.RowBlock) error) 
 	}()
 
 	return fn(snapshot)
+}
+
+// SwapBlock replaces old with new in the block vector — the background
+// promotion path swapping a shm-resident block for its heap clone. The swap
+// preserves the block's position and global row index; header-derived
+// accounting is unchanged because the clone shares the header. Returns false
+// when old is no longer present (expired or copied out) or the table has
+// left ALIVE (shutdown owns the blocks now); the caller keeps the old block
+// in that case. On success the old block is reported to the evict hook so
+// derived state (the decode cache) drops entries keyed by its identity; the
+// caller releases the old block's residency reference.
+func (t *Table) SwapBlock(old, new *rowblock.RowBlock) bool {
+	t.mu.Lock()
+	if t.state != StateAlive {
+		t.mu.Unlock()
+		return false
+	}
+	for i, rb := range t.blocks {
+		if rb == old {
+			t.blocks[i] = new
+			t.mu.Unlock()
+			t.notifyEvict([]*rowblock.RowBlock{old})
+			return true
+		}
+	}
+	t.mu.Unlock()
+	return false
 }
 
 // ActiveSnapshot returns a queryable view of the unsealed in-progress rows
@@ -286,6 +333,20 @@ func (t *Table) ActiveSnapshot() (*rowblock.UnsealedView, error) {
 		return nil, nil
 	}
 	return t.active.Snapshot(), nil
+}
+
+// ForeignBlocks counts sealed blocks whose columns still alias foreign
+// memory (shm views awaiting promotion). Zero once promotion has drained.
+func (t *Table) ForeignBlocks() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, rb := range t.blocks {
+		if rb.Source() != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Expire drops expired or over-budget blocks (oldest first). It aborts with
@@ -308,7 +369,13 @@ func (t *Table) Expire(now int64) (int, error) {
 	}()
 
 	var droppedBlocks []*rowblock.RowBlock
-	defer func() { t.notifyEvict(droppedBlocks) }()
+	// Expiry removed the blocks from circulation, so it owns releasing their
+	// foreign-memory references — after the evict hook, which may still look
+	// at block identity (never contents).
+	defer func() {
+		t.notifyEvict(droppedBlocks)
+		rowblock.ReleaseSources(droppedBlocks)
+	}()
 	for {
 		t.mu.Lock()
 		if t.killDeletes {

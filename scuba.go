@@ -124,6 +124,10 @@ const (
 	// RecoveryMixed: the shm restore succeeded for most tables but one or
 	// more corrupt segments were quarantined and reloaded from disk.
 	RecoveryMixed = leaf.RecoveryMixed
+	// RecoveryShmView: instant-on restore — the leaf serves zero-copy from
+	// read-only shm mappings while background promotion copies blocks
+	// heap-side.
+	RecoveryShmView = leaf.RecoveryShmView
 	// RecoveryWAL: crash recovery via incremental columnar snapshots plus
 	// write-ahead-log tail replay — crash-path parity with the shm restart.
 	RecoveryWAL = leaf.RecoveryWAL
@@ -278,6 +282,9 @@ type (
 var (
 	// BuildScubad compiles the scubad daemon for StartProcCluster.
 	BuildScubad = cluster.BuildScubad
+	// BuildScubadRace compiles it with the race detector, for drills that
+	// should instrument the daemon's own restart concurrency.
+	BuildScubadRace = cluster.BuildScubadRace
 	// StartProcCluster boots the subprocess leaves and their aggregator.
 	StartProcCluster = cluster.StartProcCluster
 	// StartAvailabilityProbe begins a continuous query probe.
