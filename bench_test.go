@@ -17,6 +17,33 @@ import (
 
 const benchRows = 100000
 
+// TestMain lets CI measure what the continuous profiler costs the paths
+// these benchmarks time: with SCUBA_BENCH_PROFILE=1 the whole benchmark run
+// executes under a profiler at the production duty cycle (5s window / 60s
+// interval, scaled 10x so short runs still span several capture windows),
+// with the rows discarded. The bench gate compares BenchmarkScan* medians
+// from a plain run against a profiled run.
+func TestMain(m *testing.M) {
+	if os.Getenv("SCUBA_BENCH_PROFILE") == "1" {
+		sink := scuba.NewTelemetrySink(scuba.TelemetrySinkConfig{
+			Emit:            func(string, []scuba.Row) error { return nil },
+			Source:          "bench",
+			MetricsInterval: -1,
+		})
+		prof := scuba.NewProfiler(scuba.ProfilerConfig{
+			Sink:     sink,
+			Source:   "bench",
+			Interval: 6 * time.Second,
+			Window:   500 * time.Millisecond,
+		})
+		code := m.Run()
+		prof.Close()
+		sink.Close()
+		os.Exit(code)
+	}
+	os.Exit(m.Run())
+}
+
 type benchEnv struct {
 	dir string
 }

@@ -23,6 +23,7 @@ import (
 	"scuba/internal/fault"
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
+	"scuba/internal/profile"
 	"scuba/internal/rowblock"
 	"scuba/internal/shard"
 	"scuba/internal/wire"
@@ -42,6 +43,8 @@ func main() {
 		machineSpec = flag.String("machines", "", "comma-separated machine index per leaf (parallel to -leaves) so shard replicas land on distinct machines; '' = every leaf its own machine")
 		scrapeEach  = flag.Duration("scrape-interval", 0, "cluster scrape period: pull every leaf's metrics snapshot into __system.leaf_metrics (0 disables)")
 		telemetry   = flag.Duration("telemetry-interval", 0, "self-telemetry period: snapshot this aggregator's own metrics and sampled query traces into __system tables (0 disables)")
+		profEvery   = flag.Duration("profile-interval", time.Minute, "continuous profiler steady cadence: capture a CPU window + heap delta into __system.profiles (0 disables; slow queries also trigger tagged captures)")
+		profMutex   = flag.Bool("profile-contention", false, "enable mutex/block profiling so /debug/pprof/mutex and /debug/pprof/block return real data")
 	)
 	flag.Parse()
 	if *leaves == "" {
@@ -59,6 +62,10 @@ func main() {
 	}
 	reg := metrics.NewRegistry()
 	reg.EnableRuntimeMetrics()
+	reg.EnableProcessMetrics()
+	if *profMutex {
+		profile.EnableContention()
+	}
 	clients := make([]*wire.Client, len(addrs))
 	for i, a := range addrs {
 		clients[i] = wire.Dial(a)
@@ -71,7 +78,7 @@ func main() {
 	// path. The sink refuses __system-table traces, so telemetry queries
 	// never generate telemetry.
 	var sink *obs.Sink
-	if *scrapeEach > 0 || *telemetry > 0 {
+	if *scrapeEach > 0 || *telemetry > 0 || *profEvery > 0 {
 		emit := func(table string, rows []rowblock.Row) error {
 			var lastErr error
 			for _, c := range clients {
@@ -85,7 +92,7 @@ func main() {
 		}
 		snapEvery := *telemetry
 		if snapEvery <= 0 {
-			snapEvery = -1 // scraper-only: no self-snapshot loop
+			snapEvery = -1 // delivery-only: no self-snapshot loop
 		}
 		sink = obs.NewSink(obs.SinkConfig{
 			Emit:            emit,
@@ -96,13 +103,33 @@ func main() {
 		})
 		defer sink.Close()
 	}
+	// Continuous profiler: steady captures plus anomaly captures when a
+	// slow query hits the trace ring, each tagged with the trace ID so
+	// scuba-cli profile links back to the waterfall.
+	var prof *profile.Profiler
+	if *profEvery > 0 {
+		prof = profile.New(profile.Config{
+			Sink:     sink,
+			Source:   *addr,
+			Registry: reg,
+			Interval: *profEvery,
+		})
+		defer prof.Close()
+		log.Printf("continuous profiler on: %v cadence into %s", *profEvery, obs.SystemProfilesTable)
+	}
 	tracerOpts := obs.TracerOptions{
 		Capacity:      *traceRing,
 		SlowThreshold: *slowQuery,
 		Metrics:       reg,
 	}
-	if sink != nil && *telemetry > 0 {
-		tracerOpts.OnRecord = sink.RecordTrace
+	recordTrace := sink != nil && *telemetry > 0
+	if recordTrace || prof != nil {
+		tracerOpts.OnRecord = func(tr obs.Trace) {
+			if recordTrace {
+				sink.RecordTrace(tr)
+			}
+			prof.OnTrace(tr)
+		}
 	}
 	tracer := obs.NewTracer(tracerOpts)
 	targets := make([]aggregator.LeafTarget, len(addrs))

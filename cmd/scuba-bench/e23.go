@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"scuba"
+)
+
+// ---- E23: continuous profiler overhead on the scan path ----
+
+// e23Cell is one profiler setting in BENCH_e23.json.
+type e23Cell struct {
+	Mode       string  `json:"mode"` // off | production | continuous
+	IntervalMS int     `json:"interval_ms"`
+	WindowMS   int     `json:"window_ms"`
+	P50Micros  float64 `json:"p50_us"`
+	P95Micros  float64 `json:"p95_us"`
+	Captures   int64   `json:"captures"`
+}
+
+type e23Report struct {
+	Rows                int       `json:"rows"`
+	Blocks              int       `json:"blocks"`
+	Trials              int       `json:"trials"`
+	Cells               []e23Cell `json:"cells"`
+	ProductionP50Pct    float64   `json:"production_overhead_p50_pct"`
+	ContinuousP50Pct    float64   `json:"continuous_overhead_p50_pct"`
+	PassProduction15Pct bool      `json:"pass_production_15pct"`
+}
+
+// runE23 measures what continuous profiling costs the queries it watches.
+// The steady cadence ships a 5s CPU window every 60s — an ~8% sampling duty
+// cycle — so the experiment runs the same sealed-block scan three ways: no
+// profiler, a profiler at the production duty cycle (interval and window
+// scaled down together so several captures land inside the measurement), and
+// a worst-case profiler whose window never closes (50% duty, the clamp
+// limit). The production cell is the one the fleet pays; the continuous cell
+// bounds what a stuck anomaly storm could cost.
+func runE23() error {
+	const blocks = 32
+	const trials = 80
+	rowsPerBlock := *rowsFlag / blocks
+	if rowsPerBlock < 100 {
+		rowsPerBlock = 100
+	}
+	totalRows := rowsPerBlock * blocks
+
+	dir, err := os.MkdirTemp("", "scuba-e23-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	reg := scuba.NewMetricsRegistry()
+	l, err := scuba.NewLeaf(scuba.LeafConfig{
+		ID:           0,
+		Shm:          scuba.ShmOptions{Dir: dir, Namespace: "e23"},
+		DiskRoot:     dir + "/disk",
+		MemoryBudget: 8 << 30,
+		Metrics:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	if err := l.Start(); err != nil {
+		return err
+	}
+
+	seq := int64(0)
+	services := []string{"web", "api", "ads", "search"}
+	for b := 0; b < blocks; b++ {
+		rows := make([]scuba.Row, rowsPerBlock)
+		for i := range rows {
+			rows[i] = scuba.Row{
+				Time: 1700000000 + seq,
+				Cols: map[string]scuba.Value{
+					"seq":        scuba.Int64(seq),
+					"service":    scuba.String(services[seq%4]),
+					"latency_ms": scuba.Float64(float64(seq%500) / 2),
+				},
+			}
+			seq++
+		}
+		if err := l.AddRows("events", rows); err != nil {
+			return err
+		}
+		if err := l.SealAll(); err != nil {
+			return err
+		}
+	}
+
+	q := &scuba.Query{Table: "events", From: 0, To: 1 << 40,
+		GroupBy:      []string{"service"},
+		Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}, {Op: scuba.AggAvg, Column: "latency_ms"}}}
+
+	measure := func() (e23Cell, error) {
+		durs := make([]time.Duration, 0, trials)
+		for t := 0; t < trials; t++ {
+			start := time.Now()
+			if _, err := l.Query(q); err != nil {
+				return e23Cell{}, err
+			}
+			durs = append(durs, time.Since(start))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		return e23Cell{
+			P50Micros: float64(durs[len(durs)/2].Microseconds()),
+			P95Micros: float64(durs[len(durs)*95/100].Microseconds()),
+		}, nil
+	}
+
+	// countCaptures reads __system.profiles back out of the leaf itself:
+	// the profiler's rows land in the same store it is profiling.
+	countCaptures := func() (int64, error) {
+		cq := &scuba.Query{Table: scuba.SystemProfilesTable, From: 0, To: 1 << 40,
+			GroupBy:      []string{"capture"},
+			Aggregations: []scuba.Aggregation{{Op: scuba.AggCount}},
+			Limit:        100000}
+		res, err := l.Query(cq)
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(res.Rows(cq))), nil
+	}
+
+	runCell := func(mode string, interval, window time.Duration) (e23Cell, error) {
+		var cell e23Cell
+		if interval > 0 {
+			sink := scuba.NewTelemetrySink(scuba.TelemetrySinkConfig{
+				Emit:            l.AddRows,
+				Source:          "bench",
+				Registry:        reg,
+				MetricsInterval: -1, // delivery-only: isolate the profiler's own cost
+			})
+			prof := scuba.NewProfiler(scuba.ProfilerConfig{
+				Sink:     sink,
+				Source:   "bench",
+				Registry: reg,
+				Interval: interval,
+				Window:   window,
+			})
+			before, err := countCaptures()
+			if err != nil {
+				prof.Close()
+				sink.Close()
+				return cell, err
+			}
+			time.Sleep(interval) // let the cadence engage before measuring
+			cell, err = measure()
+			prof.Close()
+			sink.Close()
+			if err != nil {
+				return cell, err
+			}
+			after, err := countCaptures()
+			if err != nil {
+				return cell, err
+			}
+			cell.Captures = after - before
+		} else {
+			var err error
+			cell, err = measure()
+			if err != nil {
+				return cell, err
+			}
+		}
+		cell.Mode = mode
+		cell.IntervalMS = int(interval / time.Millisecond)
+		cell.WindowMS = int(window / time.Millisecond)
+		return cell, nil
+	}
+
+	rep := e23Report{Rows: totalRows, Blocks: blocks, Trials: trials}
+	fmt.Printf("%-12s %10s %9s | %12s %12s %9s\n",
+		"profiler", "interval", "window", "p50", "p95", "captures")
+	cells := []struct {
+		mode             string
+		interval, window time.Duration
+	}{
+		{"off", 0, 0},
+		// Production duty cycle (5s window / 60s interval ≈ 8.3%), scaled
+		// down 100x so multiple captures overlap the measurement.
+		{"production", 600 * time.Millisecond, 50 * time.Millisecond},
+		// Upper bound: the window clamp (interval/2) means the CPU profiler
+		// runs half of all wall time — no real deployment looks like this.
+		{"continuous", 100 * time.Millisecond, 50 * time.Millisecond},
+	}
+	for _, c := range cells {
+		cell, err := runCell(c.mode, c.interval, c.window)
+		if err != nil {
+			return err
+		}
+		rep.Cells = append(rep.Cells, cell)
+		fmt.Printf("%-12s %10v %9v | %10.0fµs %10.0fµs %9d\n",
+			cell.Mode, c.interval, c.window, cell.P50Micros, cell.P95Micros, cell.Captures)
+	}
+
+	off := rep.Cells[0].P50Micros
+	if off > 0 {
+		rep.ProductionP50Pct = (rep.Cells[1].P50Micros - off) / off * 100
+		rep.ContinuousP50Pct = (rep.Cells[2].P50Micros - off) / off * 100
+	}
+	rep.PassProduction15Pct = rep.ProductionP50Pct <= 15
+	verdict := "PASS"
+	if !rep.PassProduction15Pct {
+		verdict = "FAIL"
+	}
+	fmt.Printf("\nprofiler p50 overhead: %+.1f%% at the production duty cycle [%s, bar is 15%%], %+.1f%% when the window never closes\n",
+		rep.ProductionP50Pct, verdict, rep.ContinuousP50Pct)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_e23.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_e23.json")
+	fmt.Println("paper: the fleet profiles itself through the same Scuba tables it serves;")
+	fmt.Println("always-on profiling only ships if the watched path cannot feel it")
+	return nil
+}

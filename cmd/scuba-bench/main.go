@@ -29,7 +29,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e22) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e23) or 'all'")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -54,6 +54,7 @@ func main() {
 		{"e20", "self-telemetry sink overhead on the scan path (BENCH_e20.json)", runE20},
 		{"e21", "crash recovery: snapshots + WAL replay vs disk translate (BENCH_e21.json)", runE21},
 		{"e22", "instant-on restart: availability gap + query health during promotion (BENCH_e22.json)", runE22},
+		{"e23", "continuous profiler overhead on the scan path (BENCH_e23.json)", runE23},
 	}
 
 	ran := 0

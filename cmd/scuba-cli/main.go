@@ -10,6 +10,7 @@
 //	scuba-cli -addrs :8001 stats
 //	scuba-cli stats -http :8081            # scrape a daemon's /metrics + /debug/recovery
 //	scuba-cli health -agg :9001 -watch 2s  # live cluster health from __system tables
+//	scuba-cli profile -agg :9001 -top 15   # hottest functions from __system.profiles
 //	scuba-cli trace -http :9091            # per-leaf waterfall of the latest query trace
 //	scuba-cli -addrs :8001 shutdown [-disk]
 package main
@@ -36,7 +37,7 @@ func main() {
 	addrs := flag.String("addrs", "127.0.0.1:8001", "comma-separated leaf addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: scuba-cli -addrs ... {load|query|stats|health|trace|shutdown} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: scuba-cli -addrs ... {load|query|stats|health|profile|trace|shutdown} [flags]")
 		os.Exit(2)
 	}
 
@@ -62,6 +63,8 @@ func main() {
 		runStats(clients, args)
 	case "health":
 		runHealth(args)
+	case "profile":
+		runProfile(args)
 	case "trace":
 		runTrace(args)
 	case "shutdown":

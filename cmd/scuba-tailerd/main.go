@@ -23,6 +23,8 @@ import (
 
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
+	"scuba/internal/profile"
+	"scuba/internal/rowblock"
 	"scuba/internal/scribe"
 	"scuba/internal/tailer"
 	"scuba/internal/wire"
@@ -39,6 +41,8 @@ func main() {
 		interval   = flag.Duration("interval", time.Second, "flush partial batches this often")
 		seed       = flag.Int64("seed", time.Now().UnixNano(), "placement randomness seed")
 		httpAddr   = flag.String("http", "", "observability listen address serving /metrics and /debug/pprof ('' disables)")
+		profEvery  = flag.Duration("profile-interval", time.Minute, "continuous profiler steady cadence: capture a CPU window + heap delta into __system.profiles via the leaves (0 disables)")
+		profMutex  = flag.Bool("profile-contention", false, "enable mutex/block profiling so /debug/pprof/mutex and /debug/pprof/block return real data")
 	)
 	flag.Parse()
 	if *leaves == "" {
@@ -47,6 +51,10 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	reg.EnableRuntimeMetrics()
+	reg.EnableProcessMetrics()
+	if *profMutex {
+		profile.EnableContention()
+	}
 	if *httpAddr != "" {
 		hs, err := obs.StartHTTP(*httpAddr, obs.Handler(obs.HandlerConfig{Registry: reg}))
 		if err != nil {
@@ -57,10 +65,45 @@ func main() {
 	}
 
 	var targets []tailer.Target
+	var clients []*wire.Client
 	for _, a := range strings.Split(*leaves, ",") {
-		targets = append(targets, wire.Dial(strings.TrimSpace(a)))
+		c := wire.Dial(strings.TrimSpace(a))
+		targets = append(targets, c)
+		clients = append(clients, c)
 	}
 	placer := tailer.NewPlacer(targets, *seed)
+
+	// Continuous profiler: the tailer has no local leaf, so its profile
+	// rows go to the first leaf that accepts them, same as the
+	// aggregator's telemetry.
+	if *profEvery > 0 {
+		sink := obs.NewSink(obs.SinkConfig{
+			Emit: func(table string, rows []rowblock.Row) error {
+				var lastErr error
+				for _, c := range clients {
+					if err := c.AddRows(table, rows); err != nil {
+						lastErr = err
+						continue
+					}
+					return nil
+				}
+				return lastErr
+			},
+			Source:          "tailer:" + *category,
+			Registry:        reg,
+			MetricsInterval: -1, // delivery-only
+			OnError:         func(err error) { log.Printf("telemetry: %v", err) },
+		})
+		defer sink.Close()
+		prof := profile.New(profile.Config{
+			Sink:     sink,
+			Source:   "tailer:" + *category,
+			Registry: reg,
+			Interval: *profEvery,
+		})
+		defer prof.Close()
+		log.Printf("continuous profiler on: %v cadence into %s", *profEvery, obs.SystemProfilesTable)
+	}
 
 	src := scribe.Dial(*scribeAddr)
 	defer src.Close()

@@ -50,6 +50,9 @@ func main() {
 		snapEvery  = flag.Duration("snapshot-interval", 5*time.Second, "incremental snapshot + WAL truncation interval")
 		httpAddr   = flag.String("http", "", "observability listen address serving /metrics, /debug/recovery and /debug/pprof ('' disables)")
 		telemetry  = flag.Duration("telemetry-interval", 0, "self-telemetry period: snapshot this leaf's metrics into __system tables (0 disables)")
+		profEvery  = flag.Duration("profile-interval", time.Minute, "continuous profiler steady cadence: capture a CPU window + heap delta into __system.profiles this often (0 disables the profiler)")
+		profBudget = flag.Duration("profile-restart-budget", time.Second, "restart phase duration that triggers an anomaly profile capture")
+		profMutex  = flag.Bool("profile-contention", false, "enable mutex/block profiling so /debug/pprof/mutex and /debug/pprof/block return real data")
 		faultSpec  = flag.String("fault", "", "arm fault-injection points for chaos testing, e.g. 'shm.copy_in=corrupt;count=1,disk.read=delay:50ms' (see internal/fault)")
 	)
 	flag.Parse()
@@ -65,6 +68,10 @@ func main() {
 	// segment, which survives crashes and the leaf's own segment sweep.
 	reg := scuba.NewMetricsRegistry()
 	reg.EnableRuntimeMetrics()
+	reg.EnableProcessMetrics()
+	if *profMutex {
+		scuba.EnableContentionProfiling()
+	}
 	fr, err := scuba.OpenFlightRecorder(*id, scuba.FlightRecorderOptions{
 		Dir: *shmDir, Namespace: *namespace,
 	})
@@ -86,6 +93,11 @@ func main() {
 	if *columnar {
 		format = scuba.FormatColumnar
 	}
+	// The profiler variable is captured by the leaf's restart hook before
+	// the profiler exists: Start() fires the hook, and a slow recovery
+	// should profile itself. ObserveRestartPhase is nil-safe, so a restart
+	// finishing before (or without) a profiler just skips the capture.
+	var prof *scuba.ContinuousProfiler
 	cfg := scuba.LeafConfig{
 		ID:                    *id,
 		Shm:                   scuba.ShmOptions{Dir: *shmDir, Namespace: *namespace},
@@ -103,11 +115,52 @@ func main() {
 		WALSyncInterval:       *walSync,
 		Metrics:               reg,
 		Obs:                   ob,
+		OnRestartPhase: func(phase string, path scuba.RecoveryPath, d time.Duration) {
+			prof.ObserveRestartPhase(phase, string(path), d, *profBudget)
+		},
 	}
 	l, err := scuba.NewLeaf(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Self-telemetry (Scuba-on-Scuba): this leaf's own metrics and
+	// flight-recorder events become rows in its __system tables, ingested
+	// through the same AddRows path user data takes — and therefore
+	// queryable through any aggregator and preserved across restarts by
+	// the shared-memory path. A crashed predecessor's recovered recorder
+	// events land in __system.recorder instead of only in the boot log.
+	// The sink exists before Start so restart-anomaly profiles have a
+	// delivery path; rows enqueued mid-recovery drain once the leaf is
+	// ALIVE. With -telemetry-interval 0 but the profiler on, the sink runs
+	// delivery-only (no metric snapshots).
+	var sink *scuba.TelemetrySink
+	if *telemetry > 0 || *profEvery > 0 {
+		interval := *telemetry
+		if interval <= 0 {
+			interval = -1
+		}
+		sink = scuba.NewTelemetrySink(scuba.TelemetrySinkConfig{
+			Emit:            l.AddRows,
+			Source:          *addr,
+			Registry:        reg,
+			MetricsInterval: interval,
+			OnError:         func(err error) { log.Printf("telemetry: %v", err) },
+		})
+		defer sink.Close()
+	}
+	if *profEvery > 0 {
+		prof = scuba.NewProfiler(scuba.ProfilerConfig{
+			Sink:          sink,
+			Source:        *addr,
+			Registry:      reg,
+			Interval:      *profEvery,
+			RestartBudget: *profBudget,
+		})
+		defer prof.Close()
+		log.Printf("continuous profiler on: %v cadence into %s", *profEvery, scuba.SystemProfilesTable)
+	}
+
 	start := time.Now()
 	if err := l.Start(); err != nil {
 		log.Fatal(err)
@@ -125,26 +178,13 @@ func main() {
 	}
 	log.Printf("listening on %s", srv.Addr())
 
-	// Self-telemetry (Scuba-on-Scuba): this leaf's own metrics and
-	// flight-recorder events become rows in its __system tables, ingested
-	// through the same AddRows path user data takes — and therefore
-	// queryable through any aggregator and preserved across restarts by
-	// the shared-memory path. A crashed predecessor's recovered recorder
-	// events land in __system.recorder instead of only in the boot log.
-	var sink *scuba.TelemetrySink
+	// A crashed predecessor's recovered recorder events land in
+	// __system.recorder instead of only in the boot log.
 	if *telemetry > 0 {
-		sink = scuba.NewTelemetrySink(scuba.TelemetrySinkConfig{
-			Emit:            l.AddRows,
-			Source:          *addr,
-			Registry:        reg,
-			MetricsInterval: *telemetry,
-			OnError:         func(err error) { log.Printf("telemetry: %v", err) },
-		})
 		if prev := fr.Previous(); len(prev) > 0 {
 			sink.RecordRecorderEvents("previous", prev)
 		}
 		sink.RecordRecorderEvents("current", fr.Events())
-		defer sink.Close()
 	}
 
 	if *httpAddr != "" {

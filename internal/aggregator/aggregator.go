@@ -325,7 +325,10 @@ collect:
 		d := time.Since(start)
 		r.Counter("query.count").Add(1)
 		r.Timer("query.latency").Observe(d)
-		r.Histogram("query.latency_hist").ObserveDuration(d)
+		// Exemplar the latency bucket with this query's trace so a scrape
+		// of a slow bucket links straight to its waterfall (zero trace ID
+		// records the plain sample).
+		r.Histogram("query.latency_hist").ObserveDurationExemplar(d, traceID)
 		r.Counter("query.leaves_total").Add(int64(merged.LeavesTotal))
 		r.Counter("query.leaves_answered").Add(int64(merged.LeavesAnswered))
 		r.Counter("query.leaves_abandoned").Add(int64(abandoned))

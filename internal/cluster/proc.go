@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"scuba/internal/aggregator"
 	"scuba/internal/obs"
 	"scuba/internal/shard"
 	"scuba/internal/shm"
@@ -97,6 +98,11 @@ type ProcConfig struct {
 	// self-telemetry sink (its -telemetry-interval flag): metric snapshots
 	// and flight-recorder events flow into that leaf's __system tables.
 	TelemetryInterval time.Duration
+	// ProfileInterval, when positive, sets each scubad's continuous
+	// profiler cadence (its -profile-interval flag); steady and
+	// anomaly-triggered captures land in __system.profiles. Zero leaves
+	// the daemon's default (one minute, effectively idle at test scale).
+	ProfileInterval time.Duration
 	// InstantOn starts every leaf with -instant-on: a restarting leaf serves
 	// queries zero-copy from its mmap'd shm backup as soon as validation
 	// passes, and the copy-in runs as background promotion.
@@ -347,6 +353,9 @@ func (pc *ProcCluster) startLeaf(l *ProcLeaf) error {
 	if pc.cfg.TelemetryInterval > 0 {
 		args = append(args, "-telemetry-interval", pc.cfg.TelemetryInterval.String())
 	}
+	if pc.cfg.ProfileInterval > 0 {
+		args = append(args, "-profile-interval", pc.cfg.ProfileInterval.String())
+	}
 	if pc.cfg.InstantOn {
 		args = append(args, "-instant-on")
 		if pc.cfg.PromoteWorkers > 0 {
@@ -405,6 +414,11 @@ func (pc *ProcCluster) AggAddr() string { return pc.aggSrv.Addr() }
 // AggClient is a client of the aggregator: queries, plus the SetLeafStatus
 // and ShardMap admin RPCs the rollover drives.
 func (pc *ProcCluster) AggClient() *wire.Client { return pc.aggCli }
+
+// Aggregator exposes the in-process aggregator behind the cluster's RPC
+// server, so tests can attach a tracer (and through it the continuous
+// profiler's slow-query hook) to the real query path.
+func (pc *ProcCluster) Aggregator() *aggregator.Aggregator { return pc.aggSrv.Aggregator() }
 
 // FlushAll raises the durability barrier on every live leaf: seal and sync
 // everything to disk, so even a kill -9 from here on loses nothing.

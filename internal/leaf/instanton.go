@@ -248,6 +248,7 @@ func (l *Leaf) startPromoter() {
 	l.mu.Unlock()
 	n := l.promoteWorkerCount()
 	sp := l.cfg.Obs.Start(obs.PhasePromote)
+	promoteBegin := time.Now()
 	p.wg.Add(n)
 	for i := 0; i < n; i++ {
 		go p.run()
@@ -255,6 +256,9 @@ func (l *Leaf) startPromoter() {
 	go func() {
 		p.wg.Wait()
 		sp.End(nil)
+		if l.cfg.OnRestartPhase != nil {
+			l.cfg.OnRestartPhase("promotion", RecoveryShmView, time.Since(promoteBegin))
+		}
 		l.cfg.Obs.Event(obs.EventNote, obs.PhasePromote,
 			fmt.Sprintf("promotion drained: %d blocks heap-side", l.promoted.Load()))
 	}()

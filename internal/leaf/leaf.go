@@ -99,6 +99,14 @@ type Config struct {
 	// recorder. Point its registry at Metrics so /metrics shows both. A nil
 	// Obs disables instrumentation at zero cost.
 	Obs *obs.Observer
+	// OnRestartPhase, when non-nil, observes each completed restart phase:
+	// the recovery itself (phase "copy_in" for shm paths, "wal_replay" for
+	// crash replay, "disk" for the backup translate) as Start returns, and
+	// "promotion" when an instant-on promotion pool drains. The continuous
+	// profiler hooks here to capture a tagged profile when a phase blows
+	// its budget. Called from the restart path and the promoter's
+	// completion goroutine — must not block.
+	OnRestartPhase func(phase string, path RecoveryPath, d time.Duration)
 	// Clock supplies unix seconds; nil means time.Now. Tests and the
 	// cluster simulator inject virtual clocks.
 	Clock func() int64
@@ -316,6 +324,21 @@ func (l *Leaf) transitionLocked(to State) error {
 	return nil
 }
 
+// restartPhaseName maps a recovery path to the restart phase it spent its
+// time in, for the OnRestartPhase hook.
+func restartPhaseName(p RecoveryPath) string {
+	switch p {
+	case RecoveryMemory, RecoveryMixed, RecoveryShmView:
+		return "copy_in"
+	case RecoveryWAL:
+		return "wal_replay"
+	case RecoveryDisk:
+		return "disk"
+	default:
+		return "start"
+	}
+}
+
 // ---- Restore path (Figure 7) ----
 
 // Start runs recovery and brings the leaf ALIVE. It implements the restore
@@ -394,6 +417,9 @@ func (l *Leaf) Start() error {
 		}
 	}
 	info.Duration = time.Since(begin)
+	if l.cfg.OnRestartPhase != nil {
+		l.cfg.OnRestartPhase(restartPhaseName(info.Path), info.Path, info.Duration)
+	}
 	l.cfg.Obs.Event(obs.EventNote, "restart.recovered",
 		fmt.Sprintf("path=%s tables=%d blocks=%d bytes=%d in %v",
 			info.Path, info.Tables, info.Blocks, info.BytesRestored, info.Duration))

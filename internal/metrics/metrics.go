@@ -108,6 +108,9 @@ type Registry struct {
 	// runtime is non-nil once EnableRuntimeMetrics has been called; every
 	// Snapshot then refreshes the runtime.* self-metrics first.
 	runtime *runtimeSampler
+	// process is non-nil once EnableProcessMetrics has been called; every
+	// Snapshot then refreshes up.seconds and carries the build info.
+	process *processSampler
 }
 
 // NewRegistry returns an empty registry.
@@ -183,12 +186,15 @@ type Snapshot struct {
 	Gauges     map[string]GaugeValue
 	Timers     map[string]TimerStats
 	Histograms map[string]HistogramStats
+	// Build is the binary's identity, nil unless EnableProcessMetrics ran.
+	Build *BuildInfo
 }
 
 // Snapshot captures every metric. Each value is internally consistent; the
 // set as a whole is a best-effort snapshot under concurrent writers.
 func (r *Registry) Snapshot() Snapshot {
 	r.sampleRuntime()
+	r.sampleProcess()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {
@@ -230,6 +236,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range histograms {
 		snap.Histograms[name] = h.Stats()
 	}
+	r.mu.Lock()
+	if r.process != nil {
+		b := r.process.build
+		snap.Build = &b
+	}
+	r.mu.Unlock()
 	return snap
 }
 
@@ -247,6 +259,10 @@ func (r *Registry) String() string {
 // String renders a snapshot in the registry text format.
 func (s Snapshot) String() string {
 	var lines []string
+	if s.Build != nil {
+		lines = append(lines, fmt.Sprintf("info build_info version=%s commit=%s go=%s",
+			s.Build.Version, s.Build.Commit, s.Build.GoVersion))
+	}
 	for name, v := range s.Counters {
 		lines = append(lines, fmt.Sprintf("counter %s %d", CanonicalName(name), v))
 	}

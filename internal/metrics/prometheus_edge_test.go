@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusEmptyRegistry pins the degenerate exposition: no families,
+// but still a well-formed OpenMetrics document (just the EOF marker).
+func TestPrometheusEmptyRegistry(t *testing.T) {
+	r := NewRegistry()
+	got := r.Prometheus()
+	if got != "# EOF\n" {
+		t.Fatalf("empty registry exposition = %q, want %q", got, "# EOF\n")
+	}
+	// An empty *snapshot* (no registry at all) renders the same.
+	if got := (Snapshot{}).Prometheus(); got != "# EOF\n" {
+		t.Fatalf("empty snapshot exposition = %q", got)
+	}
+}
+
+// TestPrometheusScrapeObserveRace hammers every metric type (including the
+// exemplar path) while scraping; run under -race this pins that a scrape
+// never tears an observation.
+func TestPrometheusScrapeObserveRace(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("race.counter").Add(1)
+				r.Gauge("race.gauge").Set(int64(i))
+				r.Timer("race.timer").Observe(time.Duration(i) * time.Microsecond)
+				r.Histogram("race.hist").Observe(int64(i % 1000))
+				r.Histogram("race.lat_hist").ObserveDurationExemplar(
+					time.Duration(i%500)*time.Microsecond, uint64(w*1_000_000+i+1))
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		out := r.Prometheus()
+		if !strings.HasSuffix(out, "# EOF\n") {
+			t.Fatalf("scrape not terminated:\n%s", out)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPrometheusBucketMonotonicity checks the histogram invariants every
+// scraper assumes: cumulative bucket counts never decrease with le, the
+// +Inf bucket equals _count, and le bounds strictly increase.
+func TestPrometheusBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mono.hist")
+	for _, v := range []int64{0, 1, 1, 3, 7, 8, 100, 5000, 1 << 40} {
+		h.Observe(v)
+	}
+	st := h.Stats()
+	lastLe := int64(-1)
+	for _, bk := range st.Buckets {
+		if bk.Le <= lastLe {
+			t.Fatalf("le bounds not increasing: %d after %d", bk.Le, lastLe)
+		}
+		lastLe = bk.Le
+		if bk.Count <= 0 {
+			t.Fatalf("empty bucket emitted: %+v", bk)
+		}
+	}
+
+	out := r.Prometheus()
+	var lastCum int64 = -1
+	var buckets, infCum int64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "scuba_mono_hist_bucket{") {
+			continue
+		}
+		val, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if val < lastCum {
+			t.Fatalf("cumulative count decreased: %q after %d", line, lastCum)
+		}
+		lastCum = val
+		buckets++
+		if strings.Contains(line, `le="+Inf"`) {
+			infCum = val
+		}
+	}
+	if buckets < 2 {
+		t.Fatalf("expected multiple bucket lines:\n%s", out)
+	}
+	if infCum != st.Count {
+		t.Fatalf("+Inf bucket %d != count %d", infCum, st.Count)
+	}
+}
+
+// TestPrometheusExemplars pins the OpenMetrics exemplar rendering: the
+// traced bucket carries "# {trace_id=...}", the +Inf bucket never does, and
+// untraced histograms render exemplar-free.
+func TestPrometheusExemplars(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("plain.lat_hist").ObserveDuration(3 * time.Millisecond)
+	h := r.Histogram("query.latency_hist")
+	h.ObserveDurationExemplar(10*time.Millisecond, 0xabcdef) // traced
+	h.ObserveDurationExemplar(20*time.Microsecond, 0)        // untraced: no exemplar
+
+	st := h.Stats()
+	var withEx int
+	for _, bk := range st.Buckets {
+		if bk.Exemplar != nil {
+			withEx++
+			if bk.Exemplar.TraceID != 0xabcdef {
+				t.Fatalf("exemplar trace = %d", bk.Exemplar.TraceID)
+			}
+			if bk.Exemplar.Value != (10 * time.Millisecond).Microseconds() {
+				t.Fatalf("exemplar value = %d", bk.Exemplar.Value)
+			}
+		}
+	}
+	if withEx != 1 {
+		t.Fatalf("buckets with exemplars = %d, want 1", withEx)
+	}
+
+	out := r.Prometheus()
+	want := `# {trace_id="` + strconv.FormatUint(0xabcdef, 10) + `"} 0.01 `
+	if !strings.Contains(out, want) {
+		t.Fatalf("no exemplar %q in:\n%s", want, out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `le="+Inf"`) && strings.Contains(line, "trace_id") {
+			t.Fatalf("+Inf bucket carries an exemplar: %q", line)
+		}
+		if strings.HasPrefix(line, "scuba_plain_lat_hist") && strings.Contains(line, "trace_id") {
+			t.Fatalf("untraced histogram grew an exemplar: %q", line)
+		}
+	}
+	// A second traced observation in the same bucket replaces the exemplar
+	// (last-write-wins).
+	h.ObserveDurationExemplar(11*time.Millisecond, 77)
+	if !strings.Contains(r.Prometheus(), `# {trace_id="77"}`) {
+		t.Fatal("exemplar not replaced by newer trace")
+	}
+}

@@ -50,6 +50,11 @@ const (
 	// one row per ACTIVE leaf per scrape with its stats, key counters and
 	// shard-coverage state.
 	SystemLeafMetricsTable = "__system.leaf_metrics"
+	// SystemProfilesTable holds the continuous profiler's folded captures:
+	// one row per top-N function per capture window, plus a "(total)" row,
+	// tagged with the trigger (interval / slow_query / restart / gc_pause)
+	// and, for slow queries, the trace ID that tripped the capture.
+	SystemProfilesTable = "__system.profiles"
 )
 
 // IsSystemTable reports whether a table is a reserved self-telemetry table.

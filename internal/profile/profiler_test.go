@@ -1,0 +1,242 @@
+package profile
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scuba/internal/metrics"
+	"scuba/internal/obs"
+	"scuba/internal/rowblock"
+)
+
+// rowTrap is a sink Emit that records everything delivered.
+type rowTrap struct {
+	mu   sync.Mutex
+	rows []rowblock.Row
+}
+
+func (rt *rowTrap) emit(table string, rows []rowblock.Row) error {
+	if table != obs.SystemProfilesTable {
+		return nil
+	}
+	rt.mu.Lock()
+	rt.rows = append(rt.rows, rows...)
+	rt.mu.Unlock()
+	return nil
+}
+
+func (rt *rowTrap) snapshot() []rowblock.Row {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]rowblock.Row(nil), rt.rows...)
+}
+
+// byTrigger returns the trapped rows whose trigger column matches.
+func (rt *rowTrap) byTrigger(trigger string) []rowblock.Row {
+	var out []rowblock.Row
+	for _, r := range rt.snapshot() {
+		if r.Cols["trigger"].Str == trigger {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func newTestProfiler(t *testing.T, trap *rowTrap, mut func(*Config)) *Profiler {
+	t.Helper()
+	sink := obs.NewSink(obs.SinkConfig{
+		Emit:            trap.emit,
+		Source:          "test-leaf",
+		MetricsInterval: -1,
+	})
+	t.Cleanup(sink.Close)
+	cfg := Config{
+		Sink:          sink,
+		Source:        "test-leaf",
+		Interval:      -1, // no steady loop; tests drive captures directly
+		AnomalyWindow: 20 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	p := New(cfg)
+	t.Cleanup(p.Close)
+	return p
+}
+
+// waitRows polls until cond sees the trapped rows it wants.
+func waitRows(t *testing.T, sink func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if sink() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for profile rows")
+}
+
+func TestCaptureEmitsTotalAndSchema(t *testing.T) {
+	trap := &rowTrap{}
+	p := newTestProfiler(t, trap, nil)
+	if !p.CaptureNow(TriggerInterval, "", 0) {
+		t.Fatal("CaptureNow failed")
+	}
+	waitRows(t, func() bool { return len(trap.byTrigger(TriggerInterval)) > 0 })
+	rows := trap.byTrigger(TriggerInterval)
+	var total *rowblock.Row
+	for i := range rows {
+		if rows[i].Cols["function"].Str == TotalFunction {
+			total = &rows[i]
+		}
+	}
+	if total == nil {
+		t.Fatalf("no %q row in %d rows", TotalFunction, len(rows))
+	}
+	for _, col := range []string{"source", "capture", "t_us", "trigger", "trace_id", "detail", "function", "flat_ns", "cum_ns", "alloc_bytes", "inuse_bytes", "goroutines", "window_ms"} {
+		if _, ok := total.Cols[col]; !ok {
+			t.Errorf("total row missing column %q", col)
+		}
+	}
+	if total.Cols["source"].Str != "test-leaf" {
+		t.Errorf("source = %q", total.Cols["source"].Str)
+	}
+	if total.Cols["goroutines"].Int <= 0 {
+		t.Errorf("goroutines = %d", total.Cols["goroutines"].Int)
+	}
+	if total.Cols["window_ms"].Int <= 0 {
+		t.Errorf("window_ms = %d", total.Cols["window_ms"].Int)
+	}
+	if total.Cols["t_us"].Int <= 0 || total.Cols["capture"].Str == "" {
+		t.Errorf("capture id missing: t_us=%d capture=%q", total.Cols["t_us"].Int, total.Cols["capture"].Str)
+	}
+}
+
+func TestOnTraceTriggersTaggedCapture(t *testing.T) {
+	trap := &rowTrap{}
+	p := newTestProfiler(t, trap, nil)
+
+	p.OnTrace(obs.Trace{Slow: false, TraceID: 1, Table: "events"})
+	p.OnTrace(obs.Trace{Slow: true, TraceID: 2, Table: obs.SystemMetricsTable})
+	p.OnTrace(obs.Trace{Slow: true, TraceID: 4242, Table: "events", Query: "SELECT count FROM events"})
+
+	waitRows(t, func() bool { return len(trap.byTrigger(TriggerSlowQuery)) > 0 })
+	rows := trap.byTrigger(TriggerSlowQuery)
+	for _, r := range rows {
+		if got := r.Cols["trace_id"].Int; got != 4242 {
+			t.Fatalf("trace_id = %d, want 4242 (non-slow or __system trace leaked through)", got)
+		}
+		if !strings.Contains(r.Cols["detail"].Str, "SELECT count") {
+			t.Fatalf("detail = %q", r.Cols["detail"].Str)
+		}
+	}
+}
+
+func TestAnomalyCooldown(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	trap := &rowTrap{}
+	p := newTestProfiler(t, trap, func(c *Config) {
+		c.AnomalyCooldown = time.Minute
+		c.Clock = func() time.Time { return now }
+	})
+	if !p.TriggerCapture(TriggerSlowQuery, "first", 1) {
+		t.Fatal("first anomaly should always capture")
+	}
+	if p.TriggerCapture(TriggerSlowQuery, "second", 2) {
+		t.Fatal("second anomaly inside the cooldown should drop")
+	}
+	now = now.Add(2 * time.Minute)
+	if !p.TriggerCapture(TriggerSlowQuery, "third", 3) {
+		t.Fatal("anomaly after the cooldown should capture")
+	}
+}
+
+func TestObserveRestartPhase(t *testing.T) {
+	trap := &rowTrap{}
+	p := newTestProfiler(t, trap, func(c *Config) {
+		c.RestartBudget = 100 * time.Millisecond
+		c.AnomalyCooldown = time.Nanosecond
+	})
+	p.ObserveRestartPhase("copy_in", "shm-view", 50*time.Millisecond, 0) // under budget
+	p.ObserveRestartPhase("wal_replay", "wal", 2*time.Second, 0)         // over budget
+
+	waitRows(t, func() bool { return len(trap.byTrigger(TriggerRestart)) > 0 })
+	for _, r := range trap.byTrigger(TriggerRestart) {
+		d := r.Cols["detail"].Str
+		if !strings.Contains(d, "phase=wal_replay") || !strings.Contains(d, "path=wal") {
+			t.Fatalf("detail = %q (under-budget phase must not capture)", d)
+		}
+	}
+}
+
+func TestGCPauseSpikeTriggersCapture(t *testing.T) {
+	reg := metrics.NewRegistry()
+	trap := &rowTrap{}
+	p := newTestProfiler(t, trap, func(c *Config) {
+		c.Registry = reg
+		c.GCPauseBudget = time.Millisecond
+		c.AnomalyCooldown = time.Nanosecond
+	})
+	// No data yet: no trigger.
+	p.checkGCPause()
+	// A 100ms pause lands the p99 far over the 1ms budget.
+	reg.Histogram("runtime.gc_pause_hist").ObserveDuration(100 * time.Millisecond)
+	p.checkGCPause()
+	waitRows(t, func() bool { return len(trap.byTrigger(TriggerGCPause)) > 0 })
+	before := len(trap.byTrigger(TriggerGCPause))
+	// p99 is still over budget but no new GCs happened: must not re-trigger.
+	p.checkGCPause()
+	time.Sleep(100 * time.Millisecond)
+	if after := len(trap.byTrigger(TriggerGCPause)); after != before {
+		t.Fatalf("re-triggered without new GCs: %d -> %d rows", before, after)
+	}
+}
+
+func TestSelfCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	trap := &rowTrap{}
+	p := newTestProfiler(t, trap, func(c *Config) {
+		c.Registry = reg
+		c.AnomalyCooldown = time.Hour
+	})
+	p.CaptureNow(TriggerInterval, "", 0)
+	p.TriggerCapture(TriggerSlowQuery, "", 1)
+	p.TriggerCapture(TriggerSlowQuery, "", 2) // dropped by cooldown
+	waitRows(t, func() bool { return len(trap.byTrigger(TriggerSlowQuery)) > 0 })
+	snap := reg.Snapshot()
+	if snap.Counters["profile.captures"] < 2 {
+		t.Errorf("profile.captures = %d, want >= 2", snap.Counters["profile.captures"])
+	}
+	if snap.Counters["profile.anomalies"] < 1 {
+		t.Errorf("profile.anomalies = %d", snap.Counters["profile.anomalies"])
+	}
+	if snap.Counters["profile.dropped"] < 1 {
+		t.Errorf("profile.dropped = %d", snap.Counters["profile.dropped"])
+	}
+}
+
+func TestSteadyCadence(t *testing.T) {
+	trap := &rowTrap{}
+	sink := obs.NewSink(obs.SinkConfig{Emit: trap.emit, Source: "cadence", MetricsInterval: -1})
+	defer sink.Close()
+	p := New(Config{
+		Sink:     sink,
+		Source:   "cadence",
+		Interval: 80 * time.Millisecond, // window auto-clamps to interval/2
+	})
+	defer p.Close()
+	waitRows(t, func() bool { return len(trap.byTrigger(TriggerInterval)) >= 2 })
+}
+
+func TestNilProfilerIsSafe(t *testing.T) {
+	var p *Profiler
+	p.Close()
+	p.OnTrace(obs.Trace{Slow: true})
+	p.ObserveRestartPhase("copy_in", "memory", time.Hour, 0)
+	if p.TriggerCapture("x", "", 0) || p.CaptureNow("x", "", 0) {
+		t.Fatal("nil profiler captured")
+	}
+}

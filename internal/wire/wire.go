@@ -263,7 +263,7 @@ func (s *Server) handle(req *Request) *Response {
 		}
 		d := time.Since(start)
 		s.reg.Timer("query.latency").Observe(d)
-		s.reg.Histogram("query.latency_hist").ObserveDuration(d)
+		s.reg.Histogram("query.latency_hist").ObserveDurationExemplar(d, req.Trace.TraceID)
 		return &Response{Result: res.Export(), Exec: exec}
 	case KindStats:
 		st := s.leaf.Stats()

@@ -45,6 +45,7 @@ import (
 	"scuba/internal/leaf"
 	"scuba/internal/metrics"
 	"scuba/internal/obs"
+	"scuba/internal/profile"
 	"scuba/internal/query"
 	"scuba/internal/rowblock"
 	"scuba/internal/scribe"
@@ -89,6 +90,8 @@ type (
 	LeafStats = leaf.Stats
 	// RecoveryInfo reports how a leaf came up.
 	RecoveryInfo = leaf.RecoveryInfo
+
+	RecoveryPath = leaf.RecoveryPath
 	// ShutdownInfo reports what a clean shutdown did.
 	ShutdownInfo = leaf.ShutdownInfo
 	// TableCopyStat is one table's share of a restart-path copy.
@@ -559,6 +562,42 @@ const (
 	SystemRecorderTable    = obs.SystemRecorderTable
 	SystemRolloverTable    = obs.SystemRolloverTable
 	SystemLeafMetricsTable = obs.SystemLeafMetricsTable
+	SystemProfilesTable    = obs.SystemProfilesTable
+)
+
+// Continuous profiling: every daemon runs a background sampler that folds
+// short CPU-profile windows and heap deltas into top-N per-function rows in
+// __system.profiles, with anomaly-triggered captures (slow query, restart
+// phase over budget, GC-pause spike) tagged with the trace that tripped
+// them.
+type (
+	// ContinuousProfiler is the per-daemon capture loop.
+	ContinuousProfiler = profile.Profiler
+	// ProfilerConfig configures cadence, windows, budgets and delivery.
+	ProfilerConfig = profile.Config
+	// PprofProfile is a decoded pprof protobuf (the in-repo decoder).
+	PprofProfile = profile.Profile
+)
+
+// Continuous-profiling constructors and helpers.
+var (
+	// NewProfiler builds and starts a profiler (Sink is required).
+	NewProfiler = profile.New
+	// DecodePprof parses a (gzipped) pprof protobuf profile.
+	DecodePprof = profile.Decode
+	// EnableContentionProfiling turns on mutex/block profiling so
+	// /debug/pprof/mutex and /debug/pprof/block return real data.
+	EnableContentionProfiling = profile.EnableContention
+)
+
+// Capture triggers recorded in the __system.profiles "trigger" column, and
+// the synthetic per-capture totals row.
+const (
+	ProfileTriggerInterval  = profile.TriggerInterval
+	ProfileTriggerSlowQuery = profile.TriggerSlowQuery
+	ProfileTriggerRestart   = profile.TriggerRestart
+	ProfileTriggerGCPause   = profile.TriggerGCPause
+	ProfileTotalFunction    = profile.TotalFunction
 )
 
 // Workload generators.
